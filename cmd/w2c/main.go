@@ -1,0 +1,166 @@
+// Command w2c compiles W2-like source files for the Warp-like VLIW cell:
+// it prints the per-loop scheduling report, optionally disassembles the
+// wide-instruction binary, and optionally runs it on the cycle-accurate
+// simulator (verifying against the reference interpreter).
+//
+// Usage:
+//
+//	w2c [-machine warp|scalar|wideN] [-baseline] [-S] [-run] [-verify] file.w2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"softpipe"
+	"softpipe/internal/lang"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("w2c: ")
+	machineName := flag.String("machine", "warp", "target machine: warp, scalar, or wideN (e.g. wide4)")
+	baseline := flag.Bool("baseline", false, "disable software pipelining (locally compacted code)")
+	noMVE := flag.Bool("no-mve", false, "disable modulo variable expansion")
+	noHier := flag.Bool("no-hier", false, "disable hierarchical reduction")
+	noLoopRed := flag.Bool("no-loop-reduction", false, "disable inner-loop reduction (prolog/epilog overlap)")
+	binSearch := flag.Bool("binary-search", false, "binary search for the initiation interval (FPS-164 style)")
+	unrollInner := flag.Int("unroll-inner", 0, "fully unroll constant-trip inner loops of at most N iterations (outer-loop pipelining)")
+	kernel := flag.Bool("kernel", false, "print each pipelined loop's steady-state kernel schedule")
+	cells := flag.Int("cells", 0, "run the program on an N-cell array, streaming -input through the inter-cell queues")
+	input := flag.String("input", "", "whitespace-separated floats fed to the first cell's input queue")
+	disasm := flag.Bool("S", false, "print the VLIW disassembly")
+	format := flag.Bool("fmt", false, "pretty-print the parsed source and exit")
+	run := flag.Bool("run", false, "simulate the program and print statistics")
+	verify := flag.Bool("verify", false, "with -run: check the simulation against the interpreter")
+	trace := flag.Int64("trace", 0, "with -run: print an execution trace for the first N cycles")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: w2c [flags] file.w2")
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *format {
+		ast, err := lang.Parse(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(lang.Format(ast))
+		return
+	}
+	m, err := pickMachine(*machineName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj, err := softpipe.CompileSource(string(src), m, softpipe.Options{
+		Baseline:             *baseline,
+		DisableMVE:           *noMVE,
+		DisableHier:          *noHier,
+		DisableLoopReduction: *noLoopRed,
+		BinarySearch:         *binSearch,
+		UnrollInnerTrip:      *unrollInner,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("; %s: %d instructions, %d float regs, %d int regs\n",
+		flag.Arg(0), len(obj.Binary.Instrs), obj.Report.FRegsUsed, obj.Report.IRegsUsed)
+	loops := append([]softpipe.LoopInfo(nil), obj.Report.Loops...)
+	sort.Slice(loops, func(i, j int) bool { return loops[i].LoopID < loops[j].LoopID })
+	for _, lr := range loops {
+		status := fmt.Sprintf("pipelined II=%d (bound %d, met=%v, unroll %d, stages %d)",
+			lr.II, lr.MII, lr.MetLower, lr.Unroll, lr.Stages)
+		if !lr.Pipelined {
+			status = "not pipelined"
+			if lr.Reason != "" {
+				status += ": " + lr.Reason
+			}
+		}
+		fmt.Printf("; loop %d (trip %d): %s\n", lr.LoopID, lr.TripCount, status)
+		if *kernel && lr.Kernel != "" {
+			fmt.Print(lr.Kernel)
+		}
+	}
+	if *disasm {
+		fmt.Print(obj.Disassemble())
+	}
+	if *cells > 0 {
+		var tape []float64
+		if *input != "" {
+			data, err := os.ReadFile(*input)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, f := range strings.Fields(string(data)) {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					log.Fatalf("bad input value %q: %v", f, err)
+				}
+				tape = append(tape, v)
+			}
+		}
+		objs := make([]*softpipe.Object, *cells)
+		for i := range objs {
+			objs[i] = obj
+		}
+		res, err := softpipe.RunArray(objs, tape)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("; array of %d cells: %d cycles, %d flops, %.1f MFLOPS\n",
+			*cells, res.Cycles, res.Flops, res.MFLOPS)
+		for _, v := range res.Output {
+			fmt.Println(v)
+		}
+		return
+	}
+	if *run || *verify {
+		if *trace > 0 {
+			if err := obj.Trace(os.Stdout, *trace); err != nil {
+				log.Fatal(err)
+			}
+		}
+		res, err := obj.Run()
+		if *verify {
+			res, err = obj.Verify()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("; ran %d cycles, %d flops: %.3f MFLOPS/cell (%.1f on the %d-cell array)\n",
+			res.Cycles, res.Flops, res.CellMFLOPS, res.ArrayMFLOPS, m.Cells)
+		var names []string
+		for name := range res.State.Scalars {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("; %s = %v\n", name, res.State.Scalars[name])
+		}
+	}
+}
+
+func pickMachine(name string) (*softpipe.Machine, error) {
+	switch {
+	case name == "warp":
+		return softpipe.Warp(), nil
+	case name == "scalar":
+		return softpipe.Scalar(), nil
+	case strings.HasPrefix(name, "wide"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "wide"))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad machine %q", name)
+		}
+		return softpipe.Wide(n), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q", name)
+}

@@ -1,0 +1,144 @@
+// Command warpbench regenerates the remaining evaluation artifacts of
+// Lam (PLDI 1988): Table 4-1 (application MFLOPS on the 10-cell array),
+// Figure 4-1 (MFLOPS distribution over the program population), Figure
+// 4-2 (speedup of software pipelining over locally compacted code), and
+// the §4.1 population statistics.
+//
+// Usage:
+//
+//	warpbench [-table41] [-fig41] [-fig42] [-stats] [-verify]
+//
+// With no selection flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"softpipe/internal/bench"
+	"softpipe/internal/machine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("warpbench: ")
+	t41 := flag.Bool("table41", false, "Table 4-1: application kernels")
+	f41 := flag.Bool("fig41", false, "Figure 4-1: MFLOPS histogram")
+	f42 := flag.Bool("fig42", false, "Figure 4-2: speedup histogram")
+	stats := flag.Bool("stats", false, "§4.1 population statistics")
+	verify := flag.Bool("verify", false, "differentially verify every run")
+	flag.Parse()
+	all := !*t41 && !*f41 && !*f42 && !*stats
+
+	m := machine.Warp()
+
+	if all || *t41 {
+		rows, err := bench.Table41(m, *verify)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Table 4-1: application kernels on the 10-cell array (reproduction)")
+		var out [][]string
+		sort.Slice(rows, func(i, j int) bool { return rows[i].ArrayMFLOPS > rows[j].ArrayMFLOPS })
+		for _, r := range rows {
+			out = append(out, []string{
+				r.Name,
+				fmt.Sprintf("%.1f", r.ArrayMFLOPS),
+				fmt.Sprintf("%.1f", r.PaperMFLOPS),
+				fmt.Sprintf("%d", r.Cycles),
+			})
+		}
+		fmt.Print(bench.FormatTable(
+			[]string{"Task", "MFLOPS (ours)", "MFLOPS (paper)", "cell cycles"}, out))
+		fmt.Println()
+	}
+
+	var suite []bench.SuiteResult
+	needSuite := all || *f41 || *f42 || *stats
+	if needSuite {
+		var err error
+		suite, err = bench.RunSuite(m, *verify)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if all || *f41 {
+		var mflops []float64
+		for _, r := range suite {
+			mflops = append(mflops, r.ArrayMFLOPS)
+		}
+		fmt.Println("Figure 4-1: MFLOPS over the 72-program population (array rates)")
+		printHistogram(mflops, 10, 100, "MFLOPS")
+		fmt.Println()
+	}
+
+	if all || *f42 {
+		var speedups, cond, nocond []float64
+		for _, r := range suite {
+			speedups = append(speedups, r.Speedup)
+			if r.HasCond {
+				cond = append(cond, r.Speedup)
+			} else {
+				nocond = append(nocond, r.Speedup)
+			}
+		}
+		fmt.Println("Figure 4-2: speedup over locally compacted code")
+		printHistogram(speedups, 0.5, 8, "speedup")
+		fmt.Printf("mean %.2f (paper: ~3); with conditionals %.2f, without %.2f\n",
+			mean(speedups), mean(cond), mean(nocond))
+		fmt.Println()
+	}
+
+	if all || *stats {
+		st := bench.Stats(suite)
+		fmt.Println("Population statistics (§4.1)")
+		fmt.Printf("  loops: %d, pipelined: %d\n", st.Loops, st.Pipelined)
+		fmt.Printf("  scheduled at the MII lower bound: %d (%.0f%%; paper: 75%%)\n",
+			st.MetBound, pct(st.MetBound, st.Loops))
+		fmt.Printf("  conditional/recurrence-free loops pipelined perfectly: %d/%d (%.0f%%; paper: 93%%)\n",
+			st.SimpleMet, st.SimpleLoops, pct(st.SimpleMet, st.SimpleLoops))
+		if st.AvgEffOfMissed > 0 {
+			fmt.Printf("  average efficiency of loops missing the bound: %.0f%% (paper: 75%%)\n",
+				100*st.AvgEffOfMissed)
+		}
+	}
+}
+
+func printHistogram(values []float64, width, max float64, label string) {
+	h := bench.Histogram(values, width, max)
+	peak := 1
+	for _, c := range h {
+		if c > peak {
+			peak = c
+		}
+	}
+	for b, c := range h {
+		if c == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", c*40/peak)
+		fmt.Printf("  %6.1f-%6.1f %s: %3d %s\n", float64(b)*width, float64(b+1)*width, label, c, bar)
+	}
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

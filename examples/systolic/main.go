@@ -1,0 +1,79 @@
+// Systolic: the paper's applications ran on a 10-cell Warp array with
+// data streaming between cells through queues (Lam §1).  This example
+// builds the classic systolic matrix product: rows of A stream through
+// the array, each cell multiplies them against its own block of B
+// columns with w independent accumulators (saturating both FPUs at
+// II = w), and the result blocks drain through the chain.  The paper's
+// Table 4-1 reports 79.4 MFLOPS for 100x100 matmul; this program comes
+// within a few percent on the simulated array.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softpipe"
+	"softpipe/internal/workloads"
+)
+
+func main() {
+	const n, cells = 100, 10
+	warp := softpipe.Warp()
+
+	src := workloads.SystolicMatmulSource(n, n/cells)
+	prog, err := softpipe.ParseSource(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj, err := softpipe.Compile(prog, warp, softpipe.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, lr := range obj.Report.Loops {
+		if lr.Pipelined && lr.BodyOps > 20 && lr.TripCount == 100 {
+			fmt.Printf("inner MAC loop: II=%d (bound %d) — %d flops per initiation\n",
+				lr.II, lr.MII, 2*(n/cells))
+		}
+	}
+
+	// Same code on every cell, per-cell data: B column blocks and the
+	// phase-2 forwarding count.
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) * 0.25
+		b[i] = float64(i%5)*0.5 - 1
+	}
+	w := n / cells
+	cellObjs := make([]*softpipe.Object, cells)
+	for c := 0; c < cells; c++ {
+		block := make([]float64, n*w)
+		for i := 0; i < n; i++ {
+			for j := 0; j < w; j++ {
+				block[i*w+j] = b[i*n+c*w+j]
+			}
+		}
+		cellObjs[c] = obj.WithFloatData(map[string][]float64{
+			"b":   block,
+			"fwd": {float64(c * n * w)},
+		})
+	}
+	input := make([]float64, 0, n*n)
+	for i := 0; i < n; i++ {
+		input = append(input, a[i*n:(i+1)*n]...)
+	}
+	res, err := softpipe.RunArray(cellObjs, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("array: %d cells, %d cycles, %d flops → %.1f MFLOPS (paper: 79.4)\n",
+		cells, res.Cycles, res.Flops, res.MFLOPS)
+
+	// Verify one result entry against the host.
+	cOut := res.Output[n*n:] // the last cell forwards the A stream first
+	want := 0.0
+	for k := 0; k < n; k++ {
+		want += a[k] * b[k*n]
+	}
+	fmt.Printf("c[0][0] = %v (host: %v)\n", cOut[0], want)
+}

@@ -1,0 +1,3 @@
+module softpipe
+
+go 1.22

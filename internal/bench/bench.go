@@ -1,0 +1,368 @@
+// Package bench regenerates the paper's evaluation artifacts: Table 4-1
+// (application MFLOPS on the array), Table 4-2 (Livermore loops on one
+// cell: MFLOPS, efficiency lower bound, speedup), Figure 4-1 (MFLOPS
+// histogram over the program population) and Figure 4-2 (speedup over
+// locally compacted code), plus the §4.1 population statistics.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"softpipe/internal/codegen"
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+	"softpipe/internal/sim"
+	"softpipe/internal/workloads"
+)
+
+// RunResult is one compiled-and-simulated execution.
+type RunResult struct {
+	Name   string
+	Cycles int64
+	Flops  int64
+	// CellMFLOPS is the single-cell rate; ArrayMFLOPS scales by the
+	// machine's homogeneous cell count (Lam §4.1).
+	CellMFLOPS  float64
+	ArrayMFLOPS float64
+	Report      *codegen.Report
+	State       *ir.State
+}
+
+// Run compiles p in the given mode and simulates it.
+func Run(p *ir.Program, m *machine.Machine, mode codegen.Mode) (*RunResult, error) {
+	prog, rep, err := codegen.Compile(p, m, codegen.Options{Mode: mode})
+	if err != nil {
+		return nil, fmt.Errorf("bench: compile %s: %w", p.Name, err)
+	}
+	st, stats, err := sim.Run(prog, m)
+	if err != nil {
+		return nil, fmt.Errorf("bench: simulate %s: %w", p.Name, err)
+	}
+	return &RunResult{
+		Name:        p.Name,
+		Cycles:      stats.Cycles,
+		Flops:       stats.Flops,
+		CellMFLOPS:  stats.MFLOPS(m, 1),
+		ArrayMFLOPS: stats.MFLOPS(m, m.Cells),
+		Report:      rep,
+		State:       st,
+	}, nil
+}
+
+// RunVerified is Run plus a differential check against the IR
+// interpreter (and the unpipelined binary when verifyBoth).
+func RunVerified(p *ir.Program, m *machine.Machine, mode codegen.Mode) (*RunResult, error) {
+	want, err := ir.Run(p)
+	if err != nil {
+		return nil, fmt.Errorf("bench: interpret %s: %w", p.Name, err)
+	}
+	r, err := Run(p, m, mode)
+	if err != nil {
+		return nil, err
+	}
+	if d := want.Diff(r.State); d != "" {
+		return nil, fmt.Errorf("bench: %s: simulated state diverges from interpreter: %s", p.Name, d)
+	}
+	return r, nil
+}
+
+// Table42Row is one Livermore kernel measurement (Lam Table 4-2).
+type Table42Row struct {
+	KernelID int
+	Name     string
+	// MFLOPS is the single-cell rate of the pipelined binary.
+	MFLOPS float64
+	// Efficiency is the lower bound MII/achieved-II, weighted across the
+	// kernel's loops by their estimated execution share; 1.0 means every
+	// pipelined loop met the bound (Table 4-2, third column).
+	Efficiency float64
+	// Speedup is unpipelined cycles / pipelined cycles (fourth column).
+	Speedup   float64
+	Pipelined bool // any loop pipelined
+	Note      string
+}
+
+// Table42 reproduces Table 4-2 on machine m (one cell).
+func Table42(m *machine.Machine, verify bool) ([]Table42Row, error) {
+	var rows []Table42Row
+	for _, k := range workloads.Livermore() {
+		row, err := runKernel42(k, m, verify)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func runKernel42(k *workloads.Kernel, m *machine.Machine, verify bool) (*Table42Row, error) {
+	p, err := k.Build()
+	if err != nil {
+		return nil, err
+	}
+	runner := Run
+	if verify {
+		runner = RunVerified
+	}
+	pipe, err := runner(p, m, codegen.ModePipelined)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := k.Build()
+	if err != nil {
+		return nil, err
+	}
+	base, err := runner(p2, m, codegen.ModeUnpipelined)
+	if err != nil {
+		return nil, err
+	}
+	row := &Table42Row{
+		KernelID:   k.ID,
+		Name:       k.Name,
+		MFLOPS:     pipe.CellMFLOPS,
+		Efficiency: WeightedEfficiency(pipe.Report),
+		Speedup:    float64(base.Cycles) / float64(pipe.Cycles),
+		Note:       k.Note,
+	}
+	for _, lr := range pipe.Report.Loops {
+		if lr.Pipelined {
+			row.Pipelined = true
+		}
+	}
+	return row, nil
+}
+
+// WeightedEfficiency is the Table 4-2 efficiency lower bound: per loop
+// MII/achieved-II, weighted by the loop's estimated execution time
+// (trip count × II), with unpipelined loops counting as efficiency 1
+// against their own length (the paper weighs kernels with multiple loops
+// by execution time).
+func WeightedEfficiency(rep *codegen.Report) float64 {
+	var wsum, esum float64
+	for _, lr := range rep.Loops {
+		if lr.II <= 0 {
+			continue
+		}
+		trip := float64(lr.TripCount)
+		if trip < 0 {
+			trip = 1
+		}
+		w := trip * float64(lr.II)
+		eff := 1.0
+		if lr.Pipelined && lr.II > 0 && lr.MII > 0 {
+			eff = float64(lr.MII) / float64(lr.II)
+		}
+		wsum += w
+		esum += w * eff
+	}
+	if wsum == 0 {
+		return 1
+	}
+	return esum / wsum
+}
+
+// Table41Row is one application measurement (Lam Table 4-1).
+type Table41Row struct {
+	Name        string
+	ArrayMFLOPS float64
+	CellMFLOPS  float64
+	PaperMFLOPS float64
+	Cycles      int64
+}
+
+// Table41 reproduces Table 4-1.  Single-cell kernels scale by the cell
+// count (the §4.1 homogeneous rule); the systolic matmul runs on the
+// actual simulated array.
+func Table41(m *machine.Machine, verify bool) ([]Table41Row, error) {
+	var rows []Table41Row
+	sys, err := SystolicMatmulRow(m, 100, m.Cells)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, sys)
+	runner := Run
+	if verify {
+		runner = RunVerified
+	}
+	for _, app := range workloads.Apps() {
+		p, err := app.Build()
+		if err != nil {
+			return nil, err
+		}
+		r, err := runner(p, m, codegen.ModePipelined)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table41Row{
+			Name:        app.Name,
+			ArrayMFLOPS: r.ArrayMFLOPS,
+			CellMFLOPS:  r.CellMFLOPS,
+			PaperMFLOPS: app.PaperMFLOPS,
+			Cycles:      r.Cycles,
+		})
+	}
+	return rows, nil
+}
+
+// SystolicMatmulRow measures the paper's real matmul: C = A·B streamed
+// through the full array (Table 4-1's 79.4 MFLOPS entry).
+func SystolicMatmulRow(m *machine.Machine, n, cells int) (Table41Row, error) {
+	a := make([]float64, n*n)
+	bm := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) * 0.25
+		bm[i] = float64(i%5)*0.5 - 1
+	}
+	got, st, _, err := workloads.SystolicMatmul(m, n, cells, a, bm)
+	if err != nil {
+		return Table41Row{}, err
+	}
+	// Spot-check a few entries against the host product.
+	for _, idx := range []int{0, n + 1, n*n - 1} {
+		i, j := idx/n, idx%n
+		want := 0.0
+		for k := 0; k < n; k++ {
+			want += a[i*n+k] * bm[k*n+j]
+		}
+		if got[idx] != want {
+			return Table41Row{}, fmt.Errorf("bench: systolic matmul wrong at [%d][%d]", i, j)
+		}
+	}
+	return Table41Row{
+		Name:        fmt.Sprintf("matmul-systolic-%dx%d", n, n),
+		ArrayMFLOPS: st.MFLOPS(m, 1),
+		CellMFLOPS:  st.MFLOPS(m, 1) / float64(cells),
+		PaperMFLOPS: 79.4,
+		Cycles:      st.Cycles,
+	}, nil
+}
+
+// SuiteResult holds the per-program outcomes behind Figures 4-1 and 4-2.
+type SuiteResult struct {
+	Name        string
+	HasCond     bool
+	ArrayMFLOPS float64
+	Speedup     float64
+	Report      *codegen.Report
+}
+
+// RunSuite measures the synthetic population in both modes.
+func RunSuite(m *machine.Machine, verify bool) ([]SuiteResult, error) {
+	runner := Run
+	if verify {
+		runner = RunVerified
+	}
+	var out []SuiteResult
+	for _, sp := range workloads.Suite() {
+		pipe, err := runner(sp.Prog, m, codegen.ModePipelined)
+		if err != nil {
+			return nil, err
+		}
+		base, err := runner(sp.Prog, m, codegen.ModeUnpipelined)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SuiteResult{
+			Name:        sp.Name,
+			HasCond:     sp.HasCond,
+			ArrayMFLOPS: pipe.ArrayMFLOPS,
+			Speedup:     float64(base.Cycles) / float64(pipe.Cycles),
+			Report:      pipe.Report,
+		})
+	}
+	return out, nil
+}
+
+// Histogram buckets values for the figures.
+func Histogram(values []float64, width float64, max float64) []int {
+	n := int(max/width) + 1
+	h := make([]int, n)
+	for _, v := range values {
+		b := int(v / width)
+		if b >= n {
+			b = n - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h[b]++
+	}
+	return h
+}
+
+// PopulationStats aggregates the §4.1 loop statistics over a set of
+// compilation reports: the fraction of loops scheduled at the MII lower
+// bound, and the fraction of conditional/recurrence-free loops pipelined
+// perfectly (the paper reports 75% and 93%).
+type PopulationStats struct {
+	Loops          int
+	Pipelined      int
+	MetBound       int
+	SimpleLoops    int // no conditionals, no nontrivial recurrences
+	SimpleMet      int
+	AvgEffOfMissed float64 // paper: 75% average efficiency for the rest
+}
+
+// Stats computes the population statistics.
+func Stats(results []SuiteResult) PopulationStats {
+	var st PopulationStats
+	var missSum float64
+	var missN int
+	for _, r := range results {
+		for _, lr := range r.Report.Loops {
+			st.Loops++
+			if lr.Pipelined {
+				st.Pipelined++
+			}
+			if lr.Pipelined && lr.MetLower {
+				st.MetBound++
+			}
+			simple := !lr.HasCond && !lr.HasRecur
+			if simple {
+				st.SimpleLoops++
+				if lr.Pipelined && lr.MetLower {
+					st.SimpleMet++
+				}
+			}
+			if lr.Pipelined && !lr.MetLower && lr.II > 0 {
+				missSum += float64(lr.MII) / float64(lr.II)
+				missN++
+			}
+		}
+	}
+	if missN > 0 {
+		st.AvgEffOfMissed = missSum / float64(missN)
+	}
+	return st
+}
+
+// FormatTable renders rows of strings with aligned columns.
+func FormatTable(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"softpipe/internal/codegen"
+	"softpipe/internal/machine"
+	"softpipe/internal/workloads"
+)
+
+func TestDbgK18Rep(t *testing.T) {
+	m := machine.Warp()
+	for _, k := range workloads.Livermore() {
+		if k.ID != 18 {
+			continue
+		}
+		p, _ := k.Build()
+		_, rep, err := codegen.Compile(p, m, codegen.Options{Mode: codegen.ModePipelined})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lr := range rep.Loops {
+			fmt.Printf("loop %d: pipe=%v II=%d MII=%d res=%d rec=%d unroll=%d stages=%d reason=%q\n",
+				lr.LoopID, lr.Pipelined, lr.II, lr.MII, lr.ResMII, lr.RecMII, lr.Unroll, lr.Stages, lr.Reason)
+		}
+	}
+}

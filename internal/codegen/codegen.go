@@ -1,0 +1,550 @@
+// Package codegen lowers IR programs to VLIW object code.  Loops with
+// straight-line bodies (after hierarchical reduction) and compile-time
+// trip counts are software pipelined via internal/pipeline; everything
+// else is emitted as locally compacted code.  The package also provides
+// the unpipelined compilation mode used as the comparison baseline of
+// Lam's Figure 4-2.
+package codegen
+
+import (
+	"fmt"
+	"math"
+
+	"softpipe/internal/depgraph"
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+	"softpipe/internal/pipeline"
+	"softpipe/internal/schedule"
+	"softpipe/internal/vliw"
+)
+
+// Mode selects the compilation strategy.
+type Mode int
+
+// Compilation modes.
+const (
+	// ModePipelined software pipelines every eligible loop (the paper's
+	// compiler).
+	ModePipelined Mode = iota
+	// ModeUnpipelined compacts each loop body locally but never overlaps
+	// iterations: the baseline of Lam Figure 4-2.
+	ModeUnpipelined
+)
+
+// Options tunes compilation.
+type Options struct {
+	Mode     Mode
+	Pipeline pipeline.Options
+	// DisableHier turns off hierarchical reduction: loops containing
+	// conditionals are then never pipelined (ablation).
+	DisableHier bool
+	// DisableLoopReduction turns off §3.2 loop reduction: outer bodies
+	// then emit inner loops between scheduling barriers (ablation).
+	DisableLoopReduction bool
+	// UnrollInnerTrip, when positive, fully unrolls constant-trip inner
+	// loops of at most that many iterations before scheduling, so the
+	// enclosing loop becomes innermost and is modulo scheduled directly
+	// (outer-loop software pipelining, §3.2 taken to its limit).  The
+	// pass rewrites the program's block tree in place.
+	UnrollInnerTrip int
+}
+
+// LoopReport records how one loop was compiled, feeding the evaluation
+// harness (Table 4-2's efficiency column, the §4.1 population statistics).
+type LoopReport struct {
+	LoopID    int
+	TripCount int64
+	BodyOps   int
+	Pipelined bool
+	Reason    string // why the loop was not pipelined
+	MII       int
+	ResMII    int
+	RecMII    int
+	II        int
+	MetLower  bool
+	Unroll    int
+	Stages    int
+	HasCond   bool
+	HasRecur  bool
+	// Kernel is a rendering of the steady-state modulo schedule (one
+	// row per II offset, as in the paper's Figure 2-2); empty when the
+	// loop was not pipelined.
+	Kernel string
+}
+
+// Report aggregates compilation statistics.
+type Report struct {
+	Loops     []LoopReport
+	FRegsUsed int
+	IRegsUsed int
+}
+
+// Compile lowers p for machine m.
+func Compile(p *ir.Program, m *machine.Machine, opts Options) (*vliw.Program, *Report, error) {
+	if err := p.Validate(m); err != nil {
+		return nil, nil, err
+	}
+	unrollSmallLoops(p, int64(opts.UnrollInnerTrip))
+	e := newEmitter(p, m, opts)
+	e.layoutMemory()
+	e.prepass()
+	e.emitBlock(p.Body, topLevel)
+	e.drain()
+	e.emitResults()
+	e.append(vliw.Instr{Ctl: vliw.Ctl{Kind: vliw.CtlHalt}})
+	e.flushPends()
+	if e.err != nil {
+		return nil, nil, e.err
+	}
+	e.prog.Instrs = e.out
+	e.prog.NumFRegs = e.fNext
+	e.prog.NumIRegs = e.iNext
+	e.report.FRegsUsed = e.fNext
+	e.report.IRegsUsed = e.iNext
+	if e.fNext > m.FloatRegs {
+		return nil, nil, fmt.Errorf("codegen: %d float registers needed, machine has %d", e.fNext, m.FloatRegs)
+	}
+	if e.iNext > m.IntRegs {
+		return nil, nil, fmt.Errorf("codegen: %d int registers needed, machine has %d", e.iNext, m.IntRegs)
+	}
+	if err := e.prog.Validate(m); err != nil {
+		return nil, nil, err
+	}
+	return e.prog, e.report, nil
+}
+
+const topLevel = math.MaxInt64 // position bound for the outermost block
+
+type regKey struct {
+	r    ir.VReg
+	copy int
+}
+
+type emitter struct {
+	irp  *ir.Program
+	m    *machine.Machine
+	opts Options
+
+	prog   *vliw.Program
+	out    []vliw.Instr
+	report *Report
+	err    error
+
+	maxLat int
+
+	fmap, imap   map[regKey]int
+	fFree, iFree []int
+	fNext, iNext int
+
+	// pos assigns each op ID a sequence position; firstPos/lastPos[r]
+	// bound the positions referencing virtual register r (lastPos is
+	// MaxInt for results).  uncondWrite[r] reports that r's first
+	// reference is a write outside any conditional, so each execution of
+	// its defining region recreates it before any use.
+	pos         map[int]int
+	firstPos    map[ir.VReg]int
+	lastPos     map[ir.VReg]int
+	uncondWrite map[ir.VReg]bool
+	nextPos     int
+
+	// loopBodyStart[d] is the first op position of the loop body at
+	// nesting depth d+1 (parallel to loopDepth).
+	loopBodyStart []int
+
+	// loopDepth > 0 while emitting inside a loop body whose code
+	// re-executes: register release is deferred to the loop boundary so
+	// loop-invariant and loop-carried registers are never reused early.
+	loopDepth int
+
+	// pends holds out-of-line ELSE blocks of reduced conditionals,
+	// emitted after the main stream (see rows.go).
+	pends []pendElse
+}
+
+func newEmitter(p *ir.Program, m *machine.Machine, opts Options) *emitter {
+	maxLat := 1
+	for c := machine.Class(0); c < machine.Class(machine.NumClasses()); c++ {
+		if d := m.Desc(c); d != nil && d.Latency > maxLat {
+			maxLat = d.Latency
+		}
+	}
+	return &emitter{
+		irp:         p,
+		m:           m,
+		opts:        opts,
+		prog:        &vliw.Program{Name: p.Name, InitF: map[string][]float64{}, InitI: map[string][]int64{}},
+		report:      &Report{},
+		maxLat:      maxLat,
+		fmap:        map[regKey]int{},
+		imap:        map[regKey]int{},
+		pos:         map[int]int{},
+		firstPos:    map[ir.VReg]int{},
+		lastPos:     map[ir.VReg]int{},
+		uncondWrite: map[ir.VReg]bool{},
+	}
+}
+
+func (e *emitter) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+func (e *emitter) append(in vliw.Instr) { e.out = append(e.out, in) }
+
+// drain appends empty instructions so every in-flight write-back lands
+// before the next region issues (a scheduling barrier between regions).
+func (e *emitter) drain() {
+	for i := 0; i < e.maxLat-1; i++ {
+		e.append(vliw.Instr{})
+	}
+}
+
+func (e *emitter) layoutMemory() {
+	base := 0
+	for _, a := range e.irp.Arrays {
+		e.prog.Arrays = append(e.prog.Arrays, vliw.ArrayInfo{
+			Name: a.Name, Kind: a.Kind, Base: base, Size: a.Size,
+		})
+		if a.Kind == ir.KindFloat {
+			e.prog.InitF[a.Name] = a.InitF
+		} else {
+			e.prog.InitI[a.Name] = a.InitI
+		}
+		base += a.Size
+	}
+	e.prog.MemWords = base
+}
+
+// prepass numbers every op and computes last-reference positions for
+// region-based register reuse.
+func (e *emitter) prepass() {
+	var walk func(b *ir.Block, ifDepth int)
+	touch := func(r ir.VReg, p int, write, uncond bool) {
+		if r == ir.NoReg {
+			return
+		}
+		if _, seen := e.firstPos[r]; !seen {
+			e.firstPos[r] = p
+			e.uncondWrite[r] = write && uncond
+		}
+		if p > e.lastPos[r] {
+			e.lastPos[r] = p
+		}
+	}
+	walk = func(b *ir.Block, ifDepth int) {
+		for _, s := range b.Stmts {
+			switch s := s.(type) {
+			case *ir.OpStmt:
+				p := e.nextPos
+				e.nextPos++
+				e.pos[s.Op.ID] = p
+				for _, r := range s.Op.Src {
+					touch(r, p, false, false)
+				}
+				touch(s.Op.Dst, p, true, ifDepth == 0)
+			case *ir.IfStmt:
+				touch(s.Cond, e.nextPos, false, false)
+				walk(s.Then, ifDepth+1)
+				walk(s.Else, ifDepth+1)
+			case *ir.LoopStmt:
+				touch(s.CountReg, e.nextPos, false, false)
+				walk(s.Body, ifDepth)
+			}
+		}
+	}
+	walk(e.irp.Body, 0)
+	for _, r := range e.irp.Results {
+		e.lastPos[r.Reg] = math.MaxInt64
+	}
+}
+
+// physReg maps (vreg, copy) to a physical register, allocating on demand.
+func (e *emitter) physReg(r ir.VReg, copy int) int {
+	k := regKey{r: r, copy: copy}
+	if e.irp.Kind(r) == ir.KindFloat {
+		if p, ok := e.fmap[k]; ok {
+			return p
+		}
+		p := e.allocF()
+		e.fmap[k] = p
+		return p
+	}
+	if p, ok := e.imap[k]; ok {
+		return p
+	}
+	p := e.allocI()
+	e.imap[k] = p
+	return p
+}
+
+func (e *emitter) allocF() int {
+	if n := len(e.fFree); n > 0 {
+		p := e.fFree[n-1]
+		e.fFree = e.fFree[:n-1]
+		return p
+	}
+	p := e.fNext
+	e.fNext++
+	return p
+}
+
+func (e *emitter) allocI() int {
+	if n := len(e.iFree); n > 0 {
+		p := e.iFree[n-1]
+		e.iFree = e.iFree[:n-1]
+		return p
+	}
+	p := e.iNext
+	e.iNext++
+	return p
+}
+
+func (e *emitter) freeI(p int) { e.iFree = append(e.iFree, p) }
+
+// releaseDead returns registers of vregs whose last reference position is
+// ≤ upto to the free lists.  Callers invoke it after draining a region.
+// Inside loop bodies only iteration-local registers are released: their
+// first reference must be an unconditional write within the innermost
+// open loop body, so re-execution recreates them before any use.
+func (e *emitter) releaseDead(upto int) {
+	releasable := func(r ir.VReg) bool {
+		if e.lastPos[r] > upto {
+			return false
+		}
+		if e.loopDepth == 0 {
+			return true
+		}
+		start := e.loopBodyStart[len(e.loopBodyStart)-1]
+		return e.uncondWrite[r] && e.firstPos[r] >= start
+	}
+	var fks, iks []regKey
+	for k := range e.fmap {
+		if releasable(k.r) {
+			fks = append(fks, k)
+		}
+	}
+	for k := range e.imap {
+		if releasable(k.r) {
+			iks = append(iks, k)
+		}
+	}
+	sortKeys(fks)
+	sortKeys(iks)
+	for _, k := range fks {
+		e.fFree = append(e.fFree, e.fmap[k])
+		delete(e.fmap, k)
+	}
+	for _, k := range iks {
+		e.iFree = append(e.iFree, e.imap[k])
+		delete(e.imap, k)
+	}
+}
+
+func sortKeys(ks []regKey) {
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && less(ks[j], ks[j-1]); j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+}
+
+func less(a, b regKey) bool {
+	if a.r != b.r {
+		return a.r < b.r
+	}
+	return a.copy < b.copy
+}
+
+// releaseCopies frees the MVE copy registers (copy > 0) after a pipelined
+// loop region completes.  Safe at any loop depth: expanded registers are
+// written before every read on each execution of the region.
+func (e *emitter) releaseCopies() {
+	var fks, iks []regKey
+	for k := range e.fmap {
+		if k.copy > 0 {
+			fks = append(fks, k)
+		}
+	}
+	for k := range e.imap {
+		if k.copy > 0 {
+			iks = append(iks, k)
+		}
+	}
+	sortKeys(fks)
+	sortKeys(iks)
+	for _, k := range fks {
+		e.fFree = append(e.fFree, e.fmap[k])
+		delete(e.fmap, k)
+	}
+	for _, k := range iks {
+		e.iFree = append(e.iFree, e.imap[k])
+		delete(e.imap, k)
+	}
+}
+
+// slotFor renders one op instance with the register copies of iteration
+// class `class` under plan (nil plan means copy 0 everywhere).
+func (e *emitter) slotFor(op *ir.Op, class int, plan *pipeline.Plan) vliw.SlotOp {
+	cp := func(r ir.VReg) int {
+		if plan == nil {
+			return 0
+		}
+		return plan.CopyIndex(r, class)
+	}
+	s := vliw.SlotOp{Class: op.Class, IImm: op.IImm, FImm: op.FImm}
+	if op.Dst != ir.NoReg {
+		s.Dst = e.physReg(op.Dst, cp(op.Dst))
+	}
+	for _, r := range op.Src {
+		s.Src = append(s.Src, e.physReg(r, cp(r)))
+	}
+	if op.Class == machine.ClassISelect {
+		if e.irp.Kind(op.Dst) == ir.KindFloat {
+			s.FImm = 1
+		} else {
+			s.FImm = 0
+		}
+	}
+	if op.Mem != nil {
+		s.Array = op.Mem.Array
+		s.Disp = int64(e.prog.Array(op.Mem.Array).Base) + op.Mem.Disp
+	}
+	return s
+}
+
+// minPosIn returns the smallest op position inside a block (MaxInt64 when
+// the block holds no ops).
+func (e *emitter) minPosIn(b *ir.Block) int {
+	min := math.MaxInt64
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		for _, s := range b.Stmts {
+			switch s := s.(type) {
+			case *ir.OpStmt:
+				if p := e.pos[s.Op.ID]; p < min {
+					min = p
+				}
+			case *ir.IfStmt:
+				walk(s.Then)
+				walk(s.Else)
+			case *ir.LoopStmt:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(b)
+	return min
+}
+
+// maxPosIn returns the largest op position inside a block.
+func (e *emitter) maxPosIn(b *ir.Block) int {
+	max := -1
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		for _, s := range b.Stmts {
+			switch s := s.(type) {
+			case *ir.OpStmt:
+				if p := e.pos[s.Op.ID]; p > max {
+					max = p
+				}
+			case *ir.IfStmt:
+				walk(s.Then)
+				walk(s.Else)
+			case *ir.LoopStmt:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(b)
+	return max
+}
+
+// emitBlock lowers a block region by region; boundPos is the position
+// after which the enclosing construct guarantees no further references
+// (used for register release).
+func (e *emitter) emitBlock(b *ir.Block, boundPos int) {
+	var run []*ir.Op
+	flushRun := func() {
+		if len(run) > 0 {
+			e.emitBasicBlock(run)
+			run = nil
+		}
+	}
+	for _, s := range b.Stmts {
+		if e.err != nil {
+			return
+		}
+		switch s := s.(type) {
+		case *ir.OpStmt:
+			run = append(run, s.Op)
+		case *ir.IfStmt:
+			flushRun()
+			e.emitIf(s, boundPos)
+		case *ir.LoopStmt:
+			flushRun()
+			e.emitLoop(s)
+			// releaseDead applies the iteration-local safety rule when
+			// this loop is itself nested.
+			e.releaseDead(e.maxPosIn(s.Body))
+		}
+	}
+	flushRun()
+}
+
+// emitBasicBlock list-schedules a straight-line run and emits it followed
+// by a drain barrier.
+func (e *emitter) emitBasicBlock(ops []*ir.Op) {
+	nodes := make([]*depgraph.Node, len(ops))
+	for i, op := range ops {
+		nodes[i] = depgraph.NodeFromOp(e.m, op)
+	}
+	g := depgraph.Build(nodes, -1)
+	r, err := schedule.List(g, e.m)
+	if err != nil {
+		e.fail(err)
+		return
+	}
+	cleanup := e.localAssign(ops, r.Time, 0)
+	instrs := make([]vliw.Instr, r.Length)
+	for i, op := range ops {
+		t := r.Time[i]
+		instrs[t].Ops = append(instrs[t].Ops, e.slotFor(op, 0, nil))
+	}
+	cleanup()
+	e.out = append(e.out, instrs...)
+	e.drain()
+	maxP := -1
+	for _, op := range ops {
+		if p := e.pos[op.ID]; p > maxP {
+			maxP = p
+		}
+	}
+	e.releaseDead(maxP)
+}
+
+// emitIf lowers a conditional as control flow (used outside pipelined
+// loops; conditionals inside pipelined loops go through hierarchical
+// reduction instead).
+func (e *emitter) emitIf(s *ir.IfStmt, boundPos int) {
+	cond := e.physReg(s.Cond, 0)
+	jzAt := len(e.out)
+	e.append(vliw.Instr{Ctl: vliw.Ctl{Kind: vliw.CtlJZ, Reg: cond}})
+	e.emitBlock(s.Then, boundPos)
+	jmpAt := len(e.out)
+	e.append(vliw.Instr{Ctl: vliw.Ctl{Kind: vliw.CtlJump}})
+	e.out[jzAt].Ctl.Target = len(e.out)
+	e.emitBlock(s.Else, boundPos)
+	e.out[jmpAt].Ctl.Target = len(e.out)
+}
+
+// emitResults records the physical registers holding named results.
+func (e *emitter) emitResults() {
+	for _, r := range e.irp.Results {
+		e.prog.Results = append(e.prog.Results, vliw.Result{
+			Name: r.Name,
+			Kind: e.irp.Kind(r.Reg),
+			Reg:  e.physReg(r.Reg, 0),
+		})
+	}
+}

@@ -1,0 +1,196 @@
+package codegen
+
+import (
+	"math/rand"
+	"testing"
+
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+	"softpipe/internal/sim"
+)
+
+// clipProgram builds the running conditional example: c[i] = a[i] > t ?
+// a[i]*k : a[i]+k over n iterations.
+func clipProgram(n int64) *ir.Program {
+	b := ir.NewBuilder("clip")
+	arr := b.Array("a", ir.KindFloat, int(n))
+	b.Array("c", ir.KindFloat, int(n))
+	for i := int64(0); i < n; i++ {
+		arr.InitF = append(arr.InitF, float64(i%9)-4)
+	}
+	thr := b.FConst(0)
+	k := b.FConst(1.5)
+	b.ForN(n, func(l *ir.LoopCtx) {
+		p := l.Pointer(0, 1)
+		q := l.Pointer(0, 1)
+		v := b.Load("a", p, ir.Aff(l.ID, 1, 0))
+		cond := b.FCmp(ir.PredGT, v, thr)
+		b.If(cond, func() {
+			w := b.FMul(v, k)
+			b.Store("c", q, w, ir.Aff(l.ID, 1, 0))
+		}, func() {
+			w := b.FAdd(v, k)
+			b.Store("c", q, w, ir.Aff(l.ID, 1, 0))
+		})
+	})
+	return b.P
+}
+
+// TestConditionalLoopIsPipelined: hierarchical reduction must let the
+// conditional loop pipeline (Lam §3.1: "software pipelining can be
+// applied to all innermost loops").
+func TestConditionalLoopIsPipelined(t *testing.T) {
+	m := machine.Warp()
+	p := clipProgram(300)
+	want, err := ir.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, rep, err := Compile(p, m, Options{Mode: ModePipelined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Loops) != 1 || !rep.Loops[0].Pipelined {
+		t.Fatalf("conditional loop not pipelined: %+v", rep.Loops)
+	}
+	if !rep.Loops[0].HasCond {
+		t.Errorf("HasCond not reported")
+	}
+	got, _, err := sim.Run(prog, m)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if d := want.Diff(got); d != "" {
+		t.Fatalf("state mismatch: %s", d)
+	}
+}
+
+// TestHierBeatsNoHier: with hierarchical reduction disabled, the loop
+// falls back to locally compacted code and runs slower.
+func TestHierBeatsNoHier(t *testing.T) {
+	m := machine.Warp()
+	run := func(opts Options) sim.Stats {
+		p := clipProgram(300)
+		prog, _, err := Compile(p, m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := sim.Run(prog, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	with := run(Options{Mode: ModePipelined})
+	without := run(Options{Mode: ModePipelined, DisableHier: true})
+	if with.Cycles >= without.Cycles {
+		t.Errorf("hier %d cycles, no-hier %d: hierarchical reduction should win", with.Cycles, without.Cycles)
+	}
+	if f := float64(without.Cycles) / float64(with.Cycles); f < 1.5 {
+		t.Errorf("speedup from hierarchical reduction only %.2fx", f)
+	}
+}
+
+// TestNestedConditionals: a conditional inside a conditional, pipelined.
+func TestNestedConditionals(t *testing.T) {
+	b := ir.NewBuilder("nestedif")
+	arr := b.Array("a", ir.KindFloat, 128)
+	b.Array("c", ir.KindFloat, 128)
+	for i := 0; i < 128; i++ {
+		arr.InitF = append(arr.InitF, float64(i%17)-8)
+	}
+	zero := b.FConst(0)
+	four := b.FConst(4)
+	k := b.FConst(0.5)
+	b.ForN(128, func(l *ir.LoopCtx) {
+		p := l.Pointer(0, 1)
+		q := l.Pointer(0, 1)
+		v := b.Load("a", p, ir.Aff(l.ID, 1, 0))
+		pos := b.FCmp(ir.PredGT, v, zero)
+		b.If(pos, func() {
+			big := b.FCmp(ir.PredGT, v, four)
+			b.If(big, func() {
+				b.Store("c", q, four, ir.Aff(l.ID, 1, 0))
+			}, func() {
+				b.Store("c", q, v, ir.Aff(l.ID, 1, 0))
+			})
+		}, func() {
+			w := b.FMul(v, k)
+			b.Store("c", q, w, ir.Aff(l.ID, 1, 0))
+		})
+	})
+	runAllWays(t, b.P)
+}
+
+// TestUnbalancedArms: very different arm lengths must still agree.
+func TestUnbalancedArms(t *testing.T) {
+	b := ir.NewBuilder("unbal")
+	arr := b.Array("a", ir.KindFloat, 96)
+	b.Array("c", ir.KindFloat, 96)
+	for i := 0; i < 96; i++ {
+		arr.InitF = append(arr.InitF, float64(i%5)-2)
+	}
+	zero := b.FConst(0)
+	b.ForN(96, func(l *ir.LoopCtx) {
+		p := l.Pointer(0, 1)
+		q := l.Pointer(0, 1)
+		v := b.Load("a", p, ir.Aff(l.ID, 1, 0))
+		cond := b.FCmp(ir.PredGE, v, zero)
+		b.If(cond, func() {
+			// Long arm: a chain of dependent flops.
+			x := b.FMul(v, v)
+			y := b.FMul(x, v)
+			z := b.FAdd(y, x)
+			b.Store("c", q, z, ir.Aff(l.ID, 1, 0))
+		}, func() {
+			// Short arm.
+			b.Store("c", q, zero, ir.Aff(l.ID, 1, 0))
+		})
+	})
+	runAllWays(t, b.P)
+}
+
+// TestRandomConditionalLoops stresses fork emission with random shapes.
+func TestRandomConditionalLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 250; trial++ {
+		b := ir.NewBuilder("rndif")
+		arr := b.Array("a", ir.KindFloat, 128)
+		b.Array("c", ir.KindFloat, 128)
+		for i := 0; i < 128; i++ {
+			arr.InitF = append(arr.InitF, float64((i*7+trial)%23)-11)
+		}
+		thr := b.FConst(float64(rng.Intn(7) - 3))
+		k := b.FConst(1.25)
+		n := int64(20 + rng.Intn(100))
+		b.ForN(n, func(l *ir.LoopCtx) {
+			p := l.Pointer(0, 1)
+			q := l.Pointer(0, 1)
+			v := b.Load("a", p, ir.Aff(l.ID, 1, 0))
+			extra := ir.NoReg
+			if rng.Intn(2) == 0 {
+				extra = b.FMul(v, k)
+			}
+			cond := b.FCmp(ir.PredGT, v, thr)
+			thenN := 1 + rng.Intn(3)
+			elseN := 1 + rng.Intn(3)
+			b.If(cond, func() {
+				x := v
+				for i := 0; i < thenN; i++ {
+					x = b.FAdd(x, k)
+				}
+				if extra != ir.NoReg {
+					x = b.FAdd(x, extra)
+				}
+				b.Store("c", q, x, ir.Aff(l.ID, 1, 0))
+			}, func() {
+				x := v
+				for i := 0; i < elseN; i++ {
+					x = b.FMul(x, k)
+				}
+				b.Store("c", q, x, ir.Aff(l.ID, 1, 0))
+			})
+		})
+		runAllWays(t, b.P)
+	}
+}

@@ -1,0 +1,458 @@
+package codegen
+
+import (
+	"fmt"
+
+	"softpipe/internal/depgraph"
+	"softpipe/internal/hier"
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+	"softpipe/internal/pipeline"
+	"softpipe/internal/schedule"
+	"softpipe/internal/vliw"
+)
+
+// emitLoop compiles one loop, software pipelining it when the mode and
+// loop shape allow, otherwise falling back to locally compacted code
+// ("when we run out of registers, we then resort to simple techniques
+// that serialize the execution of loop iterations", Lam §2.3).
+func (e *emitter) emitLoop(l *ir.LoopStmt) {
+	ops, straight := l.Body.Ops()
+	static := l.CountReg == ir.NoReg
+	rep := LoopReport{LoopID: l.ID, BodyOps: len(ops), TripCount: -1}
+	if static {
+		rep.TripCount = l.CountImm
+	}
+	rep.HasCond = blockHasCond(l.Body)
+
+	_ = ops
+	_ = straight
+	if e.opts.Mode == ModePipelined && !l.NoPipeline {
+		if static && l.CountImm <= 0 {
+			rep.Reason = "zero trip count"
+			e.report.Loops = append(e.report.Loops, rep)
+			return
+		}
+		if static && e.tryPipelined(l, &rep) {
+			e.report.Loops = append(e.report.Loops, rep)
+			return
+		}
+		if !static && e.tryPipelinedRuntime(l, &rep) {
+			e.report.Loops = append(e.report.Loops, rep)
+			return
+		}
+		if static && blockHasInnerLoop(l.Body) && !e.opts.DisableLoopReduction && !e.opts.DisableHier && e.tryOverlapped(l, &rep) {
+			e.report.Loops = append(e.report.Loops, rep)
+			return
+		}
+	} else if l.NoPipeline {
+		rep.Reason = "nopipeline pragma"
+	}
+
+	e.emitUnpipelinedLoop(l, &rep)
+	e.report.Loops = append(e.report.Loops, rep)
+}
+
+func blockHasInnerLoop(b *ir.Block) bool {
+	for _, s := range b.Stmts {
+		if _, ok := s.(*ir.LoopStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func blockHasCond(b *ir.Block) bool {
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *ir.IfStmt:
+			return true
+		case *ir.LoopStmt:
+			if blockHasCond(s.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// liveOutOf conservatively collects registers referenced outside the
+// loop body (or named as results); expanded registers in this set need
+// epilog fix-up moves.
+func (e *emitter) liveOutOf(l *ir.LoopStmt) map[ir.VReg]bool {
+	inside := map[int]bool{}
+	var mark func(b *ir.Block)
+	mark = func(b *ir.Block) {
+		for _, s := range b.Stmts {
+			switch s := s.(type) {
+			case *ir.OpStmt:
+				inside[s.Op.ID] = true
+			case *ir.IfStmt:
+				mark(s.Then)
+				mark(s.Else)
+			case *ir.LoopStmt:
+				mark(s.Body)
+			}
+		}
+	}
+	mark(l.Body)
+	lo := map[ir.VReg]bool{}
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		for _, s := range b.Stmts {
+			switch s := s.(type) {
+			case *ir.OpStmt:
+				if !inside[s.Op.ID] {
+					for _, r := range s.Op.Src {
+						lo[r] = true
+					}
+				}
+			case *ir.IfStmt:
+				lo[s.Cond] = true
+				walk(s.Then)
+				walk(s.Else)
+			case *ir.LoopStmt:
+				if s.CountReg != ir.NoReg {
+					lo[s.CountReg] = true
+				}
+				walk(s.Body)
+			}
+		}
+	}
+	walk(e.irp.Body)
+	for _, r := range e.irp.Results {
+		lo[r.Reg] = true
+	}
+	return lo
+}
+
+// tryPipelined plans and emits the software-pipelined form of a loop
+// with a compile-time trip count; the body may contain conditionals,
+// which hierarchical reduction turns into pseudo-operations (Lam §3.1).
+// It reports false (with the reason recorded) when the loop should fall
+// back to locally compacted code.
+func (e *emitter) tryPipelined(l *ir.LoopStmt, rep *LoopReport) bool {
+	nodes, plan, ok := e.planBody(l, false, rep)
+	if !ok {
+		return false
+	}
+	n := l.CountImm
+	mm, u, s := plan.Stages, plan.Unroll, plan.II
+	if int64(mm-1+u) > n {
+		rep.Reason = fmt.Sprintf("too few iterations (%d) for %d stages, unroll %d", n, mm, u)
+		return false
+	}
+
+	q0 := n - int64(mm-1)
+	r := q0 % int64(u)
+	passes := (q0 - r) / int64(u)
+
+	// Remainder iterations run unpipelined first (Lam §2.4).
+	if r > 0 {
+		e.emitRemainderConst(l, r, rep)
+		if e.err != nil {
+			return false
+		}
+	}
+
+	counter := e.allocI()
+	e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassIConst, Dst: counter, IImm: passes}}})
+	e.emitPipelinedRegion(nodes, plan, counter)
+	e.freeI(counter)
+	e.releaseCopies()
+
+	rep.Pipelined = true
+	rep.II = s
+	rep.MetLower = plan.SchedStats.MetLower
+	rep.Unroll = u
+	rep.Stages = mm
+	rep.Kernel = plan.FormatKernel()
+	return true
+}
+
+// planBody reduces the loop body to scheduling nodes and plans its
+// pipelining, applying the register copy budget; shared by the static
+// and runtime (two-version) paths.
+func (e *emitter) planBody(l *ir.LoopStmt, powerOfTwo bool, rep *LoopReport) ([]*depgraph.Node, *pipeline.Plan, bool) {
+	return e.planBodyOpts(l, powerOfTwo, false, rep)
+}
+
+// planBodyOpts additionally lets the caller keep marginal schedules
+// (II within 99% of the unpipelined period): loop reduction wants them
+// because its payoff is prolog/epilog overlap, not steady-state speed.
+func (e *emitter) planBodyOpts(l *ir.LoopStmt, powerOfTwo, keepMarginal bool, rep *LoopReport) ([]*depgraph.Node, *pipeline.Plan, bool) {
+	nodes, err := hier.BuildNodes(e.irp, e.m, l.ID, l.Body)
+	if err != nil {
+		rep.Reason = err.Error()
+		return nil, nil, false
+	}
+	if e.opts.DisableHier {
+		for _, nd := range nodes {
+			if nd.Payload != nil {
+				rep.Reason = "conditional construct (hierarchical reduction disabled)"
+				return nil, nil, false
+			}
+		}
+	}
+	plOpts := e.opts.Pipeline
+	plOpts.LiveOut = e.liveOutOf(l)
+	plOpts.IndependentMem = l.Independent
+	plOpts.PowerOfTwoUnroll = powerOfTwo
+	plOpts.KeepMarginal = plOpts.KeepMarginal || keepMarginal
+	baseRegs := map[ir.VReg]bool{}
+	for _, nd := range nodes {
+		for _, rd := range nd.Reads {
+			baseRegs[rd.Reg] = true
+		}
+		for _, w := range nd.Writes {
+			baseRegs[w.Reg] = true
+		}
+	}
+	baseF, baseI := e.regsNeeded(baseRegs, 0, 0)
+	plOpts.CopyBudgetF = e.m.FloatRegs - baseF
+	plOpts.CopyBudgetI = e.m.IntRegs - baseI - 6 // counters and count math
+	plOpts.RegKind = func(r ir.VReg) ir.Kind { return e.irp.Kind(r) }
+	plan, err := pipeline.PlanLoop(nodes, l.ID, e.m, plOpts)
+	if err != nil {
+		rep.Reason = err.Error()
+		return nil, nil, false
+	}
+	rep.MII = plan.MII
+	rep.ResMII = plan.ResMII
+	rep.RecMII = plan.RecMII
+	rep.HasRecur = plan.HasRecurrence
+	cf, ci := plan.TotalCopyRegs(e.irp)
+	peakF, peakI := e.regsNeeded(baseRegs, cf, ci+6)
+	if peakF > e.m.FloatRegs || peakI > e.m.IntRegs {
+		rep.Reason = "register files too small for modulo variable expansion"
+		return nil, nil, false
+	}
+	return nodes, plan, true
+}
+
+// tryPipelinedRuntime implements the two-version scheme of Lam §2.4 for
+// loops whose trip count is a run-time value: if n < (stages-1)+unroll
+// the unpipelined version runs all n iterations; otherwise
+// r = (n-(stages-1)) mod unroll iterations run unpipelined and the rest
+// on the pipelined loop.  The unroll degree is rounded to a power of two
+// so the remainder is a mask and the pass count a shift.
+func (e *emitter) tryPipelinedRuntime(l *ir.LoopStmt, rep *LoopReport) bool {
+	nodes, plan, ok := e.planBody(l, true, rep)
+	if !ok {
+		return false
+	}
+	mm, u, s := plan.Stages, plan.Unroll, plan.II
+	log2u := 0
+	for 1<<log2u < u {
+		log2u++
+	}
+	if 1<<log2u != u {
+		rep.Reason = fmt.Sprintf("internal: unroll %d not a power of two", u)
+		return false
+	}
+
+	nPhys := e.physReg(l.CountReg, 0)
+	t1 := e.allocI()
+	cond := e.allocI()
+	rreg := e.allocI()
+	counter := e.allocI()
+	m1c := e.allocI()
+	uc := e.allocI()
+
+	// t1 = n - (stages-1); if t1 < unroll, run everything unpipelined.
+	e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassIConst, Dst: m1c, IImm: int64(mm - 1)}}})
+	e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassIConst, Dst: uc, IImm: int64(u)}}})
+	e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassISub, Dst: t1, Src: []int{nPhys, m1c}}}})
+	e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassICmp, Dst: cond, Src: []int{t1, uc}, IImm: int64(ir.PredLT)}}})
+	guardAt := len(e.out)
+	e.append(vliw.Instr{Ctl: vliw.Ctl{Kind: vliw.CtlJNZ, Reg: cond}})
+
+	// Remainder r = t1 & (u-1), run unpipelined first when nonzero.
+	e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassIAnd, Dst: rreg, Src: []int{t1}, IImm: int64(u - 1)}}})
+	skipRemAt := len(e.out)
+	e.append(vliw.Instr{Ctl: vliw.Ctl{Kind: vliw.CtlJZ, Reg: rreg}})
+	if ops, straight := l.Body.Ops(); straight {
+		e.emitCompactBody(l, ops, rreg, nil)
+	} else {
+		e.emitGenericLoopBody(l, rreg, nil)
+	}
+	e.out[skipRemAt].Ctl.Target = len(e.out)
+	if e.err != nil {
+		return false
+	}
+
+	// Kernel passes = t1 >> log2(u) (the masked-off remainder already ran).
+	e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassIShr, Dst: counter, Src: []int{t1}, IImm: int64(log2u)}}})
+	e.emitPipelinedRegion(nodes, plan, counter)
+	doneJmpAt := len(e.out)
+	e.append(vliw.Instr{Ctl: vliw.Ctl{Kind: vliw.CtlJump}})
+
+	// The unpipelined version for short counts.
+	e.out[guardAt].Ctl.Target = len(e.out)
+	e.emitUnpipelinedLoop(l, nil)
+	e.out[doneJmpAt].Ctl.Target = len(e.out)
+
+	e.freeI(t1)
+	e.freeI(cond)
+	e.freeI(rreg)
+	e.freeI(counter)
+	e.freeI(m1c)
+	e.freeI(uc)
+	e.releaseCopies()
+
+	rep.Pipelined = true
+	rep.II = s
+	rep.MetLower = plan.SchedStats.MetLower
+	rep.Unroll = u
+	rep.Stages = mm
+	rep.Kernel = plan.FormatKernel()
+	return true
+}
+
+// emitRemainderConst runs `r` leftover iterations unpipelined before the
+// pipelined region.
+func (e *emitter) emitRemainderConst(l *ir.LoopStmt, r int64, rep *LoopReport) {
+	if ops, straight := l.Body.Ops(); straight {
+		e.emitCompactCounted(l, ops, r, rep)
+	} else {
+		rcounter := e.allocI()
+		e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassIConst, Dst: rcounter, IImm: r}}})
+		e.emitGenericLoopBody(l, rcounter, nil)
+		e.freeI(rcounter)
+	}
+}
+
+// emitPipelinedRegion emits prolog, kernel (looped by the counter, which
+// must hold the number of kernel passes ≥ 1) and epilog, plus live-out
+// fix-up moves.  The emission is count-independent (see buildRegionRows).
+func (e *emitter) emitPipelinedRegion(nodes []*depgraph.Node, plan *pipeline.Plan, counter int) {
+	mm, u := plan.Stages, plan.Unroll
+	prolog, kernel, epilog := e.buildRegionRows(nodes, plan)
+	e.emitRows(prolog)
+	kstart := len(e.out)
+	kernel[len(kernel)-1].ctl = vliw.Ctl{Kind: vliw.CtlDBNZ, Reg: counter, Target: kstart}
+	e.emitRows(kernel)
+	e.emitRows(epilog)
+	e.drain()
+
+	// Live-out fix-ups: move the final iteration's copy to the base
+	// register.  The final pipelined iteration count K satisfies
+	// K ≡ m-1 (mod u), so its class is static.
+	finalClass := ((mm-2)%u + u) % u
+	emitted := false
+	for _, reg := range plan.Fixups {
+		src := e.physReg(reg, plan.CopyIndex(reg, finalClass))
+		dst := e.physReg(reg, 0)
+		if src == dst {
+			continue
+		}
+		cls := machine.ClassIMov
+		if e.irp.Kind(reg) == ir.KindFloat {
+			cls = machine.ClassFMov
+		}
+		e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: cls, Dst: dst, Src: []int{src}}}})
+		emitted = true
+	}
+	if emitted {
+		e.drain()
+	}
+}
+
+// emitUnpipelinedLoop lowers a loop as locally compacted code: the body
+// is compacted (list-scheduled) but iterations never overlap; the period
+// is padded so every inter-iteration dependence drains (the pipelines are
+// emptied at iteration boundaries, Lam §2).
+func (e *emitter) emitUnpipelinedLoop(l *ir.LoopStmt, rep *LoopReport) {
+	ops, straight := l.Body.Ops()
+	if l.CountReg == ir.NoReg {
+		if l.CountImm <= 0 {
+			return
+		}
+		if straight {
+			e.emitCompactCounted(l, ops, l.CountImm, rep)
+		} else {
+			counter := e.allocI()
+			e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassIConst, Dst: counter, IImm: l.CountImm}}})
+			e.emitGenericLoopBody(l, counter, rep)
+			e.freeI(counter)
+		}
+		return
+	}
+
+	// Runtime trip count: guard against zero/negative counts, then loop
+	// on a dedicated down-counter.
+	count := e.physReg(l.CountReg, 0)
+	zero := e.allocI()
+	cond := e.allocI()
+	counter := e.allocI()
+	e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassIConst, Dst: zero, IImm: 0}}})
+	e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassIMov, Dst: counter, Src: []int{count}}}})
+	e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassICmp, Dst: cond, Src: []int{count, zero}, IImm: int64(ir.PredLE)}}})
+	guardAt := len(e.out)
+	e.append(vliw.Instr{Ctl: vliw.Ctl{Kind: vliw.CtlJNZ, Reg: cond}})
+
+	if straight {
+		e.emitCompactBody(l, ops, counter, rep)
+	} else {
+		e.emitGenericLoopBody(l, counter, rep)
+	}
+	e.out[guardAt].Ctl.Target = len(e.out)
+	e.freeI(zero)
+	e.freeI(cond)
+	e.freeI(counter)
+}
+
+// emitCompactCounted emits a locally compacted loop over a straight-line
+// body for a compile-time count n ≥ 1.
+func (e *emitter) emitCompactCounted(l *ir.LoopStmt, ops []*ir.Op, n int64, rep *LoopReport) {
+	counter := e.allocI()
+	e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassIConst, Dst: counter, IImm: n}}})
+	e.emitCompactBody(l, ops, counter, rep)
+	e.freeI(counter)
+}
+
+// emitCompactBody emits the list-scheduled body, padded to the dependence
+// period, with the loop-back DBNZ in the final cycle.
+func (e *emitter) emitCompactBody(l *ir.LoopStmt, ops []*ir.Op, counter int, rep *LoopReport) {
+	nodes := make([]*depgraph.Node, len(ops))
+	for i, op := range ops {
+		nodes[i] = depgraph.NodeFromOp(e.m, op)
+	}
+	g := depgraph.BuildIndep(nodes, l.ID, l.Independent)
+	r, err := schedule.List(g, e.m)
+	if err != nil {
+		e.fail(err)
+		return
+	}
+	period := schedule.PeriodFor(g, r, r.Length)
+	cleanup := e.localAssign(ops, r.Time, period)
+	instrs := make([]vliw.Instr, period)
+	for i, op := range ops {
+		t := r.Time[i]
+		instrs[t].Ops = append(instrs[t].Ops, e.slotFor(op, 0, nil))
+	}
+	cleanup()
+	start := len(e.out)
+	instrs[period-1].Ctl = vliw.Ctl{Kind: vliw.CtlDBNZ, Reg: counter, Target: start}
+	e.out = append(e.out, instrs...)
+	e.drain()
+	if rep != nil && !rep.Pipelined && rep.II == 0 {
+		rep.II = period
+	}
+}
+
+// emitGenericLoopBody lowers a loop whose body contains control
+// constructs: the body is compiled recursively (each region drains), with
+// the loop-back branch appended at the end.
+func (e *emitter) emitGenericLoopBody(l *ir.LoopStmt, counter int, rep *LoopReport) {
+	start := len(e.out)
+	e.loopDepth++
+	e.loopBodyStart = append(e.loopBodyStart, e.minPosIn(l.Body))
+	e.emitBlock(l.Body, e.maxPosIn(l.Body))
+	e.loopBodyStart = e.loopBodyStart[:len(e.loopBodyStart)-1]
+	e.loopDepth--
+	e.append(vliw.Instr{Ctl: vliw.Ctl{Kind: vliw.CtlDBNZ, Reg: counter, Target: start}})
+	if rep != nil && !rep.Pipelined && rep.II == 0 {
+		rep.II = len(e.out) - start
+	}
+}

@@ -1,0 +1,489 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"softpipe/internal/depgraph"
+	"softpipe/internal/hier"
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+	"softpipe/internal/pipeline"
+	"softpipe/internal/schedule"
+	"softpipe/internal/vliw"
+)
+
+// This file implements the loop-reduction half of hierarchical reduction
+// (Lam §3.2): a software-pipelined inner loop is reduced to a single
+// scheduling node whose resource reservation shows the prolog and epilog
+// but marks the steady state as fully consumed, so that list scheduling
+// of the enclosing body moves scalar code into the prolog/epilog zones
+// and overlaps the epilog of one inner loop with the prolog of the next.
+
+// loopSeg marks a sub-range of a reduced loop's rows that the sequencer
+// repeats: rows[start:end] loop back via DBNZ on `counter`.
+type loopSeg struct {
+	start, end int
+	counter    int
+}
+
+// loopPayload carries a reduced inner loop's fully resolved emission rows.
+type loopPayload struct {
+	rows     []rrow
+	segs     []loopSeg // repeated sub-ranges (remainder loop, kernel)
+	counters []int     // dedicated physical counters, freed on rollback
+}
+
+// reduceLoop plans and resolves an inner loop as a reduced node.  It
+// fails (reason != "") for shapes the reduction does not cover: runtime
+// counts, bodies that do not pipeline, or loops needing a non-straight
+// remainder.
+func (e *emitter) reduceLoop(l *ir.LoopStmt) (*depgraph.Node, string) {
+	if l.CountReg != ir.NoReg {
+		return nil, "inner loop has a runtime trip count"
+	}
+	if l.NoPipeline || l.CountImm <= 0 {
+		return nil, "inner loop not eligible for pipelining"
+	}
+	var rep LoopReport
+	nodes, plan, ok := e.planBodyOpts(l, false, true, &rep)
+	if !ok {
+		return nil, "inner loop does not pipeline: " + rep.Reason
+	}
+	n := l.CountImm
+	mm, u := plan.Stages, plan.Unroll
+	if int64(mm-1+u) > n {
+		return nil, fmt.Sprintf("inner loop too short (%d) for %d stages, unroll %d", n, mm, u)
+	}
+	q0 := n - int64(mm-1)
+	r := q0 % int64(u)
+	passes := (q0 - r) / int64(u)
+
+	p := &loopPayload{}
+	// Remainder iterations as a compact repeated segment.
+	if r > 0 {
+		ops, straight := l.Body.Ops()
+		if !straight {
+			return nil, "inner loop needs a remainder but has control constructs"
+		}
+		g := depgraph.BuildIndep(bodyNodesFor(e.m, ops), l.ID, l.Independent)
+		lr, err := schedule.List(g, e.m)
+		if err != nil {
+			return nil, err.Error()
+		}
+		period := schedule.PeriodFor(g, lr, lr.Length)
+		rcounter := e.allocI()
+		p.counters = append(p.counters, rcounter)
+		p.rows = append(p.rows, rrow{ops: []vliw.SlotOp{{Class: machine.ClassIConst, Dst: rcounter, IImm: r}}})
+		cleanup := e.localAssign(ops, lr.Time, period)
+		segStart := len(p.rows)
+		body := make([]rrow, period)
+		for i, op := range ops {
+			body[lr.Time[i]].ops = append(body[lr.Time[i]].ops, e.slotFor(op, 0, nil))
+		}
+		cleanup()
+		p.rows = append(p.rows, body...)
+		p.segs = append(p.segs, loopSeg{start: segStart, end: len(p.rows), counter: rcounter})
+		// Drain between the remainder and the pipelined region.
+		for i := 0; i < e.maxLat-1; i++ {
+			p.rows = append(p.rows, rrow{})
+		}
+	}
+
+	counter := e.allocI()
+	p.counters = append(p.counters, counter)
+	p.rows = append(p.rows, rrow{ops: []vliw.SlotOp{{Class: machine.ClassIConst, Dst: counter, IImm: passes}}})
+	prolog, kernel, epilog := e.buildRegionRows(nodes, plan)
+	p.rows = append(p.rows, prolog...)
+	segStart := len(p.rows)
+	p.rows = append(p.rows, kernel...)
+	p.segs = append(p.segs, loopSeg{start: segStart, end: len(p.rows), counter: counter})
+	p.rows = append(p.rows, epilog...)
+	// Drain so in-flight writes land inside the window, then fix-ups.
+	for i := 0; i < e.maxLat-1; i++ {
+		p.rows = append(p.rows, rrow{})
+	}
+	finalClass := ((mm-2)%u + u) % u
+	for _, reg := range plan.Fixups {
+		src := e.physReg(reg, plan.CopyIndex(reg, finalClass))
+		dst := e.physReg(reg, 0)
+		if src == dst {
+			continue
+		}
+		cls := machine.ClassIMov
+		if e.irp.Kind(reg) == ir.KindFloat {
+			cls = machine.ClassFMov
+		}
+		p.rows = append(p.rows, rrow{ops: []vliw.SlotOp{{Class: cls, Dst: dst, Src: []int{src}}}})
+	}
+
+	node := &depgraph.Node{
+		Len:         len(p.rows),
+		Payload:     p,
+		Reservation: e.rowsReservation(p),
+	}
+	e.loopAccesses(l, node)
+
+	// Record the inner loop in the report (it is pipelined, just emitted
+	// through the reduction).
+	rep.LoopID = l.ID
+	if ops, straight := l.Body.Ops(); straight {
+		rep.BodyOps = len(ops)
+	}
+	rep.TripCount = n
+	rep.Pipelined = true
+	rep.II = plan.II
+	rep.MetLower = plan.SchedStats.MetLower
+	rep.Unroll = u
+	rep.Stages = mm
+	rep.HasCond = blockHasCond(l.Body)
+	rep.Kernel = plan.FormatKernel()
+	e.report.Loops = append(e.report.Loops, rep)
+	return node, ""
+}
+
+func bodyNodesFor(m *machine.Machine, ops []*ir.Op) []*depgraph.Node {
+	nodes := make([]*depgraph.Node, len(ops))
+	for i, op := range ops {
+		nodes[i] = depgraph.NodeFromOp(m, op)
+	}
+	return nodes
+}
+
+// rowsReservation derives the reduced node's reservation table: exact
+// usage for overlappable rows, full consumption for repeated (looping)
+// segments — "all resources in the steady state are marked as consumed"
+// (Lam §3.2).
+func (e *emitter) rowsReservation(p *loopPayload) []machine.ResUse {
+	use := map[useKeyCG]int{}
+	inSeg := make([]bool, len(p.rows))
+	for _, s := range p.segs {
+		for i := s.start; i < s.end; i++ {
+			inSeg[i] = true
+		}
+	}
+	for off, row := range p.rows {
+		if inSeg[off] {
+			for r, cnt := range e.m.ResourceCount {
+				use[useKeyCG{machine.Resource(r), off}] = cnt
+			}
+			continue
+		}
+		e.accumulateRowUsage(row, off, use)
+	}
+	keys := make([]useKeyCG, 0, len(use))
+	for k := range use {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].off != keys[j].off {
+			return keys[i].off < keys[j].off
+		}
+		return keys[i].res < keys[j].res
+	})
+	var out []machine.ResUse
+	for _, k := range keys {
+		n := use[k]
+		if n > e.m.ResourceCount[k.res] {
+			n = e.m.ResourceCount[k.res]
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, machine.ResUse{Resource: k.res, Offset: k.off})
+		}
+	}
+	return out
+}
+
+type useKeyCG struct {
+	res machine.Resource
+	off int
+}
+
+// accumulateRowUsage folds a resolved row's resource demand (slot ops,
+// sequencer field, conditional-construct windows) into the usage map.
+func (e *emitter) accumulateRowUsage(row rrow, off int, use map[useKeyCG]int) {
+	for _, op := range row.ops {
+		if d := e.m.Desc(op.Class); d != nil {
+			for _, u := range d.Reservation {
+				use[useKeyCG{u.Resource, off + u.Offset}]++
+			}
+		}
+	}
+	if row.ctl.Kind != vliw.CtlNone {
+		use[useKeyCG{machine.ResBranch, off}]++
+	}
+	if row.cons != nil {
+		c := row.cons
+		for i := 0; i < c.length; i++ {
+			use[useKeyCG{machine.ResBranch, off + i}]++
+		}
+		thenUse := map[useKeyCG]int{}
+		elseUse := map[useKeyCG]int{}
+		for i, r := range c.thenRows {
+			e.accumulateRowUsage(r, off+1+i, thenUse)
+		}
+		for i, r := range c.elseRows {
+			e.accumulateRowUsage(r, off+1+i, elseUse)
+		}
+		for k, v := range elseUse {
+			if v > thenUse[k] {
+				thenUse[k] = v
+			}
+		}
+		for k, v := range thenUse {
+			use[k] += v
+		}
+	}
+}
+
+// loopAccesses attaches conservative register and memory access summaries
+// to a reduced loop node: every register read/written anywhere in the
+// body may be touched anywhere in the window, every write lands by
+// window-end + max latency, and no write is killing.
+func (e *emitter) loopAccesses(l *ir.LoopStmt, node *depgraph.Node) {
+	reads := map[ir.VReg]bool{}
+	writes := map[ir.VReg]bool{}
+	type memKey struct {
+		arr   string
+		store bool
+	}
+	mems := map[memKey]bool{}
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		for _, s := range b.Stmts {
+			switch s := s.(type) {
+			case *ir.OpStmt:
+				for _, r := range s.Op.Src {
+					reads[r] = true
+				}
+				if s.Op.Dst != ir.NoReg {
+					writes[s.Op.Dst] = true
+				}
+				if s.Op.Mem != nil {
+					mems[memKey{s.Op.Mem.Array, s.Op.Class == machine.ClassStore}] = true
+				}
+			case *ir.IfStmt:
+				reads[s.Cond] = true
+				walk(s.Then)
+				walk(s.Else)
+			case *ir.LoopStmt:
+				if s.CountReg != ir.NoReg {
+					reads[s.CountReg] = true
+				}
+				walk(s.Body)
+			}
+		}
+	}
+	walk(l.Body)
+	last := node.Len - 1
+	var regs []ir.VReg
+	for r := range reads {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	for _, r := range regs {
+		node.Reads = append(node.Reads, depgraph.RegRead{Reg: r, First: 0, Last: last})
+	}
+	regs = regs[:0]
+	for r := range writes {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	for _, r := range regs {
+		node.Writes = append(node.Writes, depgraph.RegWrite{
+			Reg: r, AvailFirst: 1, AvailLast: last + e.maxLat, Killing: false,
+		})
+	}
+	var keys []memKey
+	for k := range mems {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].arr != keys[j].arr {
+			return keys[i].arr < keys[j].arr
+		}
+		return !keys[i].store
+	})
+	for _, k := range keys {
+		node.Mems = append(node.Mems, depgraph.MemAcc{
+			Array: k.arr, Store: k.store, First: 0, Last: last,
+		})
+	}
+}
+
+// buildRegionRows produces the pipelined region's prolog, kernel and
+// epilog rows (shared by direct emission and loop reduction); the caller
+// attaches the kernel's DBNZ.
+func (e *emitter) buildRegionRows(nodes []*depgraph.Node, plan *pipeline.Plan) (prolog, kernel, epilog []rrow) {
+	mm, u, s := plan.Stages, plan.Unroll, plan.II
+
+	buildRow := func(t int64, bound int64) rrow {
+		row := rrow{}
+		for i, nd := range nodes {
+			sigma := int64(plan.Time[i])
+			if t < sigma || (t-sigma)%int64(s) != 0 {
+				continue
+			}
+			iter := (t - sigma) / int64(s)
+			if bound >= 0 && iter >= bound {
+				continue
+			}
+			class := int(iter % int64(u))
+			if nd.Op != nil {
+				row.ops = append(row.ops, e.slotFor(nd.Op, class, plan))
+				continue
+			}
+			if row.cons != nil {
+				e.fail(fmt.Errorf("codegen: overlapping construct windows at cycle %d", t))
+				continue
+			}
+			row.cons = e.resolveConstruct(nd.Payload.(*hier.IfPayload), class, plan)
+		}
+		return row
+	}
+
+	extent := 0
+	for i, nd := range nodes {
+		if v := plan.Time[i] + schedule.Extent(nd); v > extent {
+			extent = v
+		}
+	}
+	t0 := int64(mm-1) * int64(s)
+	for t := int64(0); t < t0; t++ {
+		prolog = append(prolog, buildRow(t, -1))
+	}
+	for tau := 0; tau < u*s; tau++ {
+		kernel = append(kernel, buildRow(t0+int64(tau), -1))
+	}
+	for tau := int64(0); tau <= int64(extent)-int64(s)-1; tau++ {
+		epilog = append(epilog, buildRow(t0+tau, int64(mm-1)))
+	}
+	return prolog, kernel, epilog
+}
+
+// tryOverlapped handles outer loops whose body is straight-line code plus
+// pipelined inner loops: the body is list-scheduled with the inner loops
+// reduced to pseudo-operations, overlapping scalar code with their
+// prologs and epilogs, and epilogs of one inner loop with prologs of the
+// next (Lam §3.2/3.3).
+func (e *emitter) tryOverlapped(l *ir.LoopStmt, rep *LoopReport) bool {
+	reportMark := len(e.report.Loops)
+	var built []*loopPayload
+	rollback := func(reason string) bool {
+		for _, p := range built {
+			for _, c := range p.counters {
+				e.freeI(c)
+			}
+		}
+		e.releaseCopies()
+		e.report.Loops = e.report.Loops[:reportMark]
+		if rep.Reason == "" {
+			rep.Reason = reason
+		}
+		return false
+	}
+
+	var nodes []*depgraph.Node
+	hasLoop := false
+	for _, s := range l.Body.Stmts {
+		switch s := s.(type) {
+		case *ir.OpStmt:
+			nodes = append(nodes, depgraph.NodeFromOp(e.m, s.Op))
+		case *ir.LoopStmt:
+			nd, reason := e.reduceLoop(s)
+			if reason != "" {
+				return rollback(reason)
+			}
+			built = append(built, nd.Payload.(*loopPayload))
+			nodes = append(nodes, nd)
+			hasLoop = true
+		default:
+			return rollback("body mixes conditionals with inner loops")
+		}
+	}
+	if !hasLoop {
+		return rollback("no inner loop to overlap")
+	}
+
+	g := depgraph.BuildIndep(nodes, l.ID, l.Independent)
+	r, err := schedule.List(g, e.m)
+	if err != nil {
+		return rollback(err.Error())
+	}
+	period := schedule.PeriodFor(g, r, r.Length)
+
+	// Merge the reduced loops' resolved rows with the scalar slots.
+	var segs []loopSeg
+	maxEnd := r.Length
+	for i, nd := range nodes {
+		if nd.Op != nil {
+			continue
+		}
+		p := nd.Payload.(*loopPayload)
+		for _, sg := range p.segs {
+			segs = append(segs, loopSeg{start: r.Time[i] + sg.start, end: r.Time[i] + sg.end, counter: sg.counter})
+			if r.Time[i]+sg.end+1 > maxEnd {
+				maxEnd = r.Time[i] + sg.end + 1
+			}
+		}
+	}
+	if period < maxEnd {
+		period = maxEnd
+	}
+	rows := make([]rrow, period)
+	for i, nd := range nodes {
+		t := r.Time[i]
+		if nd.Op != nil {
+			rows[t].ops = append(rows[t].ops, e.slotFor(nd.Op, 0, nil))
+			continue
+		}
+		p := nd.Payload.(*loopPayload)
+		for j, rw := range p.rows {
+			at := t + j
+			rows[at].ops = append(rows[at].ops, rw.ops...)
+			if rw.cons != nil {
+				if rows[at].cons != nil {
+					return rollback("internal: construct windows collided during overlap")
+				}
+				rows[at].cons = rw.cons
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].start < segs[i-1].end {
+			return rollback("internal: repeated segments overlap")
+		}
+	}
+
+	// Outer loop counter and emission.
+	counter := e.allocI()
+	e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassIConst, Dst: counter, IImm: l.CountImm}}})
+	regionStart := len(e.out)
+	cursor := 0
+	for _, sg := range segs {
+		e.emitRows(rows[cursor:sg.start])
+		kstart := len(e.out)
+		rows[sg.end-1].ctl = vliw.Ctl{Kind: vliw.CtlDBNZ, Reg: sg.counter, Target: kstart}
+		e.emitRows(rows[sg.start:sg.end])
+		cursor = sg.end
+	}
+	rows[period-1].ctl = vliw.Ctl{Kind: vliw.CtlDBNZ, Reg: counter, Target: regionStart}
+	e.emitRows(rows[cursor:period])
+	e.drain()
+	if e.err != nil {
+		return false
+	}
+
+	for _, p := range built {
+		for _, c := range p.counters {
+			e.freeI(c)
+		}
+	}
+	e.freeI(counter)
+	e.releaseCopies()
+
+	rep.II = period
+	rep.Reason = "body scheduled with reduced inner loops (prolog/epilog overlap)"
+	return true
+}

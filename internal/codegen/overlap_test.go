@@ -1,0 +1,134 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+	"softpipe/internal/sim"
+)
+
+// nestProgram builds an outer loop with scalar work around one pipelined
+// inner loop (a row scale-and-store), the shape §3.2's loop reduction
+// targets.
+func nestProgram() *ir.Program {
+	b := ir.NewBuilder("nest")
+	mat := b.Array("m", ir.KindFloat, 16*32)
+	b.Array("out", ir.KindFloat, 16*32)
+	b.Array("rows", ir.KindFloat, 16)
+	for i := 0; i < 16*32; i++ {
+		mat.InitF = append(mat.InitF, float64(i%7)*0.5)
+	}
+	scale := b.FConst(0.25)
+	b.ForN(16, func(outer *ir.LoopCtx) {
+		rowBase := outer.Pointer(0, 32)
+		dstBase := outer.Pointer(0, 32)
+		outPtr := outer.Pointer(0, 1)
+		first := b.Load("m", rowBase, nil)
+		b.ForN(32, func(inner *ir.LoopCtx) {
+			p := inner.PointerFrom(rowBase, 1)
+			q := inner.PointerFrom(dstBase, 1)
+			v := b.Load("m", p, nil)
+			b.Store("out", q, b.FMul(v, scale), nil)
+		})
+		b.Store("rows", outPtr, b.FMul(first, scale), ir.Aff(outer.ID, 1, 0))
+	})
+	return b.P
+}
+
+func TestOverlappedOuterBody(t *testing.T) {
+	m := machine.Warp()
+	p := nestProgram()
+	want, err := ir.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, rep, err := Compile(p, m, Options{Mode: ModePipelined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := sim.Run(prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := want.Diff(got); d != "" {
+		t.Fatalf("mismatch: %s", d)
+	}
+	var inner, outer *LoopReport
+	for i := range rep.Loops {
+		lr := &rep.Loops[i]
+		if lr.Pipelined {
+			inner = lr
+		} else {
+			outer = lr
+		}
+	}
+	if inner == nil {
+		t.Fatal("inner loop not pipelined")
+	}
+	if outer == nil || !strings.Contains(outer.Reason, "overlap") {
+		t.Fatalf("outer loop did not use the reduced-loop overlap: %+v", rep.Loops)
+	}
+}
+
+// TestOverlapBeatsBarriers isolates §3.2's contribution: the same
+// compiler with loop reduction disabled emits the inner loops between
+// barriers, and must be measurably slower.
+func TestOverlapBeatsBarriers(t *testing.T) {
+	m := machine.Warp()
+	run := func(disable bool) int64 {
+		p := nestProgram()
+		prog, _, err := Compile(p, m, Options{Mode: ModePipelined, DisableLoopReduction: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := sim.Run(prog, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	with := run(false)
+	without := run(true)
+	if with >= without {
+		t.Errorf("loop reduction did not help: with %d, without %d", with, without)
+	}
+	if float64(without)/float64(with) < 1.1 {
+		t.Errorf("overlap gain only %.2fx (with %d, without %d)", float64(without)/float64(with), with, without)
+	}
+}
+
+// TestSiblingLoopsOverlap: two inner loops in one outer body; the epilog
+// of the first may overlap the prolog of the second (Lam §3.3), and the
+// whole nest must stay correct.
+func TestSiblingLoopsOverlap(t *testing.T) {
+	b := ir.NewBuilder("siblings")
+	a := b.Array("a", ir.KindFloat, 16*16)
+	c := b.Array("c", ir.KindFloat, 16*16)
+	b.Array("o1", ir.KindFloat, 16)
+	b.Array("o2", ir.KindFloat, 16)
+	for i := 0; i < 16*16; i++ {
+		a.InitF = append(a.InitF, float64(i%5))
+		c.InitF = append(c.InitF, float64(i%3))
+	}
+	b.ForN(16, func(outer *ir.LoopCtx) {
+		aBase := outer.Pointer(0, 16)
+		cBase := outer.Pointer(0, 16)
+		o1 := outer.Pointer(0, 1)
+		o2 := outer.Pointer(0, 1)
+		s1 := b.FConst(0)
+		b.ForN(16, func(inner *ir.LoopCtx) {
+			p := inner.PointerFrom(aBase, 1)
+			b.FAddTo(s1, s1, b.Load("a", p, nil))
+		})
+		s2 := b.FConst(0)
+		b.ForN(16, func(inner *ir.LoopCtx) {
+			p := inner.PointerFrom(cBase, 1)
+			b.FAddTo(s2, s2, b.Load("c", p, nil))
+		})
+		b.Store("o1", o1, s1, ir.Aff(outer.ID, 1, 0))
+		b.Store("o2", o2, s2, ir.Aff(outer.ID, 1, 0))
+	})
+	runAllWays(t, b.P)
+}

@@ -1,0 +1,142 @@
+package codegen
+
+import (
+	"fmt"
+
+	"softpipe/internal/hier"
+	"softpipe/internal/pipeline"
+	"softpipe/internal/vliw"
+)
+
+// rrow is one resolved emission row: the slot ops issuing that cycle,
+// an optional sequencer op, and an optional conditional construct whose
+// window starts here.  Construct windows never overlap (each reserves the
+// sequencer for its whole window at schedule time), so a row carries at
+// most one construct.
+type rrow struct {
+	ops  []vliw.SlotOp
+	ctl  vliw.Ctl
+	cons *rcons
+}
+
+// rcons is a resolved conditional construct instance: the fork condition
+// (already mapped to a physical register for its iteration class) and the
+// two arms' rows, each padded to length-1 rows.
+type rcons struct {
+	cond     int
+	length   int
+	thenRows []rrow
+	elseRows []rrow
+}
+
+// pendElse is an out-of-line ELSE block awaiting emission: the JZ to
+// patch, the join instruction its trailing jump returns to, and its rows.
+type pendElse struct {
+	jz   int
+	join int
+	rows []rrow
+}
+
+// resolveConstruct maps a reduced conditional's payload to physical
+// registers for one iteration class.
+func (e *emitter) resolveConstruct(p *hier.IfPayload, class int, plan *pipeline.Plan) *rcons {
+	condCopy := 0
+	if plan != nil {
+		condCopy = plan.CopyIndex(p.Cond, class)
+	}
+	c := &rcons{
+		cond:     e.physReg(p.Cond, condCopy),
+		length:   p.Len,
+		thenRows: make([]rrow, p.Len-1),
+		elseRows: make([]rrow, p.Len-1),
+	}
+	e.resolveArm(c.thenRows, p.Then, class, plan)
+	e.resolveArm(c.elseRows, p.Else, class, plan)
+	return c
+}
+
+func (e *emitter) resolveArm(rows []rrow, arm []hier.Placed, class int, plan *pipeline.Plan) {
+	for _, pl := range arm {
+		if pl.Node.Op != nil {
+			rows[pl.Time].ops = append(rows[pl.Time].ops, e.slotFor(pl.Node.Op, class, plan))
+			continue
+		}
+		nested := pl.Node.Payload.(*hier.IfPayload)
+		if rows[pl.Time].cons != nil {
+			e.fail(fmt.Errorf("codegen: two constructs start in the same arm row"))
+			return
+		}
+		rows[pl.Time].cons = e.resolveConstruct(nested, class, plan)
+	}
+}
+
+// mergeRows combines outer rows (ops scheduled in parallel with a
+// construct window) with one arm's rows: the result carries the union of
+// slot ops and the arm's nested constructs.  Outer rows inside a window
+// can hold neither control nor constructs (windows are disjoint and never
+// cover the loop-back cycle).
+func (e *emitter) mergeRows(outer, arm []rrow) []rrow {
+	merged := make([]rrow, len(outer))
+	for i := range outer {
+		if outer[i].ctl.Kind != vliw.CtlNone || outer[i].cons != nil {
+			e.fail(fmt.Errorf("codegen: construct window overlaps control at row %d", i))
+			return merged
+		}
+		merged[i].ops = append(append([]vliw.SlotOp{}, outer[i].ops...), arm[i].ops...)
+		merged[i].cons = arm[i].cons
+	}
+	return merged
+}
+
+// emitRows appends one instruction per row, expanding conditional
+// constructs: the fork row carries a JZ to the out-of-line ELSE block
+// (emitted later by flushPends), the THEN arm merges into the fall-through
+// rows, and both paths rejoin after the window with identical timing.
+func (e *emitter) emitRows(rows []rrow) {
+	for i := 0; i < len(rows); i++ {
+		r := rows[i]
+		if r.cons == nil {
+			e.append(vliw.Instr{Ops: r.ops, Ctl: r.ctl})
+			continue
+		}
+		c := r.cons
+		if r.ctl.Kind != vliw.CtlNone {
+			e.fail(fmt.Errorf("codegen: construct start row carries control"))
+			return
+		}
+		if i+c.length > len(rows) {
+			e.fail(fmt.Errorf("codegen: construct window exceeds region (row %d len %d of %d)", i, c.length, len(rows)))
+			return
+		}
+		jz := len(e.out)
+		e.append(vliw.Instr{Ops: r.ops, Ctl: vliw.Ctl{Kind: vliw.CtlJZ, Reg: c.cond}})
+		inner := rows[i+1 : i+c.length]
+		e.emitRows(e.mergeRows(inner, c.thenRows))
+		join := len(e.out)
+		if c.length == 1 {
+			e.out[jz].Ctl.Target = join
+		} else {
+			e.pends = append(e.pends, pendElse{jz: jz, join: join, rows: e.mergeRows(inner, c.elseRows)})
+		}
+		i += c.length - 1
+	}
+}
+
+// flushPends emits every deferred ELSE block (and any blocks their nested
+// constructs defer).  Call after the main instruction stream is complete:
+// blocks are reached only via their JZ and leave only via their final
+// jump, so placement after the halt is safe.
+func (e *emitter) flushPends() {
+	for len(e.pends) > 0 {
+		p := e.pends[0]
+		e.pends = e.pends[1:]
+		e.out[p.jz].Ctl.Target = len(e.out)
+		e.emitRows(p.rows)
+		last := len(e.out) - 1
+		if e.out[last].Ctl.Kind != vliw.CtlNone {
+			e.fail(fmt.Errorf("codegen: ELSE block tail already carries control"))
+			return
+		}
+		e.out[last].Ctl = vliw.Ctl{Kind: vliw.CtlJump, Target: p.join}
+	}
+}

@@ -1,0 +1,116 @@
+package codegen
+
+import (
+	"math/rand"
+	"testing"
+
+	"softpipe/internal/ir"
+)
+
+// TestRuntimeCountWithConditional combines the §2.4 two-version scheme
+// with §3.1 hierarchical reduction: a runtime-count loop whose body
+// contains a conditional must pipeline and stay correct across counts.
+func TestRuntimeCountWithConditional(t *testing.T) {
+	for _, n := range []int64{0, 1, 3, 7, 15, 40, 97} {
+		b := ir.NewBuilder("rtcond")
+		arr := b.Array("a", ir.KindFloat, 128)
+		b.Array("c", ir.KindFloat, 128)
+		cnt := b.Array("n", ir.KindInt, 1)
+		cnt.InitI = []int64{n}
+		for i := 0; i < 128; i++ {
+			arr.InitF = append(arr.InitF, float64(i%9)-4)
+		}
+		addr := b.IConst(0)
+		nv := b.Load("n", addr, nil)
+		zero := b.FConst(0)
+		k := b.FConst(1.25)
+		b.ForReg(nv, func(l *ir.LoopCtx) {
+			p := l.Pointer(0, 1)
+			q := l.Pointer(0, 1)
+			v := b.Load("a", p, ir.Aff(l.ID, 1, 0))
+			cond := b.FCmp(ir.PredGT, v, zero)
+			b.If(cond, func() {
+				b.Store("c", q, b.FMul(v, k), ir.Aff(l.ID, 1, 0))
+			}, func() {
+				b.Store("c", q, b.FAdd(v, k), ir.Aff(l.ID, 1, 0))
+			})
+		})
+		runAllWays(t, b.P)
+	}
+}
+
+// TestRandomNests drives random two-level nests (scalar code, inner
+// loops, conditionals in some inner bodies) through the §3.2 overlap
+// path with differential checking.
+func TestRandomNests(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 200; trial++ {
+		b := ir.NewBuilder("rndnest")
+		rows := 4 + rng.Intn(6)
+		cols := 8 + rng.Intn(24)
+		mat := b.Array("m", ir.KindFloat, rows*cols)
+		b.Array("o", ir.KindFloat, rows*cols)
+		b.Array("sums", ir.KindFloat, rows)
+		for i := 0; i < rows*cols; i++ {
+			mat.InitF = append(mat.InitF, float64((i*13+trial)%31)*0.125-1.5)
+		}
+		k1 := b.FConst(1.5)
+		zero := b.FConst(0)
+		nInner := 1 + rng.Intn(2)
+		withCond := rng.Intn(2) == 0
+		withAcc := rng.Intn(2) == 0
+		b.ForN(int64(rows), func(outer *ir.LoopCtx) {
+			base := outer.Pointer(0, int64(cols))
+			dst := outer.Pointer(0, int64(cols))
+			sp := outer.Pointer(0, 1)
+			acc := b.FConst(0)
+			for li := 0; li < nInner; li++ {
+				b.ForN(int64(cols), func(inner *ir.LoopCtx) {
+					p := inner.PointerFrom(base, 1)
+					q := inner.PointerFrom(dst, 1)
+					v := b.Load("m", p, nil)
+					if withCond && li == 0 {
+						cond := b.FCmp(ir.PredGT, v, zero)
+						b.If(cond, func() {
+							b.Store("o", q, b.FMul(v, k1), nil)
+						}, func() {
+							b.Store("o", q, zero, nil)
+						})
+					} else {
+						b.Store("o", q, b.FAdd(v, k1), nil)
+					}
+					if withAcc {
+						b.FAddTo(acc, acc, v)
+					}
+				})
+			}
+			b.Store("sums", sp, acc, ir.Aff(outer.ID, 1, 0))
+		})
+		runAllWays(t, b.P)
+	}
+}
+
+// TestDeepNesting: three levels, ensuring recursion through generic and
+// overlapped paths composes.
+func TestDeepNesting(t *testing.T) {
+	b := ir.NewBuilder("deep")
+	arr := b.Array("t", ir.KindFloat, 4*4*8)
+	b.Array("o", ir.KindFloat, 4*4*8)
+	for i := 0; i < 4*4*8; i++ {
+		arr.InitF = append(arr.InitF, float64(i%17)*0.25)
+	}
+	c := b.FConst(2)
+	b.ForN(4, func(l0 *ir.LoopCtx) {
+		p0 := l0.Pointer(0, 32)
+		b.ForN(4, func(l1 *ir.LoopCtx) {
+			p1 := l1.PointerFrom(p0, 8)
+			b.ForN(8, func(l2 *ir.LoopCtx) {
+				p := l2.PointerFrom(p1, 1)
+				q := l2.PointerFrom(p1, 1)
+				v := b.Load("t", p, nil)
+				b.Store("o", q, b.FMul(v, c), nil)
+			})
+		})
+	})
+	runAllWays(t, b.P)
+}

@@ -1,0 +1,58 @@
+package depgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the dependence graph in Graphviz format: nodes are labeled
+// with their operation, edges with (delay, omega); inter-iteration edges
+// are dashed, removable (modulo-variable-expansion) edges are gray, and
+// each nontrivial strongly connected component is clustered with its
+// recurrence bound in the label.
+func (g *Graph) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+
+	scc := TarjanSCC(g)
+	for ci, comp := range scc.Components {
+		trivial := scc.IsTrivial(g, ci)
+		if !trivial {
+			fmt.Fprintf(&b, "  subgraph cluster_%d {\n", ci)
+			label := fmt.Sprintf("SCC %d", ci)
+			if cl, err := NewClosure(g, comp, 1); err == nil {
+				label = fmt.Sprintf("SCC %d (RecMII %d)", ci, cl.RecurrenceMII())
+			}
+			fmt.Fprintf(&b, "    label=%q; style=dashed;\n", label)
+		}
+		for _, v := range comp {
+			lbl := fmt.Sprintf("n%d", v)
+			if g.Nodes[v].Op != nil {
+				lbl = g.Nodes[v].Op.String()
+			} else if g.Nodes[v].Payload != nil {
+				lbl = fmt.Sprintf("construct len=%d", g.Nodes[v].Len)
+			}
+			indent := "  "
+			if !trivial {
+				indent = "    "
+			}
+			fmt.Fprintf(&b, "%sn%d [label=%q];\n", indent, v, lbl)
+		}
+		if !trivial {
+			b.WriteString("  }\n")
+		}
+	}
+	for _, e := range g.Edges {
+		attrs := []string{fmt.Sprintf("label=\"%v d=%d w=%d\"", e.Kind, e.Delay, e.Omega)}
+		if e.Omega > 0 {
+			attrs = append(attrs, "style=dashed")
+		}
+		if e.Removable {
+			attrs = append(attrs, "color=gray")
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [%s];\n", e.From, e.To, strings.Join(attrs, ", "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,143 @@
+// Package depgraph builds the dependence graph that drives software
+// pipelining: nodes are schedulable units (single operations, or control
+// constructs reduced to pseudo-operations by hierarchical reduction) and
+// edges carry the (delay, omega) attributes of Lam (PLDI 1988) §2.1 —
+// node v must execute Delay cycles after node u of the Omega-th previous
+// iteration:
+//
+//	σ(v) − σ(u) ≥ Delay − s·Omega
+//
+// The package also provides Tarjan's strongly connected components and the
+// paper's preprocessing step: the all-points longest-path closure of each
+// component computed symbolically in the initiation interval s, so that
+// the iterative scheduling step never recomputes paths (§2.2.2).
+package depgraph
+
+import (
+	"fmt"
+
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+)
+
+// RegRead records that a node reads Reg somewhere in cycle offsets
+// [First, Last] relative to the node's issue cycle.
+type RegRead struct {
+	Reg         ir.VReg
+	First, Last int
+}
+
+// RegWrite records that a node writes Reg; the value becomes readable
+// between offsets AvailFirst and AvailLast (equal for simple ops).
+// Killing reports whether the write happens on every execution of the
+// node (false for writes inside only one branch of a reduced
+// conditional).
+type RegWrite struct {
+	Reg                   ir.VReg
+	AvailFirst, AvailLast int
+	Killing               bool
+}
+
+// MemAcc records a memory access: the array touched, the affine address
+// annotation when known (nil ⇒ worst-case), whether it stores, and the
+// offset range within the node at which the access occurs.
+type MemAcc struct {
+	Array       string
+	Aff         *ir.Affine
+	Store       bool
+	First, Last int
+}
+
+// Node is one schedulable unit.
+type Node struct {
+	Index int // position in the graph's node slice
+
+	// Op is the underlying operation for simple nodes; nil for reduced
+	// constructs, whose emission payload lives in Payload.
+	Op *ir.Op
+	// Payload carries construct-specific data for reduced nodes (owned
+	// by internal/hier); the scheduler never inspects it.
+	Payload any
+
+	// Len is the node's occupancy length in cycles (1 for simple ops).
+	Len int
+	// Reservation is the resource usage pattern relative to issue.
+	Reservation []machine.ResUse
+
+	Reads  []RegRead
+	Writes []RegWrite
+	Mems   []MemAcc
+}
+
+// String identifies the node for diagnostics.
+func (n *Node) String() string {
+	if n.Op != nil {
+		return fmt.Sprintf("n%d{%s}", n.Index, n.Op)
+	}
+	return fmt.Sprintf("n%d{reduced len=%d}", n.Index, n.Len)
+}
+
+// ReadOf returns the read access of reg r, if any.
+func (n *Node) ReadOf(r ir.VReg) (RegRead, bool) {
+	for _, a := range n.Reads {
+		if a.Reg == r {
+			return a, true
+		}
+	}
+	return RegRead{}, false
+}
+
+// WriteOf returns the write access of reg r, if any.
+func (n *Node) WriteOf(r ir.VReg) (RegWrite, bool) {
+	for _, a := range n.Writes {
+		if a.Reg == r {
+			return a, true
+		}
+	}
+	return RegWrite{}, false
+}
+
+// NodeFromOp builds the scheduling node of a single operation on machine m.
+func NodeFromOp(m *machine.Machine, op *ir.Op) *Node {
+	d := m.Desc(op.Class)
+	if d == nil {
+		panic(fmt.Sprintf("depgraph: class %v unsupported on %s", op.Class, m.Name))
+	}
+	n := &Node{
+		Op:          op,
+		Len:         1,
+		Reservation: d.Reservation,
+	}
+	seen := map[ir.VReg]bool{}
+	for _, s := range op.Src {
+		if s != ir.NoReg && !seen[s] {
+			n.Reads = append(n.Reads, RegRead{Reg: s})
+			seen[s] = true
+		}
+	}
+	if op.Dst != ir.NoReg {
+		n.Writes = append(n.Writes, RegWrite{
+			Reg:        op.Dst,
+			AvailFirst: d.Latency,
+			AvailLast:  d.Latency,
+			Killing:    true,
+		})
+	}
+	if op.Mem != nil {
+		n.Mems = append(n.Mems, MemAcc{
+			Array: op.Mem.Array,
+			Aff:   op.Mem.Affine,
+			Store: op.Class == machine.ClassStore,
+		})
+	}
+	// Queue operations are FIFO side effects: model each channel as an
+	// opaque pseudo-array written by every access, so the dependence
+	// builder chains them in program order within and across iterations.
+	switch op.Class {
+	case machine.ClassRecv:
+		n.Mems = append(n.Mems, MemAcc{Array: "\x00qin", Store: true})
+	case machine.ClassSend:
+		n.Mems = append(n.Mems, MemAcc{Array: "\x00qout", Store: true})
+	}
+	return n
+}

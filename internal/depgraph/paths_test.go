@@ -1,0 +1,130 @@
+package depgraph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property (testing/quick): insertPair maintains the Pareto invariant —
+// strictly increasing P with strictly increasing D — and never discards a
+// dominating pair: after any insertion sequence, Eval over the set equals
+// Eval over the raw inserted pairs at every interval.
+func TestPairSetQuick(t *testing.T) {
+	f := func(raw []uint16, iiRaw uint8) bool {
+		var s PairSet
+		var all []DistPair
+		for _, r := range raw {
+			p := DistPair{D: int(r%97) - 20, P: int(r/97) % 7}
+			all = append(all, p)
+			s, _ = insertPair(s, p)
+		}
+		// Invariant: sorted by P, strictly increasing D.
+		for i := 1; i < len(s); i++ {
+			if s[i].P <= s[i-1].P || s[i].D <= s[i-1].D {
+				return false
+			}
+		}
+		// Equivalence of Eval for several intervals.
+		for ii := 0; ii < int(iiRaw%5)+3; ii++ {
+			want := NegInf
+			for _, p := range all {
+				if v := p.D - ii*p.P; v > want {
+					want = v
+				}
+			}
+			got := s.Eval(ii)
+			if len(all) == 0 {
+				if got != NegInf {
+					return false
+				}
+				continue
+			}
+			// The frontier keeps only Pareto-optimal pairs; at small
+			// intervals a dominated pair can never win, so Eval must
+			// match exactly for ii >= 0.
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistZeroOnlyIntraPaths(t *testing.T) {
+	g := &Graph{Nodes: []*Node{{}, {}}}
+	g.Nodes[0].Index = 0
+	g.Nodes[1].Index = 1
+	g.Edges = []Edge{
+		{From: 0, To: 1, Delay: 5, Omega: 0},
+		{From: 1, To: 0, Delay: 2, Omega: 1},
+	}
+	scc := TarjanSCC(g)
+	if len(scc.Components) != 1 {
+		t.Fatalf("expected one SCC")
+	}
+	cl, err := NewClosure(g, scc.Components[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.DistZero(0, 1); got != 5 {
+		t.Errorf("DistZero(0,1) = %d, want 5", got)
+	}
+	if got := cl.DistZero(1, 0); got != NegInf {
+		t.Errorf("DistZero(1,0) = %d, want NegInf (only an omega-1 path)", got)
+	}
+	// Recurrence: cycle d=7 p=1.
+	if got := cl.RecurrenceMII(); got != 7 {
+		t.Errorf("RecurrenceMII = %d, want 7", got)
+	}
+}
+
+func TestTarjanKnownGraph(t *testing.T) {
+	// 0→1→2→0 cycle plus tail 2→3→4.
+	g := &Graph{Nodes: []*Node{{}, {}, {}, {}, {}}}
+	for i := range g.Nodes {
+		g.Nodes[i].Index = i
+	}
+	g.Edges = []Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0, Omega: 1},
+		{From: 2, To: 3}, {From: 3, To: 4},
+	}
+	scc := TarjanSCC(g)
+	sizes := map[int]int{}
+	for _, c := range scc.Components {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 1 || sizes[1] != 2 {
+		t.Fatalf("components wrong: %v", scc.Components)
+	}
+	if scc.Comp[0] != scc.Comp[1] || scc.Comp[1] != scc.Comp[2] {
+		t.Errorf("cycle not grouped")
+	}
+	// Condensation order: component of 0/1/2 must come after 3 and 4 in
+	// reverse topological order (Tarjan emits sinks first).
+	c012 := scc.Comp[0]
+	if !(scc.Comp[4] < scc.Comp[3] && scc.Comp[3] < c012) {
+		t.Errorf("reverse topological order violated: %v", scc.Comp)
+	}
+}
+
+func TestDotExport(t *testing.T) {
+	g := &Graph{Nodes: []*Node{{}, {}, {}}}
+	for i := range g.Nodes {
+		g.Nodes[i].Index = i
+	}
+	g.Edges = []Edge{
+		{From: 0, To: 1, Delay: 7, Omega: 0},
+		{From: 1, To: 0, Delay: 1, Omega: 1, Removable: true},
+		{From: 1, To: 2, Delay: 3, Omega: 0},
+	}
+	dot := g.Dot("t")
+	for _, want := range []string{"digraph", "subgraph cluster_", "RecMII", "style=dashed", "color=gray", "n1 -> n2"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+
+	"softpipe/internal/machine"
+)
+
+// State is the observable outcome of running a program: final array
+// contents and named scalar results.  Differential tests compare States
+// produced by the interpreter and by the VLIW simulator.
+type State struct {
+	FloatArrays map[string][]float64
+	IntArrays   map[string][]int64
+	Scalars     map[string]float64 // int results are stored as exact floats
+}
+
+// Equal reports whether two states are bit-for-bit identical.
+func (s *State) Equal(o *State) bool {
+	if len(s.FloatArrays) != len(o.FloatArrays) || len(s.IntArrays) != len(o.IntArrays) || len(s.Scalars) != len(o.Scalars) {
+		return false
+	}
+	for k, v := range s.FloatArrays {
+		w, ok := o.FloatArrays[k]
+		if !ok || len(v) != len(w) {
+			return false
+		}
+		for i := range v {
+			if v[i] != w[i] {
+				return false
+			}
+		}
+	}
+	for k, v := range s.IntArrays {
+		w, ok := o.IntArrays[k]
+		if !ok || len(v) != len(w) {
+			return false
+		}
+		for i := range v {
+			if v[i] != w[i] {
+				return false
+			}
+		}
+	}
+	for k, v := range s.Scalars {
+		if w, ok := o.Scalars[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable description of the first difference, or "".
+func (s *State) Diff(o *State) string {
+	for k, v := range s.FloatArrays {
+		w := o.FloatArrays[k]
+		if len(v) != len(w) {
+			return fmt.Sprintf("array %s: length %d vs %d", k, len(v), len(w))
+		}
+		for i := range v {
+			if v[i] != w[i] {
+				return fmt.Sprintf("array %s[%d]: %v vs %v", k, i, v[i], w[i])
+			}
+		}
+	}
+	for k, v := range s.IntArrays {
+		w := o.IntArrays[k]
+		if len(v) != len(w) {
+			return fmt.Sprintf("array %s: length %d vs %d", k, len(v), len(w))
+		}
+		for i := range v {
+			if v[i] != w[i] {
+				return fmt.Sprintf("array %s[%d]: %d vs %d", k, i, v[i], w[i])
+			}
+		}
+	}
+	for k, v := range s.Scalars {
+		if w, ok := o.Scalars[k]; !ok || v != w {
+			return fmt.Sprintf("scalar %s: %v vs %v", k, v, o.Scalars[k])
+		}
+	}
+	if !s.Equal(o) {
+		return "states differ in key sets"
+	}
+	return ""
+}
+
+// InterpStats counts work done by the interpreter, used to estimate the
+// "one operation at a time" execution cost.
+type InterpStats struct {
+	Ops   int64 // total operations executed
+	Flops int64 // floating-point adds/subs/muls executed
+}
+
+// Interp executes a program and returns its observable final state.
+// The step limit guards against accidental non-termination in generated
+// tests; 0 means no limit.
+type Interp struct {
+	Prog     *Program
+	MaxSteps int64
+	// Input feeds ClassRecv ops (the cell's input channel); Output
+	// collects ClassSend values.  A Recv beyond the input is an error
+	// (the simulator's equivalent is a deadlock stall).
+	Input  []float64
+	Output []float64
+
+	inPos int
+
+	fregs []float64
+	iregs []int64
+	farrs map[string][]float64
+	iarrs map[string][]int64
+	stats InterpStats
+}
+
+// NewInterp prepares an interpreter with freshly initialized memory.
+func NewInterp(p *Program) *Interp {
+	in := &Interp{
+		Prog:  p,
+		fregs: make([]float64, p.NumRegs()),
+		iregs: make([]int64, p.NumRegs()),
+		farrs: make(map[string][]float64),
+		iarrs: make(map[string][]int64),
+	}
+	for _, a := range p.Arrays {
+		if a.Kind == KindFloat {
+			mem := make([]float64, a.Size)
+			copy(mem, a.InitF)
+			in.farrs[a.Name] = mem
+		} else {
+			mem := make([]int64, a.Size)
+			copy(mem, a.InitI)
+			in.iarrs[a.Name] = mem
+		}
+	}
+	return in
+}
+
+// Run executes the program body to completion.
+func (in *Interp) Run() (*State, error) {
+	if err := in.block(in.Prog.Body); err != nil {
+		return nil, err
+	}
+	st := &State{
+		FloatArrays: in.farrs,
+		IntArrays:   in.iarrs,
+		Scalars:     make(map[string]float64),
+	}
+	for _, r := range in.Prog.Results {
+		if in.Prog.Kind(r.Reg) == KindFloat {
+			st.Scalars[r.Name] = in.fregs[r.Reg]
+		} else {
+			st.Scalars[r.Name] = float64(in.iregs[r.Reg])
+		}
+	}
+	return st, nil
+}
+
+// Stats reports the dynamic op counts of the last Run.
+func (in *Interp) Stats() InterpStats { return in.stats }
+
+func (in *Interp) block(b *Block) error {
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *OpStmt:
+			if err := in.op(s.Op); err != nil {
+				return err
+			}
+		case *IfStmt:
+			if in.iregs[s.Cond] != 0 {
+				if err := in.block(s.Then); err != nil {
+					return err
+				}
+			} else {
+				if err := in.block(s.Else); err != nil {
+					return err
+				}
+			}
+		case *LoopStmt:
+			n := s.CountImm
+			if s.CountReg != NoReg {
+				n = in.iregs[s.CountReg]
+			}
+			for i := int64(0); i < n; i++ {
+				if err := in.block(s.Body); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sign64f(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func sign64i(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (in *Interp) op(o *Op) error {
+	in.stats.Ops++
+	if in.MaxSteps > 0 && in.stats.Ops > in.MaxSteps {
+		return fmt.Errorf("interp: step limit %d exceeded", in.MaxSteps)
+	}
+	f := in.fregs
+	r := in.iregs
+	switch o.Class {
+	case machine.ClassNop:
+	case machine.ClassFAdd:
+		f[o.Dst] = f[o.Src[0]] + f[o.Src[1]]
+		in.stats.Flops++
+	case machine.ClassFSub:
+		f[o.Dst] = f[o.Src[0]] - f[o.Src[1]]
+		in.stats.Flops++
+	case machine.ClassFMul:
+		f[o.Dst] = f[o.Src[0]] * f[o.Src[1]]
+		in.stats.Flops++
+	case machine.ClassFNeg:
+		f[o.Dst] = -f[o.Src[0]]
+	case machine.ClassFMov:
+		f[o.Dst] = f[o.Src[0]]
+	case machine.ClassFConst:
+		f[o.Dst] = o.FImm
+	case machine.ClassRecv:
+		if in.inPos >= len(in.Input) {
+			return fmt.Errorf("interp: receive beyond end of input (op %d)", o.ID)
+		}
+		f[o.Dst] = in.Input[in.inPos]
+		in.inPos++
+	case machine.ClassSend:
+		in.Output = append(in.Output, f[o.Src[0]])
+	case machine.ClassFRecipSeed:
+		f[o.Dst] = RecipSeed(f[o.Src[0]])
+	case machine.ClassFRsqrtSeed:
+		f[o.Dst] = RsqrtSeed(f[o.Src[0]])
+	case machine.ClassF2I:
+		r[o.Dst] = int64(f[o.Src[0]])
+	case machine.ClassI2F:
+		f[o.Dst] = float64(r[o.Src[0]])
+	case machine.ClassFCmp:
+		r[o.Dst] = b2i(Pred(o.IImm).Eval(sign64f(f[o.Src[0]], f[o.Src[1]])))
+	case machine.ClassIAdd, machine.ClassAdrAdd:
+		r[o.Dst] = r[o.Src[0]] + r[o.Src[1]]
+	case machine.ClassISub:
+		r[o.Dst] = r[o.Src[0]] - r[o.Src[1]]
+	case machine.ClassIMul:
+		r[o.Dst] = r[o.Src[0]] * r[o.Src[1]]
+	case machine.ClassIMov:
+		r[o.Dst] = r[o.Src[0]]
+	case machine.ClassIConst:
+		r[o.Dst] = o.IImm
+	case machine.ClassICmp:
+		r[o.Dst] = b2i(Pred(o.IImm).Eval(sign64i(r[o.Src[0]], r[o.Src[1]])))
+	case machine.ClassISelect:
+		if in.Prog.Kind(o.Dst) == KindFloat {
+			if r[o.Src[0]] != 0 {
+				f[o.Dst] = f[o.Src[1]]
+			} else {
+				f[o.Dst] = f[o.Src[2]]
+			}
+		} else {
+			if r[o.Src[0]] != 0 {
+				r[o.Dst] = r[o.Src[1]]
+			} else {
+				r[o.Dst] = r[o.Src[2]]
+			}
+		}
+	case machine.ClassLoad:
+		addr := r[o.Src[0]] + o.Mem.Disp
+		arr := in.Prog.Array(o.Mem.Array)
+		if addr < 0 || addr >= int64(arr.Size) {
+			return fmt.Errorf("interp: load %s[%d] out of bounds (size %d), op %d", o.Mem.Array, addr, arr.Size, o.ID)
+		}
+		if arr.Kind == KindFloat {
+			f[o.Dst] = in.farrs[o.Mem.Array][addr]
+		} else {
+			r[o.Dst] = in.iarrs[o.Mem.Array][addr]
+		}
+	case machine.ClassStore:
+		addr := r[o.Src[0]] + o.Mem.Disp
+		arr := in.Prog.Array(o.Mem.Array)
+		if addr < 0 || addr >= int64(arr.Size) {
+			return fmt.Errorf("interp: store %s[%d] out of bounds (size %d), op %d", o.Mem.Array, addr, arr.Size, o.ID)
+		}
+		if arr.Kind == KindFloat {
+			in.farrs[o.Mem.Array][addr] = f[o.Src[1]]
+		} else {
+			in.iarrs[o.Mem.Array][addr] = r[o.Src[1]]
+		}
+	default:
+		return fmt.Errorf("interp: cannot execute class %v (op %d)", o.Class, o.ID)
+	}
+	return nil
+}
+
+// Run is a convenience wrapper: interpret p and return its final state.
+func Run(p *Program) (*State, error) {
+	return NewInterp(p).Run()
+}
+
+// RecipSeed is the table-lookup reciprocal approximation (~8 significant
+// bits) modeled after the seed hardware Warp-class FPUs used for software
+// division; Newton steps in the INVERSE expansion refine it.
+func RecipSeed(x float64) float64 {
+	return math.Float64frombits(0x7FDE6238502484BA - math.Float64bits(x))
+}
+
+// RsqrtSeed is the reciprocal-square-root seed (the classic magic-number
+// approximation), refined by the SQRT expansion.
+func RsqrtSeed(x float64) float64 {
+	return math.Float64frombits(0x5FE6EB50C7B537A9 - math.Float64bits(x)>>1)
+}

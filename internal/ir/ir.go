@@ -1,0 +1,584 @@
+// Package ir defines the loop-structured intermediate representation the
+// software pipeliner operates on, together with a reference interpreter
+// that serves as the correctness oracle for all code generators.
+//
+// The IR is deliberately close to the model in Lam (PLDI 1988) §2.1:
+// a loop body is a straight-line sequence of operations over virtual
+// registers (plus nested structured constructs handled by hierarchical
+// reduction), and data dependencies — not an SSA graph — drive scheduling.
+// Virtual registers are mutable; the dependence analyzer in
+// internal/depgraph derives flow/anti/output edges with (delay, omega)
+// attributes from the imperative order.
+//
+// One contract follows from mutability: a register read must be
+// preceded by a write on the executed path.  The interpreter
+// zero-initializes registers, but compiled code shares physical
+// registers between disjoint lifetimes, so a read that no write
+// dominates observes an undefined value.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"softpipe/internal/machine"
+)
+
+// VReg names a virtual register.  NoReg marks an absent operand.
+type VReg int
+
+// NoReg is the absent-register sentinel.
+const NoReg VReg = -1
+
+// Kind is the value kind held by a register or array.
+type Kind int
+
+// Register/array kinds.
+const (
+	KindInt Kind = iota
+	KindFloat
+)
+
+// String returns "int" or "float".
+func (k Kind) String() string {
+	if k == KindFloat {
+		return "float"
+	}
+	return "int"
+}
+
+// Pred is a comparison predicate, stored in Op.IImm for FCmp/ICmp.
+type Pred int64
+
+// Comparison predicates.
+const (
+	PredEQ Pred = iota
+	PredNE
+	PredLT
+	PredLE
+	PredGT
+	PredGE
+)
+
+var predNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+// String returns the predicate mnemonic.
+func (p Pred) String() string {
+	if int(p) < len(predNames) {
+		return predNames[p]
+	}
+	return fmt.Sprintf("pred(%d)", int64(p))
+}
+
+// Eval applies the predicate to an ordering sign (-1, 0, +1).
+func (p Pred) Eval(sign int) bool {
+	switch p {
+	case PredEQ:
+		return sign == 0
+	case PredNE:
+		return sign != 0
+	case PredLT:
+		return sign < 0
+	case PredLE:
+		return sign <= 0
+	case PredGT:
+		return sign > 0
+	case PredGE:
+		return sign >= 0
+	}
+	return false
+}
+
+// Affine describes a memory address as
+//
+//	Const + Σ Coef[loopID]·n(loopID) + Σ Inv[reg]·value(reg)
+//
+// in array-element units, where n(loopID) is the loop's 0-based
+// normalized iteration counter and Inv holds loop-invariant symbolic
+// terms (runtime loop bounds, invariant scalars).  Two references are
+// comparable by the dependence test only when their Inv parts match
+// exactly.  Execution uses the explicit address register instead.
+type Affine struct {
+	Const int64
+	Coef  map[int]int64  // loop ID -> coefficient
+	Inv   map[VReg]int64 // invariant register -> coefficient
+}
+
+// Clone returns a deep copy.
+func (a *Affine) Clone() *Affine {
+	if a == nil {
+		return nil
+	}
+	c := &Affine{Const: a.Const, Coef: make(map[int]int64, len(a.Coef))}
+	for k, v := range a.Coef {
+		c.Coef[k] = v
+	}
+	if a.Inv != nil {
+		c.Inv = make(map[VReg]int64, len(a.Inv))
+		for k, v := range a.Inv {
+			c.Inv[k] = v
+		}
+	}
+	return c
+}
+
+// SameInvariants reports whether two annotations have identical symbolic
+// invariant parts (required for the constant-difference distance test).
+func (a *Affine) SameInvariants(b *Affine) bool {
+	for k, v := range a.Inv {
+		if v != 0 && b.Inv[k] != v {
+			return false
+		}
+	}
+	for k, v := range b.Inv {
+		if v != 0 && a.Inv[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// MemRef annotates a Load/Store with the array it touches, a constant
+// word displacement added to the address register at execution (so many
+// references can share one strength-reduced pointer), and, when the
+// frontend could prove it, the affine form of the full address.
+type MemRef struct {
+	Array  string
+	Disp   int64
+	Affine *Affine // nil means the address is opaque (worst-case deps)
+}
+
+// Op is one machine-independent operation.
+//
+// Operand conventions:
+//
+//	Load:   Dst = value, Src[0] = address (int), Mem != nil
+//	Store:  Src[0] = address (int), Src[1] = value, Mem != nil
+//	FCmp/ICmp: Dst (int) = Pred(Src[0], Src[1]), predicate in IImm
+//	ISelect:   Dst = Src[0] != 0 ? Src[1] : Src[2]
+//	FConst/IConst: Dst = FImm / IImm
+type Op struct {
+	ID    int
+	Class machine.Class
+	Dst   VReg
+	Src   []VReg
+	FImm  float64
+	IImm  int64
+	Mem   *MemRef
+}
+
+// Reads returns the registers the op reads (at issue time).
+func (o *Op) Reads() []VReg { return o.Src }
+
+// Writes returns the register the op writes, or NoReg.
+func (o *Op) Writes() VReg { return o.Dst }
+
+// Clone returns a deep copy of the op (fresh Src slice and MemRef).
+func (o *Op) Clone() *Op {
+	c := *o
+	c.Src = append([]VReg(nil), o.Src...)
+	if o.Mem != nil {
+		m := *o.Mem
+		m.Affine = o.Mem.Affine.Clone()
+		c.Mem = &m
+	}
+	return &c
+}
+
+// String renders the op for diagnostics.
+func (o *Op) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d? ", o.ID)
+	b.Reset()
+	if o.Dst != NoReg {
+		fmt.Fprintf(&b, "r%d = ", o.Dst)
+	}
+	b.WriteString(o.Class.String())
+	switch o.Class {
+	case machine.ClassFConst:
+		fmt.Fprintf(&b, " %g", o.FImm)
+	case machine.ClassIConst:
+		fmt.Fprintf(&b, " %d", o.IImm)
+	case machine.ClassFCmp, machine.ClassICmp:
+		fmt.Fprintf(&b, ".%v", Pred(o.IImm))
+	}
+	for _, s := range o.Src {
+		fmt.Fprintf(&b, " r%d", s)
+	}
+	if o.Mem != nil {
+		fmt.Fprintf(&b, " [%s]", o.Mem.Array)
+	}
+	return b.String()
+}
+
+// Stmt is a statement in a structured block: an operation, a conditional,
+// or a counted loop.
+type Stmt interface{ isStmt() }
+
+// OpStmt wraps a single operation.
+type OpStmt struct{ Op *Op }
+
+// IfStmt is a structured conditional on an int register (0 = false).
+type IfStmt struct {
+	Cond VReg
+	Then *Block
+	Else *Block // may be empty, never nil after Build
+}
+
+// LoopStmt is a counted loop.  The trip count is CountReg when it is not
+// NoReg (a runtime value, evaluated once on entry), otherwise CountImm.
+// A zero or negative count executes the body zero times.
+type LoopStmt struct {
+	ID       int
+	CountReg VReg
+	CountImm int64
+	Body     *Block
+	// NoPipeline forces the backend to skip software pipelining for this
+	// loop (used by tests and by the frontend's `nopipeline` pragma).
+	NoPipeline bool
+	// Independent asserts that iterations carry no memory dependences
+	// (the paper's "compiler directives to disambiguate array
+	// references", Table 4-2); the dependence builder then drops
+	// loop-carried memory edges.
+	Independent bool
+	// ForceUnroll marks the loop for full expansion before scheduling
+	// (the `unroll` source directive), independent of the compiler-wide
+	// unroll threshold.  Only constant-trip, loop-free bodies qualify.
+	ForceUnroll bool
+}
+
+// Block is a sequence of statements.
+type Block struct{ Stmts []Stmt }
+
+func (*OpStmt) isStmt()   {}
+func (*IfStmt) isStmt()   {}
+func (*LoopStmt) isStmt() {}
+
+// ArrayDecl declares a memory-resident array.
+type ArrayDecl struct {
+	Name string
+	Kind Kind
+	Size int
+	// InitF/InitI optionally preset the contents (length <= Size).
+	InitF []float64
+	InitI []int64
+}
+
+// ScalarResult names a register whose final value is an observable output
+// of the program (used by differential tests and result printing).
+type ScalarResult struct {
+	Name string
+	Reg  VReg
+}
+
+// Program is a complete compilation unit: declarations plus one body.
+type Program struct {
+	Name    string
+	Arrays  []*ArrayDecl
+	Results []ScalarResult
+	Body    *Block
+
+	// RegKind[r] is the kind of virtual register r; len(RegKind) is the
+	// number of registers allocated so far.
+	RegKind []Kind
+
+	nextOpID   int
+	nextLoopID int
+}
+
+// NewProgram returns an empty program.
+func NewProgram(name string) *Program {
+	return &Program{Name: name, Body: &Block{}}
+}
+
+// NewReg allocates a fresh virtual register of kind k.
+func (p *Program) NewReg(k Kind) VReg {
+	p.RegKind = append(p.RegKind, k)
+	return VReg(len(p.RegKind) - 1)
+}
+
+// NumRegs reports how many virtual registers exist.
+func (p *Program) NumRegs() int { return len(p.RegKind) }
+
+// Kind returns the kind of register r.
+func (p *Program) Kind(r VReg) Kind { return p.RegKind[r] }
+
+// NewOp allocates an op with a fresh ID.
+func (p *Program) NewOp(class machine.Class) *Op {
+	o := &Op{ID: p.nextOpID, Class: class, Dst: NoReg}
+	p.nextOpID++
+	return o
+}
+
+// CloneOp returns a deep copy of o carrying a fresh operation ID, for
+// passes that duplicate code (e.g. inner-loop unrolling).
+func (p *Program) CloneOp(o *Op) *Op {
+	c := o.Clone()
+	c.ID = p.nextOpID
+	p.nextOpID++
+	return c
+}
+
+// NewLoopID allocates a fresh loop identifier.
+func (p *Program) NewLoopID() int {
+	id := p.nextLoopID
+	p.nextLoopID++
+	return id
+}
+
+// Array returns the declaration of the named array, or nil.
+func (p *Program) Array(name string) *ArrayDecl {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// AddArray declares an array and returns it.
+func (p *Program) AddArray(name string, kind Kind, size int) *ArrayDecl {
+	a := &ArrayDecl{Name: name, Kind: kind, Size: size}
+	p.Arrays = append(p.Arrays, a)
+	return a
+}
+
+// Ops returns the operations of a straight-line block; it returns ok=false
+// if the block contains control flow.
+func (b *Block) Ops() (ops []*Op, ok bool) {
+	for _, s := range b.Stmts {
+		o, isOp := s.(*OpStmt)
+		if !isOp {
+			return nil, false
+		}
+		ops = append(ops, o.Op)
+	}
+	return ops, true
+}
+
+// Validate checks structural invariants: register kinds consistent with op
+// classes, operand counts, memory ops annotated, loop counts sane.
+func (p *Program) Validate(m *machine.Machine) error {
+	return p.validateBlock(p.Body, m)
+}
+
+func (p *Program) validateBlock(b *Block, m *machine.Machine) error {
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *OpStmt:
+			if err := p.validateOp(s.Op, m); err != nil {
+				return err
+			}
+		case *IfStmt:
+			if s.Cond == NoReg || int(s.Cond) >= p.NumRegs() || p.Kind(s.Cond) != KindInt {
+				return fmt.Errorf("if: bad condition register r%d", s.Cond)
+			}
+			if s.Then == nil || s.Else == nil {
+				return fmt.Errorf("if: nil branch block")
+			}
+			if err := p.validateBlock(s.Then, m); err != nil {
+				return err
+			}
+			if err := p.validateBlock(s.Else, m); err != nil {
+				return err
+			}
+		case *LoopStmt:
+			if s.CountReg != NoReg && p.Kind(s.CountReg) != KindInt {
+				return fmt.Errorf("loop %d: count register r%d is not int", s.ID, s.CountReg)
+			}
+			if s.Body == nil {
+				return fmt.Errorf("loop %d: nil body", s.ID)
+			}
+			if err := p.validateBlock(s.Body, m); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown statement type %T", s)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateOp(o *Op, m *machine.Machine) error {
+	if m.Desc(o.Class) == nil {
+		return fmt.Errorf("op %d: class %v unsupported on %s", o.ID, o.Class, m.Name)
+	}
+	check := func(r VReg, want Kind, what string) error {
+		if r == NoReg || int(r) >= p.NumRegs() {
+			return fmt.Errorf("op %d (%v): bad %s register r%d", o.ID, o.Class, what, r)
+		}
+		if p.Kind(r) != want {
+			return fmt.Errorf("op %d (%v): %s register r%d is %v, want %v", o.ID, o.Class, what, r, p.Kind(r), want)
+		}
+		return nil
+	}
+	wantSrc := func(n int) error {
+		if len(o.Src) != n {
+			return fmt.Errorf("op %d (%v): have %d operands, want %d", o.ID, o.Class, len(o.Src), n)
+		}
+		return nil
+	}
+	switch o.Class {
+	case machine.ClassFAdd, machine.ClassFSub, machine.ClassFMul:
+		if err := wantSrc(2); err != nil {
+			return err
+		}
+		for _, s := range o.Src {
+			if err := check(s, KindFloat, "source"); err != nil {
+				return err
+			}
+		}
+		return check(o.Dst, KindFloat, "dest")
+	case machine.ClassFNeg, machine.ClassFMov, machine.ClassFRecipSeed, machine.ClassFRsqrtSeed:
+		if err := wantSrc(1); err != nil {
+			return err
+		}
+		if err := check(o.Src[0], KindFloat, "source"); err != nil {
+			return err
+		}
+		return check(o.Dst, KindFloat, "dest")
+	case machine.ClassF2I:
+		if err := wantSrc(1); err != nil {
+			return err
+		}
+		if err := check(o.Src[0], KindFloat, "source"); err != nil {
+			return err
+		}
+		return check(o.Dst, KindInt, "dest")
+	case machine.ClassI2F:
+		if err := wantSrc(1); err != nil {
+			return err
+		}
+		if err := check(o.Src[0], KindInt, "source"); err != nil {
+			return err
+		}
+		return check(o.Dst, KindFloat, "dest")
+	case machine.ClassFConst:
+		if err := wantSrc(0); err != nil {
+			return err
+		}
+		return check(o.Dst, KindFloat, "dest")
+	case machine.ClassRecv:
+		if err := wantSrc(0); err != nil {
+			return err
+		}
+		return check(o.Dst, KindFloat, "dest")
+	case machine.ClassSend:
+		if err := wantSrc(1); err != nil {
+			return err
+		}
+		if o.Dst != NoReg {
+			return fmt.Errorf("op %d: send with destination", o.ID)
+		}
+		return check(o.Src[0], KindFloat, "value")
+	case machine.ClassFCmp:
+		if err := wantSrc(2); err != nil {
+			return err
+		}
+		for _, s := range o.Src {
+			if err := check(s, KindFloat, "source"); err != nil {
+				return err
+			}
+		}
+		return check(o.Dst, KindInt, "dest")
+	case machine.ClassIAdd, machine.ClassISub, machine.ClassIMul, machine.ClassICmp, machine.ClassAdrAdd:
+		if err := wantSrc(2); err != nil {
+			return err
+		}
+		for _, s := range o.Src {
+			if err := check(s, KindInt, "source"); err != nil {
+				return err
+			}
+		}
+		return check(o.Dst, KindInt, "dest")
+	case machine.ClassIMov:
+		if err := wantSrc(1); err != nil {
+			return err
+		}
+		if err := check(o.Src[0], KindInt, "source"); err != nil {
+			return err
+		}
+		return check(o.Dst, KindInt, "dest")
+	case machine.ClassIConst:
+		if err := wantSrc(0); err != nil {
+			return err
+		}
+		return check(o.Dst, KindInt, "dest")
+	case machine.ClassISelect:
+		if err := wantSrc(3); err != nil {
+			return err
+		}
+		if err := check(o.Src[0], KindInt, "condition"); err != nil {
+			return err
+		}
+		k := p.Kind(o.Dst)
+		if err := check(o.Src[1], k, "source"); err != nil {
+			return err
+		}
+		return check(o.Src[2], k, "source")
+	case machine.ClassLoad:
+		if err := wantSrc(1); err != nil {
+			return err
+		}
+		if o.Mem == nil || p.Array(o.Mem.Array) == nil {
+			return fmt.Errorf("op %d: load without valid memory annotation", o.ID)
+		}
+		if err := check(o.Src[0], KindInt, "address"); err != nil {
+			return err
+		}
+		return check(o.Dst, p.Array(o.Mem.Array).Kind, "dest")
+	case machine.ClassStore:
+		if err := wantSrc(2); err != nil {
+			return err
+		}
+		if o.Mem == nil || p.Array(o.Mem.Array) == nil {
+			return fmt.Errorf("op %d: store without valid memory annotation", o.ID)
+		}
+		if err := check(o.Src[0], KindInt, "address"); err != nil {
+			return err
+		}
+		if o.Dst != NoReg {
+			return fmt.Errorf("op %d: store with destination", o.ID)
+		}
+		return check(o.Src[1], p.Array(o.Mem.Array).Kind, "value")
+	default:
+		return fmt.Errorf("op %d: class %v not valid in IR bodies", o.ID, o.Class)
+	}
+}
+
+// String pretty-prints the whole program.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, a := range p.Arrays {
+		fmt.Fprintf(&b, "  array %s: %v[%d]\n", a.Name, a.Kind, a.Size)
+	}
+	p.printBlock(&b, p.Body, 1)
+	return b.String()
+}
+
+func (p *Program) printBlock(b *strings.Builder, blk *Block, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range blk.Stmts {
+		switch s := s.(type) {
+		case *OpStmt:
+			fmt.Fprintf(b, "%s%s\n", ind, s.Op)
+		case *IfStmt:
+			fmt.Fprintf(b, "%sif r%d {\n", ind, s.Cond)
+			p.printBlock(b, s.Then, depth+1)
+			if len(s.Else.Stmts) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				p.printBlock(b, s.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *LoopStmt:
+			if s.CountReg != NoReg {
+				fmt.Fprintf(b, "%sloop %d times r%d {\n", ind, s.ID, s.CountReg)
+			} else {
+				fmt.Fprintf(b, "%sloop %d times %d {\n", ind, s.ID, s.CountImm)
+			}
+			p.printBlock(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		}
+	}
+}

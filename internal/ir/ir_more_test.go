@@ -1,0 +1,172 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"softpipe/internal/machine"
+)
+
+func TestSelectAndConversions(t *testing.T) {
+	b := NewBuilder("selconv")
+	x := b.FConst(2.75)
+	y := b.FConst(-1.5)
+	ci := b.ICmp(PredLT, b.IConst(1), b.IConst(2))
+	fsel := b.Select(ci, x, y)
+	isel := b.Select(ci, b.IConst(10), b.IConst(20))
+	b.Result("fsel", fsel)
+	b.Result("isel", isel)
+
+	// trunc / float round trip.
+	tr := b.P.NewOp(machine.ClassF2I)
+	tr.Dst = b.P.NewReg(KindInt)
+	tr.Src = []VReg{x}
+	b.Emit(tr)
+	fl := b.P.NewOp(machine.ClassI2F)
+	fl.Dst = b.P.NewReg(KindFloat)
+	fl.Src = []VReg{tr.Dst}
+	b.Emit(fl)
+	b.Result("trunc", tr.Dst)
+	b.Result("back", fl.Dst)
+
+	neg := b.FNeg(x)
+	mov := b.FMov(neg)
+	b.Result("mov", mov)
+
+	st, err := Run(b.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"fsel": 2.75, "isel": 10, "trunc": 2, "back": 2, "mov": -2.75,
+	}
+	for k, v := range want {
+		if st.Scalars[k] != v {
+			t.Errorf("%s = %v, want %v", k, st.Scalars[k], v)
+		}
+	}
+}
+
+func TestSelectFalsePath(t *testing.T) {
+	b := NewBuilder("selfalse")
+	cond := b.ICmp(PredGT, b.IConst(1), b.IConst(2))
+	v := b.Select(cond, b.FConst(1), b.FConst(9))
+	b.Result("v", v)
+	st, err := Run(b.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scalars["v"] != 9 {
+		t.Errorf("select false arm = %v", st.Scalars["v"])
+	}
+}
+
+func TestIntArrays(t *testing.T) {
+	b := NewBuilder("intarr")
+	arr := b.Array("n", KindInt, 8)
+	arr.InitI = []int64{5, 4, 3, 2, 1, 0, -1, -2}
+	b.ForN(8, func(l *LoopCtx) {
+		p := l.Pointer(0, 1)
+		v := b.Load("n", p, Aff(l.ID, 1, 0))
+		w := b.IMul(v, v)
+		b.Store("n", p, w, Aff(l.ID, 1, 0))
+	})
+	st, err := Run(b.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range []int64{5, 4, 3, 2, 1, 0, -1, -2} {
+		if st.IntArrays["n"][i] != in*in {
+			t.Errorf("n[%d] = %d", i, st.IntArrays["n"][i])
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	b := NewBuilder("printer")
+	b.Array("a", KindFloat, 4)
+	c := b.FConst(1)
+	b.ForN(4, func(l *LoopCtx) {
+		p := l.Pointer(0, 1)
+		v := b.Load("a", p, Aff(l.ID, 1, 0))
+		cond := b.FCmp(PredGT, v, c)
+		b.If(cond, func() {
+			b.Store("a", p, c, Aff(l.ID, 1, 0))
+		}, func() {
+			b.Store("a", p, v, Aff(l.ID, 1, 0))
+		})
+	})
+	s := b.P.String()
+	for _, want := range []string{"program printer", "array a", "loop 0 times 4", "if r", "} else {", "fcmp.gt", "load", "store"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOpClone(t *testing.T) {
+	p := NewProgram("clone")
+	p.AddArray("a", KindFloat, 4)
+	op := p.NewOp(machine.ClassLoad)
+	op.Dst = p.NewReg(KindFloat)
+	op.Src = []VReg{p.NewReg(KindInt)}
+	op.Mem = &MemRef{Array: "a", Disp: 2, Affine: &Affine{Const: 1, Coef: map[int]int64{0: 1}}}
+	c := op.Clone()
+	c.Src[0] = 99
+	c.Mem.Affine.Coef[0] = 42
+	c.Mem.Disp = 7
+	if op.Src[0] == 99 || op.Mem.Affine.Coef[0] == 42 || op.Mem.Disp == 7 {
+		t.Error("Clone must be deep")
+	}
+}
+
+func TestValidateControlShapes(t *testing.T) {
+	m := machine.Warp()
+	p := NewProgram("ctl")
+	f := p.NewReg(KindFloat)
+	bad := &IfStmt{Cond: f, Then: &Block{}, Else: &Block{}}
+	p.Body.Stmts = []Stmt{bad}
+	if err := p.Validate(m); err == nil {
+		t.Error("float if-condition must be rejected")
+	}
+	p2 := NewProgram("ctl2")
+	r := p2.NewReg(KindFloat)
+	loop := &LoopStmt{CountReg: r, Body: &Block{}}
+	p2.Body.Stmts = []Stmt{loop}
+	if err := p2.Validate(m); err == nil {
+		t.Error("float loop count must be rejected")
+	}
+}
+
+func TestInterpStats(t *testing.T) {
+	b := NewBuilder("stats")
+	x := b.FConst(1)
+	y := b.FAdd(x, x)
+	b.Result("y", b.FMul(y, y))
+	in := NewInterp(b.P)
+	if _, err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Stats()
+	if st.Ops != 3 || st.Flops != 2 {
+		t.Errorf("stats = %+v, want 3 ops, 2 flops", st)
+	}
+}
+
+func TestIVCounter(t *testing.T) {
+	b := NewBuilder("iv")
+	b.Array("a", KindInt, 6)
+	b.ForN(6, func(l *LoopCtx) {
+		p := l.Pointer(0, 1)
+		b.Store("a", p, l.IV(), Aff(l.ID, 1, 0))
+	})
+	st, err := Run(b.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if st.IntArrays["a"][i] != int64(i) {
+			t.Errorf("iv at %d = %d", i, st.IntArrays["a"][i])
+		}
+	}
+}

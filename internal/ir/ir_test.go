@@ -1,0 +1,239 @@
+package ir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"softpipe/internal/machine"
+)
+
+func TestPredEval(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		sign int
+		want bool
+	}{
+		{PredEQ, 0, true}, {PredEQ, 1, false},
+		{PredNE, 0, false}, {PredNE, -1, true},
+		{PredLT, -1, true}, {PredLT, 0, false},
+		{PredLE, 0, true}, {PredLE, 1, false},
+		{PredGT, 1, true}, {PredGT, 0, false},
+		{PredGE, 0, true}, {PredGE, -1, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Eval(c.sign); got != c.want {
+			t.Errorf("%v.Eval(%d) = %v", c.p, c.sign, got)
+		}
+	}
+}
+
+// Property: for every predicate and pair of ints, Eval agrees with the
+// direct comparison (testing/quick).
+func TestPredEvalQuick(t *testing.T) {
+	f := func(a, b int32, predRaw uint8) bool {
+		p := Pred(predRaw % 6)
+		sign := 0
+		if a < b {
+			sign = -1
+		} else if a > b {
+			sign = 1
+		}
+		want := map[Pred]bool{
+			PredEQ: a == b, PredNE: a != b, PredLT: a < b,
+			PredLE: a <= b, PredGT: a > b, PredGE: a >= b,
+		}[p]
+		return p.Eval(sign) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Affine Clone is deep and SameInvariants is an equivalence on
+// the generated values.
+func TestAffineCloneQuick(t *testing.T) {
+	f := func(c int64, k1, k2 uint8, v1, v2 int64) bool {
+		a := &Affine{Const: c, Coef: map[int]int64{int(k1): v1}, Inv: map[VReg]int64{VReg(k2): v2}}
+		b := a.Clone()
+		if !a.SameInvariants(b) {
+			return false
+		}
+		b.Inv[VReg(k2)] = v2 + 1
+		// Clone must be independent.
+		if a.Inv[VReg(k2)] != v2 {
+			return false
+		}
+		return v2+1 == 0 || !a.SameInvariants(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameInvariantsZeroEntries(t *testing.T) {
+	a := &Affine{Inv: map[VReg]int64{1: 0}}
+	b := &Affine{}
+	if !a.SameInvariants(b) {
+		t.Error("zero-coefficient invariants must not distinguish annotations")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	m := machine.Warp()
+	p := NewProgram("bad")
+	f := p.NewReg(KindFloat)
+	i := p.NewReg(KindInt)
+
+	mk := func(c machine.Class, dst VReg, src ...VReg) *Program {
+		q := NewProgram("bad")
+		q.RegKind = append([]Kind{}, p.RegKind...)
+		op := q.NewOp(c)
+		op.Dst = dst
+		op.Src = src
+		q.Body.Stmts = []Stmt{&OpStmt{Op: op}}
+		return q
+	}
+	if err := mk(machine.ClassFAdd, f, f, i).Validate(m); err == nil {
+		t.Error("fadd with int source must fail")
+	}
+	if err := mk(machine.ClassFAdd, i, f, f).Validate(m); err == nil {
+		t.Error("fadd with int dest must fail")
+	}
+	if err := mk(machine.ClassFAdd, f, f).Validate(m); err == nil {
+		t.Error("fadd with one operand must fail")
+	}
+	if err := mk(machine.ClassLoad, f, i).Validate(m); err == nil {
+		t.Error("load without memory annotation must fail")
+	}
+}
+
+func TestInterpArithmetic(t *testing.T) {
+	b := NewBuilder("arith")
+	x := b.FConst(3)
+	y := b.FConst(4)
+	sum := b.FAdd(x, y)
+	dif := b.FSub(x, y)
+	prd := b.FMul(x, y)
+	neg := b.FNeg(x)
+	b.Result("sum", sum)
+	b.Result("dif", dif)
+	b.Result("prd", prd)
+	b.Result("neg", neg)
+	i1 := b.IConst(10)
+	i2 := b.IConst(3)
+	b.Result("iadd", b.IAdd(i1, i2))
+	b.Result("isub", b.ISub(i1, i2))
+	b.Result("imul", b.IMul(i1, i2))
+	b.Result("cmp", b.ICmp(PredGT, i1, i2))
+	st, err := Run(b.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"sum": 7, "dif": -1, "prd": 12, "neg": -3,
+		"iadd": 13, "isub": 7, "imul": 30, "cmp": 1,
+	}
+	for k, v := range want {
+		if st.Scalars[k] != v {
+			t.Errorf("%s = %v, want %v", k, st.Scalars[k], v)
+		}
+	}
+}
+
+func TestInterpSeeds(t *testing.T) {
+	// The seed ops must be deterministic and within coarse tolerance.
+	for _, x := range []float64{0.5, 1, 2, 10, 123.25} {
+		r := RecipSeed(x)
+		if math.Abs(r*x-1) > 0.2 {
+			t.Errorf("RecipSeed(%v) = %v too far", x, r)
+		}
+		q := RsqrtSeed(x)
+		if math.Abs(q*q*x-1) > 0.2 {
+			t.Errorf("RsqrtSeed(%v) = %v too far", x, q)
+		}
+	}
+}
+
+func TestInterpBoundsChecked(t *testing.T) {
+	b := NewBuilder("oob")
+	b.Array("a", KindFloat, 4)
+	addr := b.IConst(9)
+	b.Load("a", addr, nil)
+	if _, err := Run(b.P); err == nil {
+		t.Fatal("out-of-bounds load must fail")
+	}
+}
+
+func TestInterpStepLimit(t *testing.T) {
+	b := NewBuilder("long")
+	b.Array("a", KindFloat, 4)
+	b.ForN(1000, func(l *LoopCtx) {
+		p := l.Pointer(0, 0)
+		v := b.Load("a", p, nil)
+		b.Store("a", p, v, nil)
+	})
+	in := NewInterp(b.P)
+	in.MaxSteps = 10
+	if _, err := in.Run(); err == nil {
+		t.Fatal("step limit must trip")
+	}
+}
+
+func TestStateDiff(t *testing.T) {
+	a := &State{
+		FloatArrays: map[string][]float64{"x": {1, 2}},
+		IntArrays:   map[string][]int64{},
+		Scalars:     map[string]float64{"s": 1},
+	}
+	b := &State{
+		FloatArrays: map[string][]float64{"x": {1, 3}},
+		IntArrays:   map[string][]int64{},
+		Scalars:     map[string]float64{"s": 1},
+	}
+	if a.Equal(b) || a.Diff(b) == "" {
+		t.Error("differing states must not compare equal")
+	}
+	if !a.Equal(a) || a.Diff(a) != "" {
+		t.Error("state must equal itself")
+	}
+}
+
+func TestBuilderDeterministicIDs(t *testing.T) {
+	mk := func() *Program {
+		b := NewBuilder("det")
+		b.Array("a", KindFloat, 8)
+		c := b.FConst(1)
+		b.ForN(4, func(l *LoopCtx) {
+			p := l.Pointer(0, 1)
+			v := b.Load("a", p, Aff(l.ID, 1, 0))
+			b.Store("a", p, b.FAdd(v, c), Aff(l.ID, 1, 0))
+		})
+		return b.P
+	}
+	if mk().String() != mk().String() {
+		t.Error("builder output must be deterministic")
+	}
+}
+
+func TestPointerSemantics(t *testing.T) {
+	// Pointer(init, step) holds init + step*k during iteration k.
+	b := NewBuilder("ptr")
+	b.Array("a", KindFloat, 16)
+	out := b.Array("c", KindFloat, 16)
+	_ = out
+	one := b.FConst(1)
+	b.ForN(5, func(l *LoopCtx) {
+		p := l.Pointer(2, 3) // 2, 5, 8, 11, 14
+		b.Store("c", p, one, Aff(l.ID, 3, 2))
+	})
+	st, err := Run(b.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0} {
+		if st.FloatArrays["c"][i] != want {
+			t.Fatalf("c[%d] = %v, want %v", i, st.FloatArrays["c"][i], want)
+		}
+	}
+}

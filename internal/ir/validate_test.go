@@ -1,0 +1,226 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"softpipe/internal/machine"
+)
+
+// TestValidateRejections drives Program.Validate through every rejection
+// class: wrong register kinds, bad operand counts, missing memory
+// annotations, malformed structured statements.
+func TestValidateRejections(t *testing.T) {
+	m := machine.Warp()
+	cases := []struct {
+		name  string
+		build func(p *Program) // p starts with f0..f1 float, i0..i1 int, array "a"
+		want  string
+	}{
+		{
+			name: "fadd int source",
+			build: func(p *Program) {
+				o := p.NewOp(machine.ClassFAdd)
+				o.Dst = 0
+				o.Src = []VReg{0, 2} // r2 is int
+				p.Body.Stmts = append(p.Body.Stmts, &OpStmt{Op: o})
+			},
+			want: "want float",
+		},
+		{
+			name: "fadd wrong arity",
+			build: func(p *Program) {
+				o := p.NewOp(machine.ClassFAdd)
+				o.Dst = 0
+				o.Src = []VReg{0}
+				p.Body.Stmts = append(p.Body.Stmts, &OpStmt{Op: o})
+			},
+			want: "want 2",
+		},
+		{
+			name: "fadd dest missing",
+			build: func(p *Program) {
+				o := p.NewOp(machine.ClassFAdd)
+				o.Src = []VReg{0, 1}
+				p.Body.Stmts = append(p.Body.Stmts, &OpStmt{Op: o})
+			},
+			want: "bad dest register",
+		},
+		{
+			name: "register out of range",
+			build: func(p *Program) {
+				o := p.NewOp(machine.ClassFMov)
+				o.Dst = 0
+				o.Src = []VReg{99}
+				p.Body.Stmts = append(p.Body.Stmts, &OpStmt{Op: o})
+			},
+			want: "bad source register",
+		},
+		{
+			name: "load without mem annotation",
+			build: func(p *Program) {
+				o := p.NewOp(machine.ClassLoad)
+				o.Dst = 0
+				o.Src = []VReg{2}
+				p.Body.Stmts = append(p.Body.Stmts, &OpStmt{Op: o})
+			},
+			want: "without valid memory annotation",
+		},
+		{
+			name: "load from unknown array",
+			build: func(p *Program) {
+				o := p.NewOp(machine.ClassLoad)
+				o.Dst = 0
+				o.Src = []VReg{2}
+				o.Mem = &MemRef{Array: "nope"}
+				p.Body.Stmts = append(p.Body.Stmts, &OpStmt{Op: o})
+			},
+			want: "without valid memory annotation",
+		},
+		{
+			name: "load float address",
+			build: func(p *Program) {
+				o := p.NewOp(machine.ClassLoad)
+				o.Dst = 0
+				o.Src = []VReg{1} // float reg as address
+				o.Mem = &MemRef{Array: "a"}
+				p.Body.Stmts = append(p.Body.Stmts, &OpStmt{Op: o})
+			},
+			want: "address register",
+		},
+		{
+			name: "store with destination",
+			build: func(p *Program) {
+				o := p.NewOp(machine.ClassStore)
+				o.Dst = 0
+				o.Src = []VReg{2, 0}
+				o.Mem = &MemRef{Array: "a"}
+				p.Body.Stmts = append(p.Body.Stmts, &OpStmt{Op: o})
+			},
+			want: "store with destination",
+		},
+		{
+			name: "store int value into float array",
+			build: func(p *Program) {
+				o := p.NewOp(machine.ClassStore)
+				o.Dst = NoReg
+				o.Src = []VReg{2, 3} // value r3 is int, array is float
+				o.Mem = &MemRef{Array: "a"}
+				p.Body.Stmts = append(p.Body.Stmts, &OpStmt{Op: o})
+			},
+			want: "want float",
+		},
+		{
+			name: "send with destination",
+			build: func(p *Program) {
+				o := p.NewOp(machine.ClassSend)
+				o.Dst = 0
+				o.Src = []VReg{0}
+				p.Body.Stmts = append(p.Body.Stmts, &OpStmt{Op: o})
+			},
+			want: "send with destination",
+		},
+		{
+			name: "iselect mixed operand kinds",
+			build: func(p *Program) {
+				o := p.NewOp(machine.ClassISelect)
+				o.Dst = 0               // float dest
+				o.Src = []VReg{2, 0, 3} // r3 int, dest float
+				p.Body.Stmts = append(p.Body.Stmts, &OpStmt{Op: o})
+			},
+			want: "want float",
+		},
+		{
+			name: "if condition is float",
+			build: func(p *Program) {
+				p.Body.Stmts = append(p.Body.Stmts, &IfStmt{Cond: 0, Then: &Block{}, Else: &Block{}})
+			},
+			want: "bad condition register",
+		},
+		{
+			name: "if nil arm",
+			build: func(p *Program) {
+				p.Body.Stmts = append(p.Body.Stmts, &IfStmt{Cond: 2, Then: &Block{}})
+			},
+			want: "nil branch block",
+		},
+		{
+			name: "loop float count register",
+			build: func(p *Program) {
+				p.Body.Stmts = append(p.Body.Stmts, &LoopStmt{CountReg: 0, Body: &Block{}})
+			},
+			want: "not int",
+		},
+		{
+			name: "loop nil body",
+			build: func(p *Program) {
+				p.Body.Stmts = append(p.Body.Stmts, &LoopStmt{CountReg: NoReg, CountImm: 3})
+			},
+			want: "nil body",
+		},
+		{
+			name: "bad op inside loop inside if",
+			build: func(p *Program) {
+				o := p.NewOp(machine.ClassIAdd)
+				o.Dst = 2
+				o.Src = []VReg{2, 0} // float source
+				inner := &LoopStmt{CountReg: NoReg, CountImm: 2,
+					Body: &Block{Stmts: []Stmt{&OpStmt{Op: o}}}}
+				p.Body.Stmts = append(p.Body.Stmts,
+					&IfStmt{Cond: 2, Then: &Block{Stmts: []Stmt{inner}}, Else: &Block{}})
+			},
+			want: "want int",
+		},
+		{
+			name: "object-only class rejected in IR",
+			build: func(p *Program) {
+				o := p.NewOp(machine.ClassIAnd)
+				o.Dst = 2
+				o.Src = []VReg{2}
+				p.Body.Stmts = append(p.Body.Stmts, &OpStmt{Op: o})
+			},
+			want: "not valid in IR bodies",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewProgram("v")
+			p.NewReg(KindFloat) // r0
+			p.NewReg(KindFloat) // r1
+			p.NewReg(KindInt)   // r2
+			p.NewReg(KindInt)   // r3
+			p.AddArray("a", KindFloat, 8)
+			tc.build(p)
+			err := p.Validate(m)
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateAccepts: a program touching every op family must pass.
+func TestValidateAccepts(t *testing.T) {
+	b := NewBuilder("ok")
+	b.Array("a", KindFloat, 8)
+	b.Array("n", KindInt, 8)
+	f := b.FConst(2)
+	i := b.IConst(3)
+	b.ForN(4, func(l *LoopCtx) {
+		p := l.Pointer(0, 1)
+		v := b.Load("a", p, Aff(l.ID, 1, 0))
+		w := b.FAdd(b.FMul(v, f), b.FNeg(v))
+		c := b.FCmp(PredGT, w, f)
+		s := b.Select(c, w, v)
+		b.Store("a", p, s, Aff(l.ID, 1, 0))
+		k := b.Load("n", p, Aff(l.ID, 1, 0))
+		b.Store("n", p, b.IAdd(k, i), Aff(l.ID, 1, 0))
+		b.Send(b.Recv())
+	})
+	if err := b.P.Validate(machine.Warp()); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}

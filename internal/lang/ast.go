@@ -1,0 +1,146 @@
+package lang
+
+import "fmt"
+
+// Type describes a W2 type: a scalar or a (possibly 2-D) array.
+type Type struct {
+	// Real distinguishes real from int scalars/elements.
+	Real bool
+	// Dims holds array dimensions, outermost first; empty for scalars.
+	Dims []int
+}
+
+// IsScalar reports whether the type has no array dimensions.
+func (t Type) IsScalar() bool { return len(t.Dims) == 0 }
+
+// Elems returns the total element count (1 for scalars).
+func (t Type) Elems() int {
+	n := 1
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+// String names the type as it appears in source.
+func (t Type) String() string {
+	s := "int"
+	if t.Real {
+		s = "real"
+	}
+	for i := len(t.Dims) - 1; i >= 0; i-- {
+		s = fmt.Sprintf("array[0..%d] of %s", t.Dims[i]-1, s)
+	}
+	return s
+}
+
+// VarDecl declares one variable.
+type VarDecl struct {
+	Name string
+	Type Type
+	Line int
+}
+
+// ConstDecl declares one named compile-time constant.
+type ConstDecl struct {
+	Name string
+	Real bool
+	IVal int64
+	FVal float64
+	Line int
+}
+
+// ProgramAST is a parsed compilation unit.
+type ProgramAST struct {
+	Name   string
+	Consts []*ConstDecl
+	Vars   []*VarDecl
+	Body   []StmtAST
+}
+
+// StmtAST is a statement node.
+type StmtAST interface{ stmtNode() }
+
+// AssignStmt is lvalue := expr.
+type AssignStmt struct {
+	Target *VarRef
+	Value  ExprAST
+	Line   int
+}
+
+// IfStmtAST is if/then/else.
+type IfStmtAST struct {
+	Cond ExprAST
+	Then []StmtAST
+	Else []StmtAST
+	Line int
+}
+
+// SendStmt enqueues a value on the cell's output channel (W2's
+// asynchronous inter-cell communication primitive).
+type SendStmt struct {
+	Value ExprAST
+	Line  int
+}
+
+// ForStmt is for v := lo to|downto hi do body.
+type ForStmt struct {
+	Var         string
+	Lo, Hi      ExprAST
+	Down        bool
+	Body        []StmtAST
+	NoPipeline  bool
+	Independent bool // `independent` directive: no loop-carried memory deps
+	Unroll      bool // `unroll` directive: fully expand this constant-trip loop
+	Line        int
+}
+
+func (*AssignStmt) stmtNode() {}
+func (*SendStmt) stmtNode()   {}
+func (*IfStmtAST) stmtNode()  {}
+func (*ForStmt) stmtNode()    {}
+
+// ExprAST is an expression node.
+type ExprAST interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+// RealLit is a real literal.
+type RealLit struct{ Val float64 }
+
+// VarRef references a scalar variable or an indexed array element.
+type VarRef struct {
+	Name  string
+	Index []ExprAST // 0, 1 or 2 subscripts
+	Line  int
+}
+
+// BinExpr is a binary operation: + - * / = <> < <= > >= and or.
+type BinExpr struct {
+	Op   string
+	L, R ExprAST
+	Line int
+}
+
+// UnExpr is unary - or not.
+type UnExpr struct {
+	Op   string
+	X    ExprAST
+	Line int
+}
+
+// CallExpr is an intrinsic call: sqrt, inverse, exp, abs, min, max,
+// float, trunc.
+type CallExpr struct {
+	Name string
+	Args []ExprAST
+	Line int
+}
+
+func (*IntLit) exprNode()   {}
+func (*RealLit) exprNode()  {}
+func (*VarRef) exprNode()   {}
+func (*BinExpr) exprNode()  {}
+func (*UnExpr) exprNode()   {}
+func (*CallExpr) exprNode() {}

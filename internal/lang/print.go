@@ -1,0 +1,174 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a parsed program back to canonical W2 source: two-space
+// indentation, one statement per line, minimal parentheses (the printer
+// re-parenthesizes by precedence).  Parse(Format(Parse(src))) yields the
+// same AST as Parse(src).
+func Format(p *ProgramAST) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s;\n", p.Name)
+	for _, c := range p.Consts {
+		if c.Real {
+			fmt.Fprintf(&b, "const %s = %s;\n", c.Name, formatReal(c.FVal))
+		} else {
+			fmt.Fprintf(&b, "const %s = %d;\n", c.Name, c.IVal)
+		}
+	}
+	if len(p.Vars) > 0 {
+		b.WriteString("var ")
+		for i, v := range p.Vars {
+			if i > 0 {
+				b.WriteString("    ")
+			}
+			fmt.Fprintf(&b, "%s: %s;\n", v.Name, formatType(v.Type))
+		}
+	}
+	b.WriteString("begin\n")
+	printStmts(&b, p.Body, 1)
+	b.WriteString("end.\n")
+	return b.String()
+}
+
+func formatType(t Type) string {
+	s := "int"
+	if t.Real {
+		s = "real"
+	}
+	for i := len(t.Dims) - 1; i >= 0; i-- {
+		s = fmt.Sprintf("array [0..%d] of %s", t.Dims[i]-1, s)
+	}
+	return s
+}
+
+// formatReal prints a float so it re-lexes as a real literal.
+func formatReal(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	// The lexer has no leading '-' in literals; the parser handles unary
+	// minus, so print negatives as expressions.
+	return s
+}
+
+func printStmts(b *strings.Builder, ss []StmtAST, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *AssignStmt:
+			fmt.Fprintf(b, "%s%s := %s;\n", ind, formatVarRef(s.Target), formatExpr(s.Value, 0))
+		case *SendStmt:
+			fmt.Fprintf(b, "%ssend(%s);\n", ind, formatExpr(s.Value, 0))
+		case *IfStmtAST:
+			fmt.Fprintf(b, "%sif %s then begin\n", ind, formatExpr(s.Cond, 0))
+			printStmts(b, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(b, "%send else begin\n", ind)
+				printStmts(b, s.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%send;\n", ind)
+		case *ForStmt:
+			dir := "to"
+			if s.Down {
+				dir = "downto"
+			}
+			prefix := ""
+			if s.NoPipeline {
+				prefix = "nopipeline "
+			}
+			if s.Independent {
+				prefix += "independent "
+			}
+			if s.Unroll {
+				prefix += "unroll "
+			}
+			fmt.Fprintf(b, "%s%sfor %s := %s %s %s do begin\n",
+				ind, prefix, s.Var, formatExpr(s.Lo, 0), dir, formatExpr(s.Hi, 0))
+			printStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%send;\n", ind)
+		}
+	}
+}
+
+func formatVarRef(v *VarRef) string {
+	s := v.Name
+	for _, ix := range v.Index {
+		s += "[" + formatExpr(ix, 0) + "]"
+	}
+	return s
+}
+
+// Operator precedence levels for minimal parenthesization, mirroring the
+// parser: or(1) < and(2) < relational(3) < additive(4) < multiplicative(5)
+// < unary(6).
+func precOf(op string) int {
+	switch op {
+	case "or":
+		return 1
+	case "and":
+		return 2
+	case "=", "<>", "<", "<=", ">", ">=":
+		return 3
+	case "+", "-":
+		return 4
+	case "*", "/":
+		return 5
+	}
+	return 6
+}
+
+func formatExpr(e ExprAST, parent int) string {
+	switch e := e.(type) {
+	case *IntLit:
+		if e.Val < 0 {
+			return parenIf(fmt.Sprintf("-%d", -e.Val), 6 < parent)
+		}
+		return fmt.Sprintf("%d", e.Val)
+	case *RealLit:
+		if e.Val < 0 {
+			return parenIf("-"+formatReal(-e.Val), 6 < parent)
+		}
+		return formatReal(e.Val)
+	case *VarRef:
+		return formatVarRef(e)
+	case *UnExpr:
+		inner := formatExpr(e.X, 6)
+		var s string
+		if e.Op == "not" {
+			s = "not " + inner
+		} else {
+			s = e.Op + inner
+		}
+		return parenIf(s, 6 < parent)
+	case *BinExpr:
+		p := precOf(e.Op)
+		// Left-associative grammar: the right operand needs one level
+		// more; relations are non-associative, so both sides do.
+		lp, rp := p, p+1
+		if p == 3 {
+			lp = p + 1
+		}
+		s := fmt.Sprintf("%s %s %s", formatExpr(e.L, lp), e.Op, formatExpr(e.R, rp))
+		return parenIf(s, p < parent)
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = formatExpr(a, 0)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	}
+	return "?"
+}
+
+func parenIf(s string, need bool) string {
+	if need {
+		return "(" + s + ")"
+	}
+	return s
+}

@@ -1,0 +1,139 @@
+package lang
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// normalize strips source positions so ASTs compare structurally.
+func normalize(v interface{}) {
+	var walk func(rv reflect.Value)
+	walk = func(rv reflect.Value) {
+		switch rv.Kind() {
+		case reflect.Ptr, reflect.Interface:
+			if !rv.IsNil() {
+				walk(rv.Elem())
+			}
+		case reflect.Slice:
+			for i := 0; i < rv.Len(); i++ {
+				walk(rv.Index(i))
+			}
+		case reflect.Struct:
+			for i := 0; i < rv.NumField(); i++ {
+				f := rv.Type().Field(i)
+				if f.Name == "Line" && rv.Field(i).CanSet() {
+					rv.Field(i).SetInt(0)
+					continue
+				}
+				walk(rv.Field(i))
+			}
+		}
+	}
+	walk(reflect.ValueOf(v))
+}
+
+// roundTrip checks Parse(Format(ast)) == ast (modulo positions).
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	a1, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	out := Format(a1)
+	a2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\nformatted:\n%s", err, out)
+	}
+	normalize(a1)
+	normalize(a2)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("round trip changed the AST\noriginal:\n%s\nformatted:\n%s", src, out)
+	}
+}
+
+func TestFormatRoundTripBasics(t *testing.T) {
+	roundTrip(t, `
+program p;
+const n = 4;
+const eps = 0.5;
+var a: array [0..3] of real;
+    m: array [0..1] of array [0..2] of real;
+    x, s: real;
+    i, j: int;
+begin
+  s := 0.0;
+  for i := 0 to n-1 do begin
+    x := a[i] * (s + eps) - 2.0;
+    if (x > 0.0) and not (x > 10.0) then
+      s := s + x
+    else begin
+      s := s - x;
+      a[i] := abs(x);
+    end;
+  end;
+  nopipeline for i := 3 downto 0 do
+    a[i] := a[i] / (s + 1.0);
+  independent for j := 0 to 2 do
+    m[0][j] := min(m[0][j], max(s, 0.25));
+  unroll for j := 0 to 2 do
+    a[j] := a[j] + 1.0;
+end.
+`)
+}
+
+func TestFormatPrecedence(t *testing.T) {
+	cases := []string{
+		"x := a[0] - (1.0 - 2.0) - 3.0;",
+		"x := (a[0] + 1.0) * (a[1] - 2.0);",
+		"x := -(a[0] + 1.0);",
+		"x := a[0] - -1.0;",
+		"x := 1.0 / (2.0 / a[0]);",
+		"if (x > 0.0) or ((x < 1.0) and (x <> 0.5)) then x := 0.0;",
+		"x := sqrt(inverse(exp(a[0])));",
+	}
+	for _, stmt := range cases {
+		roundTrip(t, fmt.Sprintf(`
+program prec;
+var a: array [0..3] of real;
+    x: real;
+begin
+  %s
+end.
+`, stmt))
+	}
+}
+
+// TestFormatRoundTripRandom round-trips randomly generated expression
+// statements (deeper operator mixes than the hand-written cases).
+func TestFormatRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var gen func(depth int) string
+	atoms := []string{"x", "a[i]", "a[i+1]", "1.5", "0.25", "float(i)"}
+	ops := []string{"+", "-", "*", "/"}
+	gen = func(depth int) string {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return atoms[rng.Intn(len(atoms))]
+		}
+		if rng.Intn(6) == 0 {
+			return "-" + gen(depth-1)
+		}
+		if rng.Intn(6) == 0 {
+			return fmt.Sprintf("min(%s, %s)", gen(depth-1), gen(depth-1))
+		}
+		return fmt.Sprintf("(%s %s %s)", gen(depth-1), ops[rng.Intn(len(ops))], gen(depth-1))
+	}
+	for trial := 0; trial < 300; trial++ {
+		roundTrip(t, fmt.Sprintf(`
+program r;
+var a: array [0..7] of real;
+    x: real;
+    i: int;
+begin
+  for i := 0 to 6 do
+    x := %s;
+end.
+`, gen(4)))
+	}
+}

@@ -1,0 +1,90 @@
+package machine
+
+import "testing"
+
+func TestWarpValid(t *testing.T) {
+	m := Warp()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper anchors: 7-cycle FPU latency, 10 MFLOPS peak (2 FPUs at 5 MHz),
+	// 10 cells, register files 62 float / 64 int.
+	if m.Latency(ClassFAdd) != 7 || m.Latency(ClassFMul) != 7 {
+		t.Errorf("FPU latency must be 7 (5-stage pipe + 2-cycle register file)")
+	}
+	if m.ClockMHz != 5 || m.Cells != 10 {
+		t.Errorf("clock %v MHz cells %d; want 5 MHz, 10 cells", m.ClockMHz, m.Cells)
+	}
+	if m.FloatRegs != 62 || m.IntRegs != 64 {
+		t.Errorf("register files %d/%d, want 62/64", m.FloatRegs, m.IntRegs)
+	}
+	if m.Desc(ClassFAdd).Flops != 1 || m.Desc(ClassFMov).Flops != 0 {
+		t.Errorf("flop accounting wrong")
+	}
+}
+
+func TestScalarSingleIssue(t *testing.T) {
+	m := Scalar()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every class must share one extra issue-slot resource.
+	slot := Resource(len(Warp().ResourceCount))
+	for c := Class(0); c < Class(NumClasses()); c++ {
+		d := m.Desc(c)
+		if d == nil {
+			continue
+		}
+		found := false
+		for _, u := range d.Reservation {
+			if u.Resource == slot {
+				found = true
+			}
+		}
+		if !found && len(Warp().Desc(c).Reservation) > 0 {
+			t.Errorf("class %v does not reserve the scalar issue slot", c)
+		}
+	}
+}
+
+func TestWideScales(t *testing.T) {
+	for _, f := range []int{2, 4, 8} {
+		m := Wide(f)
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if m.ResourceCount[ResFAdd] != f || m.ResourceCount[ResFMul] != f {
+			t.Errorf("wide%d: FPU slots not scaled", f)
+		}
+		if m.ResourceCount[ResBranch] != 1 {
+			t.Errorf("wide%d: the sequencer must stay singular", f)
+		}
+	}
+}
+
+func TestClassProperties(t *testing.T) {
+	if !ClassFAdd.IsFloat() || ClassIAdd.IsFloat() {
+		t.Error("IsFloat misclassifies")
+	}
+	if !ClassCJump.IsBranch() || ClassLoad.IsBranch() {
+		t.Error("IsBranch misclassifies")
+	}
+	for c := Class(0); c < Class(NumClasses()); c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+}
+
+func TestValidateCatchesBadDesc(t *testing.T) {
+	m := Warp()
+	m.Ops[ClassFAdd] = &OpDesc{Latency: 0}
+	if err := m.Validate(); err == nil {
+		t.Error("zero latency must be rejected")
+	}
+	m = Warp()
+	m.Ops[ClassFAdd] = &OpDesc{Latency: 1, Reservation: []ResUse{{Resource: Resource(99)}}}
+	if err := m.Validate(); err == nil {
+		t.Error("unknown resource must be rejected")
+	}
+}

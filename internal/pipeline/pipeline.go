@@ -1,0 +1,496 @@
+// Package pipeline is the heart of the reproduction: given the dependence
+// nodes of one loop body it computes the minimum initiation interval,
+// runs the iterative modulo scheduler, applies modulo variable expansion
+// (Lam §2.3) and packages everything the code generator needs to emit the
+// prolog, (unrolled) steady state, epilog and live-out fix-ups.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"softpipe/internal/depgraph"
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+	"softpipe/internal/schedule"
+)
+
+// Policy selects how modulo variable expansion trades registers for code
+// size (Lam §2.3).
+type Policy int
+
+// Unroll policies.
+const (
+	// PolicyMinUnroll unrolls u = max qᵢ times and gives variable vᵢ the
+	// smallest factor of u that is ≥ qᵢ registers ("the increase in
+	// register space is much more tolerable than the increase in code
+	// size", Lam §2.3).
+	PolicyMinUnroll Policy = iota
+	// PolicyLCM unrolls lcm(qᵢ) times and gives each variable exactly qᵢ
+	// registers (minimum registers, potentially much more code).
+	PolicyLCM
+)
+
+// Options tunes planning.
+type Options struct {
+	Policy       Policy
+	BinarySearch bool // ablation: FPS-style binary search for the II
+	DisableMVE   bool // ablation: never remove expandable-register edges
+	MaxII        int
+	// MinII forces the search to start above the natural MII (used to
+	// honor construct-window constraints).
+	MinII int
+	// LiveOut lists registers whose final values are observed after the
+	// loop; expanded registers in this set receive fix-up moves.
+	LiveOut map[ir.VReg]bool
+	// MaxUnroll bounds the unrolled kernel size; plans that would exceed
+	// it are degraded to smaller unrolls by giving up expansion of the
+	// longest-lived variables.  0 means 32.
+	MaxUnroll int
+	// MaxBodyLen is the pipelining threshold of Lam §4.2: loops whose
+	// locally compacted body exceeds it are not even attempted (the EXP
+	// loop of Livermore kernel 22, at 331 instructions, was beyond the
+	// Warp compiler's threshold).  0 means 300.
+	MaxBodyLen int
+	// IndependentMem asserts the loop carries no memory dependences
+	// across iterations (source-level directive).
+	IndependentMem bool
+	// PowerOfTwoUnroll rounds the steady-state unroll degree up to a
+	// power of two so that run-time remainder/pass arithmetic reduces to
+	// a mask and a shift (the two-version scheme of §2.4 for loops with
+	// run-time trip counts).
+	PowerOfTwoUnroll bool
+	// CopyBudgetF/I bound the extra registers modulo variable expansion
+	// may claim; when exceeded, the costliest variables are un-expanded
+	// (their inter-iteration constraints restored) and the loop is
+	// rescheduled.  0 means unlimited.
+	CopyBudgetF int
+	CopyBudgetI int
+	// RegKind reports the kind of a register, needed to apportion the
+	// copy budget; nil disables budgeting.
+	RegKind func(ir.VReg) ir.Kind
+	// KeepMarginal disables the 99% check: by default, loops whose MII
+	// is within 99% of the locally compacted body length are rejected
+	// because pipelining cannot pay for its code growth (Lam §4.2,
+	// kernels 16 and 20).
+	KeepMarginal bool
+}
+
+// Plan is a complete pipelining decision for one loop.
+type Plan struct {
+	Nodes []*depgraph.Node
+	// Graph is the scheduled (filtered) graph; FullGraph retains the
+	// removable edges for verification.
+	Graph     *depgraph.Graph
+	FullGraph *depgraph.Graph
+
+	II       int
+	Stages   int // number of concurrently active iterations (m)
+	Unroll   int // u: steady-state unroll degree from MVE
+	Time     []int
+	MaxIssue int
+
+	MII    int // lower bound actually used (incl. construct windows)
+	ResMII int
+	RecMII int
+	// HasRecurrence reports a nontrivial dependence cycle (the paper's
+	// "connected components").
+	HasRecurrence bool
+
+	// Expanded registers and their allocated copy counts r_v ≥ q_v.
+	Expanded map[ir.VReg]bool
+	Copies   map[ir.VReg]int
+	Q        map[ir.VReg]int
+	Lifetime map[ir.VReg]int
+	// Fixups lists expanded live-out registers that need a final move
+	// from the last iteration's copy back to the base register.
+	Fixups []ir.VReg
+
+	SchedStats *schedule.Stats
+}
+
+// CopyIndex returns which register copy iteration class `class` (the
+// iteration index within the pipelined region, mod Unroll) uses for r:
+// class mod r_v for expanded registers, 0 otherwise.
+func (p *Plan) CopyIndex(r ir.VReg, class int) int {
+	if n := p.Copies[r]; n > 1 {
+		return class % n
+	}
+	return 0
+}
+
+// MinPipelined returns the smallest number of iterations the pipelined
+// region can execute: the prolog starts Stages-1 iterations and at least
+// one full kernel pass must run.
+func (p *Plan) MinPipelined() int { return p.Stages - 1 + p.Unroll }
+
+// KernelPasses returns how many kernel passes cover k pipelined
+// iterations; k must satisfy k ≥ MinPipelined and (k-(Stages-1)) % Unroll
+// == 0.
+func (p *Plan) KernelPasses(k int) int { return (k - (p.Stages - 1)) / p.Unroll }
+
+// PlanLoop analyzes and schedules one loop body.  When the modulo-
+// variable-expansion register cost exceeds the copy budget, the
+// longest-lived variables are successively un-expanded and the loop is
+// rescheduled with their inter-iteration constraints restored — a
+// graceful version of the paper's "when we run out of registers, we
+// resort to simple techniques" (§2.3).
+func PlanLoop(nodes []*depgraph.Node, loopID int, m *machine.Machine, opts Options) (*Plan, error) {
+	full := depgraph.BuildIndep(nodes, loopID, opts.IndependentMem)
+	expanded := map[ir.VReg]bool{}
+	if !opts.DisableMVE {
+		for r, ok := range full.Expandable {
+			if ok {
+				expanded[r] = true
+			}
+		}
+	}
+	for {
+		p, err := planWith(nodes, full, expanded, m, opts)
+		if err != nil {
+			return nil, err
+		}
+		if opts.RegKind == nil || (opts.CopyBudgetF <= 0 && opts.CopyBudgetI <= 0) {
+			return p, nil
+		}
+		var cf, ci int
+		worst := ir.NoReg
+		worstQ := 0
+		for r, n := range p.Copies {
+			if n <= 1 {
+				continue
+			}
+			if opts.RegKind(r) == ir.KindFloat {
+				cf += n - 1
+			} else {
+				ci += n - 1
+			}
+			if n > worstQ {
+				worstQ, worst = n, r
+			}
+		}
+		okF := opts.CopyBudgetF <= 0 || cf <= opts.CopyBudgetF
+		okI := opts.CopyBudgetI <= 0 || ci <= opts.CopyBudgetI
+		if (okF && okI) || worst == ir.NoReg {
+			return p, nil
+		}
+		delete(expanded, worst)
+	}
+}
+
+func planWith(nodes []*depgraph.Node, full *depgraph.Graph, expanded map[ir.VReg]bool, m *machine.Machine, opts Options) (*Plan, error) {
+	g := full.Filter(expanded)
+
+	a, err := depgraph.Analyze(g, m)
+	if err != nil {
+		return nil, err
+	}
+	// The loop-back branch occupies one sequencer slot of every steady-
+	// state window; fold it into the resource bound so MetLower reflects
+	// the true floor.
+	if v := depgraph.ResourceMIIExtra(g, m, []machine.ResUse{{Resource: machine.ResBranch}}); v > a.ResMII {
+		a.ResMII = v
+		if v > a.MII {
+			a.MII = v
+		}
+	}
+	// Construct windows: a reduced construct of length L must fit within
+	// one initiation interval so that the emitted kernel can fork into
+	// its branches without crossing the loop-back boundary (see
+	// DESIGN.md).  This is the paper's "treating its operations as
+	// indivisible ... increases the minimum initiation interval" (§4.1).
+	minII := opts.MinII
+	for _, n := range nodes {
+		if n.Payload != nil && n.Len > minII {
+			minII = n.Len
+		}
+	}
+
+	// The §4.2 profitability guards, both computed against the locally
+	// compacted body length.
+	compact, err := schedule.List(g, m)
+	if err != nil {
+		return nil, err
+	}
+	maxBody := opts.MaxBodyLen
+	if maxBody <= 0 {
+		maxBody = 300
+	}
+	if compact.Length > maxBody {
+		return nil, fmt.Errorf("pipeline: body length %d beyond pipelining threshold %d", compact.Length, maxBody)
+	}
+	effMII := a.MII
+	if minII > effMII {
+		effMII = minII
+	}
+	// The unpipelined comparison point is the full iteration period: the
+	// locally compacted length padded until every inter-iteration
+	// dependence drains.
+	period := schedule.PeriodFor(g, compact, compact.Length)
+	if !opts.KeepMarginal && effMII*100 >= period*99 {
+		return nil, fmt.Errorf("pipeline: initiation interval bound %d within 99%% of unpipelined length %d", effMII, period)
+	}
+
+	maxII := opts.MaxII
+	if maxII <= 0 {
+		maxII = schedule.DefaultMaxII(a) + minII
+	}
+	var res *schedule.Result
+	var st *schedule.Stats
+	for {
+		res, st, err = schedule.Modulo(a, m, schedule.Options{
+			MaxII:          maxII,
+			MinII:          minII,
+			BinarySearch:   opts.BinarySearch,
+			ReserveBranch:  true,
+			BranchResource: machine.ResBranch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if verr := schedule.Verify(g, m, res); verr != nil {
+			return nil, fmt.Errorf("pipeline: internal schedule verification failed: %w", verr)
+		}
+		// Re-check construct windows against the achieved schedule.
+		ok := true
+		for i, n := range nodes {
+			if n.Payload == nil {
+				continue
+			}
+			if res.Time[i]%res.II+n.Len > res.II {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		if res.II+1 > maxII {
+			return nil, fmt.Errorf("pipeline: cannot fit construct windows within any II ≤ %d", maxII)
+		}
+		minII = res.II + 1
+	}
+
+	p := &Plan{
+		Nodes:         nodes,
+		Graph:         g,
+		FullGraph:     full,
+		II:            res.II,
+		Time:          res.Time,
+		MII:           maxInt(a.MII, minII),
+		ResMII:        a.ResMII,
+		RecMII:        a.RecMII,
+		HasRecurrence: a.HasRecurrence,
+		Expanded:      expanded,
+		Copies:        map[ir.VReg]int{},
+		Q:             map[ir.VReg]int{},
+		Lifetime:      map[ir.VReg]int{},
+		SchedStats:    st,
+	}
+	for _, t := range res.Time {
+		if t > p.MaxIssue {
+			p.MaxIssue = t
+		}
+	}
+	p.Stages = p.MaxIssue/p.II + 1
+
+	if err := p.expand(opts); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// expand performs modulo variable expansion: compute lifetimes and qᵢ from
+// the final schedule, pick the unroll degree per policy, and allocate
+// register copies.
+func (p *Plan) expand(opts Options) error {
+	maxUnroll := opts.MaxUnroll
+	if maxUnroll <= 0 {
+		maxUnroll = 32
+	}
+	type life struct {
+		def  int
+		use  int
+		used bool
+	}
+	lives := map[ir.VReg]*life{}
+	for i, n := range p.Nodes {
+		t := p.Time[i]
+		for _, w := range n.Writes {
+			if !p.Expanded[w.Reg] {
+				continue
+			}
+			l := lives[w.Reg]
+			if l == nil {
+				l = &life{def: t + w.AvailFirst, use: t + w.AvailFirst}
+				lives[w.Reg] = l
+			} else if t+w.AvailFirst < l.def {
+				l.def = t + w.AvailFirst
+			}
+			// A copy stays occupied until its last write lands, even if
+			// nothing reads that value (e.g. a dead final pointer bump):
+			// the next write-back to the same physical copy must come
+			// strictly later.
+			if t+w.AvailLast > l.use {
+				l.use = t + w.AvailLast
+			}
+		}
+	}
+	for i, n := range p.Nodes {
+		t := p.Time[i]
+		for _, rd := range n.Reads {
+			l := lives[rd.Reg]
+			if l == nil {
+				continue
+			}
+			l.used = true
+			if t+rd.Last > l.use {
+				l.use = t + rd.Last
+			}
+		}
+	}
+	u := 1
+	for r, l := range lives {
+		lt := l.use - l.def + 1
+		if lt < 1 {
+			lt = 1
+		}
+		q := (lt + p.II - 1) / p.II
+		if q < 1 {
+			q = 1
+		}
+		p.Lifetime[r] = lt
+		p.Q[r] = q
+		switch opts.Policy {
+		case PolicyLCM:
+			u = lcm(u, q)
+		default:
+			if q > u {
+				u = q
+			}
+		}
+	}
+	if opts.PowerOfTwoUnroll {
+		pow := 1
+		for pow < u {
+			pow *= 2
+		}
+		u = pow
+	}
+	if u > maxUnroll {
+		return fmt.Errorf("pipeline: unroll degree %d exceeds limit %d", u, maxUnroll)
+	}
+	p.Unroll = u
+	for r, q := range p.Q {
+		switch opts.Policy {
+		case PolicyLCM:
+			if opts.PowerOfTwoUnroll {
+				p.Copies[r] = smallestFactorAtLeast(u, q)
+			} else {
+				p.Copies[r] = q
+			}
+		default:
+			p.Copies[r] = smallestFactorAtLeast(u, q)
+		}
+	}
+	// Fix-ups for live-out expanded registers.
+	for r := range p.Expanded {
+		if opts.LiveOut[r] && p.Copies[r] > 1 {
+			p.Fixups = append(p.Fixups, r)
+		}
+	}
+	sortRegs(p.Fixups)
+	return nil
+}
+
+// TotalCopyRegs returns how many extra registers MVE costs, per kind.
+func (p *Plan) TotalCopyRegs(prog *ir.Program) (flt, intg int) {
+	for r, n := range p.Copies {
+		if n <= 1 {
+			continue
+		}
+		if prog.Kind(r) == ir.KindFloat {
+			flt += n - 1
+		} else {
+			intg += n - 1
+		}
+	}
+	return
+}
+
+func smallestFactorAtLeast(u, q int) int {
+	for f := q; f <= u; f++ {
+		if u%f == 0 {
+			return f
+		}
+	}
+	return u
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sortRegs(rs []ir.VReg) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j] < rs[j-1]; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// FormatKernel renders the steady-state kernel as the paper draws it
+// (Figure 2-2): one row per cycle of the initiation interval, each row
+// listing the operations issued at that offset with the pipeline stage
+// (⌊σ/II⌋) they belong to.  Reduced constructs print as their occupancy
+// window.
+func (p *Plan) FormatKernel() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "II=%d stages=%d unroll=%d  (MII=%d: res=%d rec=%d)\n",
+		p.II, p.Stages, p.Unroll, p.MII, p.ResMII, p.RecMII)
+	type slot struct {
+		stage int
+		desc  string
+	}
+	rows := make([][]slot, p.II)
+	for i, n := range p.Nodes {
+		t := p.Time[i]
+		desc := ""
+		switch {
+		case n.Op != nil && n.Op.Mem != nil:
+			desc = fmt.Sprintf("%v[%s]", n.Op.Class, n.Op.Mem.Array)
+		case n.Op != nil:
+			desc = n.Op.Class.String()
+		default:
+			desc = fmt.Sprintf("construct/%d", n.Len)
+		}
+		rows[t%p.II] = append(rows[t%p.II], slot{t / p.II, desc})
+	}
+	for off, ops := range rows {
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].stage != ops[j].stage {
+				return ops[i].stage < ops[j].stage
+			}
+			return ops[i].desc < ops[j].desc
+		})
+		parts := make([]string, len(ops))
+		for i, s := range ops {
+			parts[i] = fmt.Sprintf("s%d:%s", s.stage, s.desc)
+		}
+		fmt.Fprintf(&b, "  t%%%d=%d | %s\n", p.II, off, strings.Join(parts, "  "))
+	}
+	return b.String()
+}

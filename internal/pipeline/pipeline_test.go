@@ -1,0 +1,281 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"softpipe/internal/depgraph"
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+)
+
+func innerNodes(t *testing.T, p *ir.Program, m *machine.Machine) ([]*depgraph.Node, int) {
+	t.Helper()
+	var loop *ir.LoopStmt
+	var find func(b *ir.Block)
+	find = func(b *ir.Block) {
+		for _, s := range b.Stmts {
+			if l, ok := s.(*ir.LoopStmt); ok {
+				loop = l
+				find(l.Body)
+			}
+		}
+	}
+	find(p.Body)
+	ops, _ := loop.Body.Ops()
+	nodes := make([]*depgraph.Node, len(ops))
+	for i, op := range ops {
+		nodes[i] = depgraph.NodeFromOp(m, op)
+	}
+	return nodes, loop.ID
+}
+
+// longLived builds a loop where the loaded value is consumed after a long
+// chain, forcing a multi-interval lifetime and hence unrolling.
+func longLived() *ir.Program {
+	b := ir.NewBuilder("life")
+	b.Array("a", ir.KindFloat, 64)
+	b.Array("c", ir.KindFloat, 64)
+	b.ForN(64, func(l *ir.LoopCtx) {
+		p := l.Pointer(0, 1)
+		q := l.Pointer(0, 1)
+		v := b.Load("a", p, ir.Aff(l.ID, 1, 0))
+		w := b.FMul(v, v)
+		x := b.FMul(w, w)
+		y := b.FAdd(x, v) // v stays live across ~17 cycles
+		b.Store("c", q, y, ir.Aff(l.ID, 1, 0))
+	})
+	return b.P
+}
+
+func TestMVELifetimesAndUnroll(t *testing.T) {
+	m := machine.Warp()
+	nodes, loopID := innerNodes(t, longLived(), m)
+	plan, err := PlanLoop(nodes, loopID, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.II != 2 {
+		t.Fatalf("II = %d, want 2 (two multiplies per iteration)", plan.II)
+	}
+	// v is live from load+3 to the final fadd read (≥ two multiply
+	// latencies): lifetime > II ⇒ multiple copies ⇒ unroll > 1.
+	if plan.Unroll < 2 {
+		t.Errorf("unroll = %d, want > 1 for a long-lived value at II=2", plan.Unroll)
+	}
+	for r, q := range plan.Q {
+		lt := plan.Lifetime[r]
+		want := (lt + plan.II - 1) / plan.II
+		if q != want {
+			t.Errorf("q[%d] = %d, want ceil(%d/%d) = %d", r, q, lt, plan.II, want)
+		}
+		// min-unroll policy: copies is the smallest factor of unroll ≥ q.
+		c := plan.Copies[r]
+		if c < q || plan.Unroll%c != 0 {
+			t.Errorf("copies[%d] = %d invalid for q=%d u=%d", r, c, q, plan.Unroll)
+		}
+	}
+}
+
+func TestMVEPolicies(t *testing.T) {
+	m := machine.Warp()
+	nodes, loopID := innerNodes(t, longLived(), m)
+	min, err := PlanLoop(nodes, loopID, m, Options{Policy: PolicyMinUnroll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes2, _ := innerNodes(t, longLived(), m)
+	lcm, err := PlanLoop(nodes2, loopID, m, Options{Policy: PolicyLCM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LCM policy uses exactly q registers per variable; min-unroll may
+	// round up but never unrolls more than lcm.
+	for r, q := range lcm.Q {
+		if lcm.Copies[r] != q {
+			t.Errorf("lcm policy: copies[%d] = %d, want %d", r, lcm.Copies[r], q)
+		}
+	}
+	if min.Unroll > lcm.Unroll {
+		t.Errorf("min-unroll %d > lcm %d", min.Unroll, lcm.Unroll)
+	}
+}
+
+func TestPowerOfTwoUnroll(t *testing.T) {
+	m := machine.Warp()
+	nodes, loopID := innerNodes(t, longLived(), m)
+	plan, err := PlanLoop(nodes, loopID, m, Options{PowerOfTwoUnroll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := plan.Unroll; u&(u-1) != 0 {
+		t.Errorf("unroll %d not a power of two", u)
+	}
+	for r, c := range plan.Copies {
+		if plan.Unroll%c != 0 {
+			t.Errorf("copies[%d] = %d does not divide unroll %d", r, c, plan.Unroll)
+		}
+	}
+}
+
+func TestDisableMVERaisesII(t *testing.T) {
+	m := machine.Warp()
+	nodes, loopID := innerNodes(t, longLived(), m)
+	with, err := PlanLoop(nodes, loopID, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes2, _ := innerNodes(t, longLived(), m)
+	without, err := PlanLoop(nodes2, loopID, m, Options{DisableMVE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.II <= with.II {
+		t.Errorf("disabling MVE should raise the II (with %d, without %d)", with.II, without.II)
+	}
+	if without.Unroll != 1 {
+		t.Errorf("without MVE the kernel must not unroll, got %d", without.Unroll)
+	}
+}
+
+func TestCopyBudgetDegrades(t *testing.T) {
+	m := machine.Warp()
+	nodes, loopID := innerNodes(t, longLived(), m)
+	kind := func(r ir.VReg) ir.Kind { return ir.KindFloat }
+	plan, err := PlanLoop(nodes, loopID, m, Options{
+		CopyBudgetF: 1, CopyBudgetI: 1, RegKind: kind,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := 0
+	for _, n := range plan.Copies {
+		if n > 1 {
+			cf += n - 1
+		}
+	}
+	if cf > 2 { // float + int budget
+		t.Errorf("budget exceeded: %d extra copies", cf)
+	}
+}
+
+// Property: smallestFactorAtLeast returns a divisor of u that is >= q
+// and minimal.
+func TestSmallestFactorQuick(t *testing.T) {
+	f := func(uRaw, qRaw uint8) bool {
+		u := int(uRaw%16) + 1
+		q := int(qRaw)%u + 1
+		got := smallestFactorAtLeast(u, q)
+		if got < q || u%got != 0 {
+			return false
+		}
+		for f := q; f < got; f++ {
+			if u%f == 0 {
+				return false // not minimal
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelPassesMath(t *testing.T) {
+	m := machine.Warp()
+	nodes, loopID := innerNodes(t, longLived(), m)
+	plan, err := PlanLoop(nodes, loopID, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := plan.MinPipelined()
+	if got := plan.KernelPasses(k); got != 1 {
+		t.Errorf("KernelPasses(MinPipelined) = %d, want 1", got)
+	}
+	if got := plan.KernelPasses(k + 3*plan.Unroll); got != 4 {
+		t.Errorf("KernelPasses(+3u) = %d, want 4", got)
+	}
+}
+
+// TestCopyIndexProperties: copy selection must cycle with period Copies[r]
+// for expanded registers and stay 0 for everything else; the dead-write
+// lifetime rule must count a trailing write's own land time (the fix for
+// the write-back collision found by inner-loop unrolling).
+func TestCopyIndexProperties(t *testing.T) {
+	m := machine.Warp()
+	nodes, loopID := innerNodes(t, longLived(), m)
+	plan, err := PlanLoop(nodes, loopID, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expanded ir.VReg = ir.NoReg
+	for r, n := range plan.Copies {
+		if n > 1 {
+			expanded = r
+		}
+	}
+	if expanded == ir.NoReg {
+		t.Fatal("long-lived load should expand")
+	}
+	n := plan.Copies[expanded]
+	for class := 0; class < 3*n; class++ {
+		if got, want := plan.CopyIndex(expanded, class), class%n; got != want {
+			t.Errorf("CopyIndex(%d) = %d, want %d", class, got, want)
+		}
+	}
+	if plan.CopyIndex(ir.VReg(0), 5) != 0 {
+		t.Error("unexpanded register must always use copy 0")
+	}
+
+	prog := longLived()
+	f, i := plan.TotalCopyRegs(prog)
+	if f <= 0 {
+		t.Errorf("float copy registers = %d, want > 0", f)
+	}
+	if i < 0 {
+		t.Errorf("int copy registers = %d", i)
+	}
+
+	// MinPipelined/KernelPasses consistency.
+	k := plan.MinPipelined()
+	if plan.KernelPasses(k) < 1 {
+		t.Errorf("KernelPasses(MinPipelined) = %d, want >= 1", plan.KernelPasses(k))
+	}
+}
+
+// TestDeadFinalWriteLifetime: a register whose last event is a write (the
+// value is never read) must still hold its copy until the write lands, so
+// q reflects the write latency, not just the read span.
+func TestDeadFinalWriteLifetime(t *testing.T) {
+	b := ir.NewBuilder("deadwrite")
+	b.Array("a", ir.KindFloat, 64)
+	zero := b.IConst(0)
+	b.ForN(64, func(l *ir.LoopCtx) {
+		p := l.Pointer(0, 1)
+		q := b.P.NewReg(ir.KindInt)
+		// q := 0; load a[q+...]; q := q + p  — the final add is dead.
+		init := b.P.NewOp(machine.ClassIMov)
+		init.Dst = q
+		init.Src = []ir.VReg{zero}
+		b.Emit(init)
+		b.Load("a", q, nil)
+		bump := b.P.NewOp(machine.ClassAdrAdd)
+		bump.Dst = q
+		bump.Src = []ir.VReg{q, p}
+		b.Emit(bump)
+	})
+	m := machine.Warp()
+	nodes, loopID := innerNodes(t, b.P, m)
+	plan, err := PlanLoop(nodes, loopID, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find q's vreg: the one with two writes (imov + adradd).  Its
+	// lifetime must cover the dead adradd's write-back.
+	for r, lt := range plan.Lifetime {
+		qn := plan.Q[r]
+		if qn*plan.II < lt {
+			t.Errorf("r%d: q=%d II=%d does not cover lifetime %d", r, qn, plan.II, lt)
+		}
+	}
+}

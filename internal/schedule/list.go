@@ -1,0 +1,235 @@
+package schedule
+
+import (
+	"fmt"
+
+	"softpipe/internal/depgraph"
+	"softpipe/internal/machine"
+)
+
+// Result is a complete schedule of one loop body (or basic block).
+type Result struct {
+	// II is the initiation interval: iterations start every II cycles.
+	// For unpipelined schedules II equals Length.
+	II int
+	// Time[i] is the issue cycle σ of node i, relative to iteration
+	// start; all times are ≥ 0.
+	Time []int
+	// Length is one past the last issue-or-reservation cycle of any
+	// node (the compacted length of one iteration).
+	Length int
+}
+
+// Span returns the number of pipeline stages: ceil((max σ + 1) / II).
+func (r *Result) Span() int {
+	maxT := 0
+	for _, t := range r.Time {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	return maxT/r.II + 1
+}
+
+// Verify checks the schedule against every edge of the graph and the
+// resource capacities of machine m; it returns the first violation.
+func Verify(g *depgraph.Graph, m *machine.Machine, r *Result) error {
+	if r.II < 1 {
+		return fmt.Errorf("schedule: II %d < 1", r.II)
+	}
+	if len(r.Time) != len(g.Nodes) {
+		return fmt.Errorf("schedule: %d times for %d nodes", len(r.Time), len(g.Nodes))
+	}
+	for i, t := range r.Time {
+		if t < 0 {
+			return fmt.Errorf("schedule: node %d at negative time %d", i, t)
+		}
+	}
+	for _, e := range g.Edges {
+		if r.Time[e.To]-r.Time[e.From] < e.Delay-r.II*e.Omega {
+			return fmt.Errorf("schedule: edge n%d->n%d (%v d=%d w=%d) violated: σ=%d,%d II=%d",
+				e.From, e.To, e.Kind, e.Delay, e.Omega, r.Time[e.From], r.Time[e.To], r.II)
+		}
+	}
+	tab := NewModTable(r.II, m)
+	for i, n := range g.Nodes {
+		if !tab.Fits(n.Reservation, r.Time[i]) {
+			return fmt.Errorf("schedule: resource overflow placing %s at %d (II=%d)", n, r.Time[i], r.II)
+		}
+		tab.Place(n.Reservation, r.Time[i])
+	}
+	return nil
+}
+
+// heights computes the list-scheduling priority: the critical-path height
+// of each node over intra-iteration (omega = 0) edges.  The omega-0
+// subgraph is acyclic in any legal program.
+func heights(g *depgraph.Graph, m *machine.Machine) []int {
+	n := len(g.Nodes)
+	h := make([]int, n)
+	order, ok := topoOrder(g, n, func(e depgraph.Edge) bool { return e.Omega == 0 })
+	if !ok {
+		// Defensive: fall back to extents; Analyze rejects such graphs.
+		for i, nd := range g.Nodes {
+			h[i] = Extent(nd)
+		}
+		return h
+	}
+	for i := range h {
+		h[i] = Extent(g.Nodes[i])
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		for _, e := range g.Edges {
+			if e.Omega != 0 || e.From != v {
+				continue
+			}
+			if c := h[e.To] + e.Delay; c > h[v] {
+				h[v] = c
+			}
+		}
+	}
+	return h
+}
+
+// topoOrder returns a topological order over the edges selected by keep.
+func topoOrder(g *depgraph.Graph, n int, keep func(depgraph.Edge) bool) ([]int, bool) {
+	indeg := make([]int, n)
+	adj := make([][]int, n)
+	for _, e := range g.Edges {
+		if !keep(e) || e.From == e.To {
+			continue
+		}
+		adj[e.From] = append(adj[e.From], e.To)
+		indeg[e.To]++
+	}
+	var order []int
+	var ready []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		// Lowest index first for determinism.
+		best := 0
+		for i := range ready {
+			if ready[i] < ready[best] {
+				best = i
+			}
+		}
+		v := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, v)
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				ready = append(ready, w)
+			}
+		}
+	}
+	return order, len(order) == n
+}
+
+// List performs basic-block list scheduling (Fisher 1979): nodes are
+// placed in a topological order of the omega-0 edges, each at the
+// earliest cycle that satisfies its scheduled predecessors and the flat
+// reservation table.  Inter-iteration edges are ignored here; callers
+// that loop the block (the unpipelined baseline) must pad the iteration
+// period using PeriodFor.
+func List(g *depgraph.Graph, m *machine.Machine) (*Result, error) {
+	n := len(g.Nodes)
+	res := &Result{Time: make([]int, n)}
+	h := heights(g, m)
+
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		if e.Omega == 0 && e.From != e.To {
+			indeg[e.To]++
+		}
+	}
+	scheduled := make([]bool, n)
+	tab := NewFlatTable(m)
+	for placed := 0; placed < n; placed++ {
+		// Pick the ready node with the greatest height.
+		best := -1
+		for i := 0; i < n; i++ {
+			if scheduled[i] || indeg[i] > 0 {
+				continue
+			}
+			if best == -1 || h[i] > h[best] || (h[i] == h[best] && i < best) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("schedule: cycle among omega-0 edges")
+		}
+		earliest := 0
+		for _, e := range g.Edges {
+			if e.To != best || e.Omega != 0 || !scheduled[e.From] {
+				continue
+			}
+			if t := res.Time[e.From] + e.Delay; t > earliest {
+				earliest = t
+			}
+		}
+		t := earliest
+		bound := earliest + tab.Len() + totalExtent(g) + 64
+		for !tab.Fits(g.Nodes[best].Reservation, t) {
+			t++
+			if t > bound {
+				return nil, fmt.Errorf("schedule: node %s cannot be placed (oversubscribed reservation?)", g.Nodes[best])
+			}
+		}
+		tab.Place(g.Nodes[best].Reservation, t)
+		res.Time[best] = t
+		scheduled[best] = true
+		if end := t + Extent(g.Nodes[best]); end > res.Length {
+			res.Length = end
+		}
+		for _, e := range g.Edges {
+			if e.Omega == 0 && e.From == best && e.To != best {
+				indeg[e.To]--
+			}
+		}
+	}
+	res.II = res.Length
+	return res, nil
+}
+
+// PeriodFor returns the iteration period a non-overlapped (unpipelined)
+// loop must use so that every inter-iteration dependence of the schedule
+// is honored: the smallest B ≥ minLen with
+// σ(to) + B·ω ≥ σ(from) + delay for every edge.
+func PeriodFor(g *depgraph.Graph, r *Result, minLen int) int {
+	b := minLen
+	for _, e := range g.Edges {
+		if e.Omega == 0 {
+			continue
+		}
+		need := r.Time[e.From] + e.Delay - r.Time[e.To]
+		if need <= 0 {
+			continue
+		}
+		if v := ceilDiv(need, e.Omega); v > b {
+			b = v
+		}
+	}
+	return b
+}
+
+func totalExtent(g *depgraph.Graph) int {
+	n := 0
+	for _, nd := range g.Nodes {
+		n += Extent(nd)
+	}
+	return n
+}
+
+func ceilDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}

@@ -1,0 +1,429 @@
+package schedule
+
+import (
+	"fmt"
+
+	"softpipe/internal/depgraph"
+	"softpipe/internal/machine"
+)
+
+// Options tunes the modulo scheduler.
+type Options struct {
+	// MaxII bounds the iterative search; 0 means DefaultMaxII.
+	MaxII int
+	// MinII raises the search floor above the natural MII (used by the
+	// pipeliner to honor construct-window constraints).
+	MinII int
+	// BinarySearch switches the II search from the paper's linear scan
+	// to the FPS-164 compiler's binary search (Touzeau 1984).  Lam §2.2
+	// argues linear search is preferable because schedulability is not
+	// monotonic in II; the flag exists for the ablation benchmark.
+	BinarySearch bool
+	// ReserveBranch pre-reserves the sequencer's branch field in the
+	// last kernel cycle (offset II-1) for the loop-back branch, so body
+	// branches (reduced conditionals) cannot collide with it.
+	ReserveBranch bool
+	// BranchResource identifies the sequencer resource when
+	// ReserveBranch is set.
+	BranchResource machine.Resource
+}
+
+// DefaultMaxII returns a search bound large enough that any legal loop
+// schedules: past it every node can be laid out serially.
+func DefaultMaxII(a *depgraph.Analysis) int {
+	total := a.MII + 16
+	for _, n := range a.Graph.Nodes {
+		total += Extent(n)
+	}
+	for _, e := range a.Graph.Edges {
+		if e.Delay > 0 {
+			total += e.Delay
+		}
+	}
+	return total
+}
+
+// Stats reports how the search went (exposed for the evaluation section:
+// Table 4-2's efficiency column is MII/achieved II).
+type Stats struct {
+	MII      int
+	Achieved int
+	Attempts int // number of candidate IIs tried
+	MetLower bool
+}
+
+// Modulo finds the smallest feasible initiation interval ≥ the MII using
+// the iterative approach of Lam §2.2 and returns the kernel schedule.
+func Modulo(a *depgraph.Analysis, m *machine.Machine, opts Options) (*Result, *Stats, error) {
+	maxII := opts.MaxII
+	if maxII <= 0 {
+		maxII = DefaultMaxII(a)
+	}
+	floor := a.MII
+	if opts.MinII > floor {
+		floor = opts.MinII
+	}
+	st := &Stats{MII: floor}
+	if opts.BinarySearch {
+		r, err := moduloBinary(a, m, opts, floor, maxII, st)
+		return r, st, err
+	}
+	for s := floor; s <= maxII; s++ {
+		st.Attempts++
+		if r := attempt(a, m, opts, s); r != nil {
+			st.Achieved = s
+			st.MetLower = s == st.MII
+			return r, st, nil
+		}
+	}
+	return nil, st, fmt.Errorf("schedule: no feasible initiation interval in [%d, %d]", st.MII, maxII)
+}
+
+func moduloBinary(a *depgraph.Analysis, m *machine.Machine, opts Options, floor, maxII int, st *Stats) (*Result, error) {
+	lo, hi := floor, maxII
+	var best *Result
+	bestII := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		st.Attempts++
+		if r := attempt(a, m, opts, mid); r != nil {
+			best, bestII = r, mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("schedule: no feasible initiation interval in [%d, %d] (binary)", floor, maxII)
+	}
+	st.Achieved = bestII
+	st.MetLower = bestII == st.MII
+	return best, nil
+}
+
+// attempt tries to build a schedule with initiation interval s; nil means
+// infeasible under the non-backtracking heuristics.
+func attempt(a *depgraph.Analysis, m *machine.Machine, opts Options, s int) *Result {
+	g := a.Graph
+	n := len(g.Nodes)
+
+	// 1. Schedule each nontrivial component individually (fresh table):
+	// internal offsets intTime, normalized to start at 0.
+	intTime := make([]int, n)
+	compLen := make([]int, len(a.SCC.Components))
+	for ci, comp := range a.SCC.Components {
+		if a.SCC.IsTrivial(g, ci) {
+			continue
+		}
+		times := scheduleComponent(g, a.Closures[ci], comp, m, s)
+		if times == nil {
+			return nil
+		}
+		minT := times[comp[0]]
+		for _, v := range comp {
+			if times[v] < minT {
+				minT = times[v]
+			}
+		}
+		for _, v := range comp {
+			intTime[v] = times[v] - minT
+			if e := intTime[v] + Extent(g.Nodes[v]); e > compLen[ci] {
+				compLen[ci] = e
+			}
+		}
+	}
+
+	// 2. Reduce the graph: one vertex per component, with the aggregate
+	// resource usage of its members (Lam §2.2.2).
+	nc := len(a.SCC.Components)
+	vres := make([][]machine.ResUse, nc)
+	for ci, comp := range a.SCC.Components {
+		for _, v := range comp {
+			for _, u := range g.Nodes[v].Reservation {
+				vres[ci] = append(vres[ci], machine.ResUse{Resource: u.Resource, Offset: u.Offset + intTime[v]})
+			}
+		}
+	}
+	type cedge struct {
+		from, to, delay, omega int
+	}
+	var cedges []cedge
+	for _, e := range g.Edges {
+		cf, ct := a.SCC.Comp[e.From], a.SCC.Comp[e.To]
+		if cf == ct {
+			continue
+		}
+		cedges = append(cedges, cedge{
+			from:  cf,
+			to:    ct,
+			delay: intTime[e.From] + e.Delay - intTime[e.To],
+			omega: e.Omega,
+		})
+	}
+
+	// 3. List-schedule the acyclic condensation against the shared
+	// modulo reservation table.
+	tab := NewModTable(s, m)
+	if opts.ReserveBranch {
+		tab.Place([]machine.ResUse{{Resource: opts.BranchResource}}, s-1)
+	}
+
+	// Priorities: critical-path height over omega-0 condensed edges.
+	ch := make([]int, nc)
+	for ci := range ch {
+		ext := compLen[ci]
+		if ext == 0 { // trivial component
+			ext = Extent(g.Nodes[a.SCC.Components[ci][0]])
+		}
+		ch[ci] = ext
+	}
+	// Topological order (condensation is a DAG over all edges).
+	indeg := make([]int, nc)
+	for _, e := range cedges {
+		indeg[e.to]++
+	}
+	// Heights by reverse topological sweep over omega-0 edges.
+	order := make([]int, 0, nc)
+	{
+		deg := append([]int(nil), indeg...)
+		var ready []int
+		for i := 0; i < nc; i++ {
+			if deg[i] == 0 {
+				ready = append(ready, i)
+			}
+		}
+		for len(ready) > 0 {
+			v := ready[0]
+			for _, w := range ready {
+				if w < v {
+					v = w
+				}
+			}
+			for i, w := range ready {
+				if w == v {
+					ready = append(ready[:i], ready[i+1:]...)
+					break
+				}
+			}
+			order = append(order, v)
+			for _, e := range cedges {
+				if e.from == v {
+					deg[e.to]--
+					if deg[e.to] == 0 {
+						ready = append(ready, e.to)
+					}
+				}
+			}
+		}
+		if len(order) != nc {
+			return nil // should not happen: condensation is acyclic
+		}
+		for i := nc - 1; i >= 0; i-- {
+			v := order[i]
+			for _, e := range cedges {
+				if e.from != v || e.omega != 0 {
+					continue
+				}
+				if c := ch[e.to] + e.delay; c > ch[v] {
+					ch[v] = c
+				}
+			}
+		}
+	}
+
+	vtime := make([]int, nc)
+	placed := make([]bool, nc)
+	deg := append([]int(nil), indeg...)
+	for count := 0; count < nc; count++ {
+		best := -1
+		for i := 0; i < nc; i++ {
+			if placed[i] || deg[i] > 0 {
+				continue
+			}
+			if best == -1 || ch[i] > ch[best] || (ch[i] == ch[best] && i < best) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return nil
+		}
+		earliest := 0
+		for _, e := range cedges {
+			if e.to != best || !placed[e.from] {
+				continue
+			}
+			if t := vtime[e.from] + e.delay - s*e.omega; t > earliest {
+				earliest = t
+			}
+		}
+		t, ok := findSlot(tab, vres[best], earliest, s)
+		if !ok {
+			return nil
+		}
+		tab.Place(vres[best], t)
+		vtime[best] = t
+		placed[best] = true
+		for _, e := range cedges {
+			if e.from == best {
+				deg[e.to]--
+			}
+		}
+	}
+
+	// 4. Recover per-node times.
+	res := &Result{II: s, Time: make([]int, n)}
+	for ci, comp := range a.SCC.Components {
+		for _, v := range comp {
+			res.Time[v] = vtime[ci] + intTime[v]
+			if e := res.Time[v] + Extent(g.Nodes[v]); e > res.Length {
+				res.Length = e
+			}
+		}
+	}
+	return res
+}
+
+// findSlot scans the s consecutive slots starting at `earliest` for one
+// where the reservation fits; by the periodicity of the modulo table, if
+// none of them fits no later slot can (Lam §2.2.1).
+func findSlot(tab *ModTable, res []machine.ResUse, earliest, s int) (int, bool) {
+	for t := earliest; t < earliest+s; t++ {
+		if tab.Fits(res, t) {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// scheduleComponent schedules one strongly connected component for target
+// interval s using the precedence-constrained-range algorithm of Lam
+// §2.2.2.  It returns issue times indexed by graph node (only component
+// members are set), or nil on failure.
+func scheduleComponent(g *depgraph.Graph, cl *depgraph.Closure, comp []int, m *machine.Machine, s int) []int {
+	const inf = int(1) << 30
+	times := make([]int, len(g.Nodes))
+	inComp := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+
+	// Topological order over intra-iteration edges within the component.
+	indeg := map[int]int{}
+	for _, v := range comp {
+		indeg[v] = 0
+	}
+	for _, e := range g.Edges {
+		if e.Omega == 0 && inComp[e.From] && inComp[e.To] && e.From != e.To {
+			indeg[e.To]++
+		}
+	}
+	// Heights within the component over omega-0 edges.
+	h := map[int]int{}
+	for _, v := range comp {
+		h[v] = Extent(g.Nodes[v])
+	}
+	// Reverse topological relaxation (repeat |comp| times is enough on a
+	// DAG; component sizes are small).
+	for range comp {
+		for _, e := range g.Edges {
+			if e.Omega != 0 || !inComp[e.From] || !inComp[e.To] || e.From == e.To {
+				continue
+			}
+			if c := h[e.To] + e.Delay; c > h[e.From] {
+				h[e.From] = c
+			}
+		}
+	}
+
+	lo := map[int]int{}
+	hi := map[int]int{}
+	for _, v := range comp {
+		lo[v] = -inf
+		hi[v] = inf
+	}
+	scheduled := map[int]bool{}
+	tab := NewModTable(s, m)
+	deg := indeg
+
+	for count := 0; count < len(comp); count++ {
+		best := -1
+		for _, v := range comp {
+			if scheduled[v] || deg[v] > 0 {
+				continue
+			}
+			if best == -1 || h[v] > h[best] || (h[v] == h[best] && v < best) {
+				best = v
+			}
+		}
+		if best == -1 {
+			return nil // omega-0 cycle; rejected earlier by Analyze
+		}
+		l, u := lo[best], hi[best]
+		if l > u {
+			return nil
+		}
+		// Anchor the scan at the intra-iteration lower bound so that a
+		// node with no omega-0 constraint from the scheduled set does
+		// not drift a whole iteration early on inter-iteration slack:
+		// anchored this way, the lower bound stays fixed as s grows
+		// while the upper bound relaxes (the paper's property 2).
+		anchor := 0
+		for _, w := range comp {
+			if !scheduled[w] {
+				continue
+			}
+			if d := cl.DistZero(w, best); d != depgraph.NegInf {
+				if t := times[w] + d; t > anchor {
+					anchor = t
+				}
+			}
+		}
+		start := anchor
+		if start > u {
+			start = u - (s - 1)
+		}
+		if start < l {
+			start = l
+		}
+		limit := start + s - 1
+		if u < limit {
+			limit = u
+		}
+		placedAt := -1
+		for t := start; t <= limit; t++ {
+			if tab.Fits(g.Nodes[best].Reservation, t) {
+				placedAt = t
+				break
+			}
+		}
+		if placedAt == -1 {
+			return nil
+		}
+		tab.Place(g.Nodes[best].Reservation, placedAt)
+		times[best] = placedAt
+		scheduled[best] = true
+		for _, e := range g.Edges {
+			if e.Omega == 0 && inComp[e.From] && e.From == best && inComp[e.To] && e.To != best {
+				deg[e.To]--
+			}
+		}
+		// Update precedence-constrained ranges with the precomputed
+		// closure, the symbolic interval now instantiated at s.
+		for _, w := range comp {
+			if scheduled[w] {
+				continue
+			}
+			if d := cl.DistAt(best, w, s); d != depgraph.NegInf {
+				if t := placedAt + d; t > lo[w] {
+					lo[w] = t
+				}
+			}
+			if d := cl.DistAt(w, best, s); d != depgraph.NegInf {
+				if t := placedAt - d; t < hi[w] {
+					hi[w] = t
+				}
+			}
+		}
+	}
+	return times
+}

@@ -1,0 +1,183 @@
+// Package schedule implements the scheduling algorithms of Lam (PLDI
+// 1988) §2.2: list scheduling of acyclic graphs against a modulo resource
+// reservation table, the strongly-connected-component scheduler for cyclic
+// graphs with precedence-constrained ranges, and the iterative search for
+// the smallest feasible initiation interval.  It also provides the plain
+// basic-block list scheduler used for locally compacted (unpipelined)
+// code and for hierarchical reduction of conditional branches.
+package schedule
+
+import (
+	"fmt"
+	"strings"
+
+	"softpipe/internal/depgraph"
+	"softpipe/internal/machine"
+)
+
+// ModTable is a modulo resource reservation table for initiation interval
+// II: the resource usage of time t is accounted at row t mod II, so the
+// steady state of the pipelined loop can be checked directly (Lam §2.1).
+type ModTable struct {
+	II  int
+	cap []int   // per-resource capacity
+	use [][]int // [II][resource] counts
+}
+
+// NewModTable returns an empty table for the given interval and machine.
+func NewModTable(ii int, m *machine.Machine) *ModTable {
+	t := &ModTable{II: ii, cap: m.ResourceCount, use: make([][]int, ii)}
+	for i := range t.use {
+		t.use[i] = make([]int, len(m.ResourceCount))
+	}
+	return t
+}
+
+func (t *ModTable) row(time int) int {
+	r := time % t.II
+	if r < 0 {
+		r += t.II
+	}
+	return r
+}
+
+// Fits reports whether the reservation pattern can be placed at time.
+// The pattern may use the same (resource, offset) more than once (SCC
+// aggregates do), so the check places entries tentatively and unwinds.
+func (t *ModTable) Fits(res []machine.ResUse, time int) bool {
+	ok := true
+	placed := 0
+	for _, u := range res {
+		row := t.use[t.row(time+u.Offset)]
+		row[u.Resource]++
+		placed++
+		if row[u.Resource] > t.cap[u.Resource] {
+			ok = false
+			break
+		}
+	}
+	for i := 0; i < placed; i++ {
+		u := res[i]
+		t.use[t.row(time+u.Offset)][u.Resource]--
+	}
+	return ok
+}
+
+// Place commits the reservation pattern at time.
+func (t *ModTable) Place(res []machine.ResUse, time int) {
+	for _, u := range res {
+		t.use[t.row(time+u.Offset)][u.Resource]++
+	}
+}
+
+// Remove undoes a Place.
+func (t *ModTable) Remove(res []machine.ResUse, time int) {
+	for _, u := range res {
+		t.use[t.row(time+u.Offset)][u.Resource]--
+	}
+}
+
+// Usage returns the current use count of resource r at row (time mod II).
+func (t *ModTable) Usage(time int, r machine.Resource) int {
+	return t.use[t.row(time)][int(r)]
+}
+
+// String renders the table.
+func (t *ModTable) String() string {
+	var b strings.Builder
+	for i, row := range t.use {
+		fmt.Fprintf(&b, "%3d:", i)
+		for r, n := range row {
+			if n > 0 {
+				fmt.Fprintf(&b, " %v=%d", machine.Resource(r), n)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FlatTable is an ordinary (non-modulo) reservation table that grows on
+// demand; it backs basic-block list scheduling.
+type FlatTable struct {
+	cap []int
+	use [][]int
+}
+
+// NewFlatTable returns an empty flat table for machine m.
+func NewFlatTable(m *machine.Machine) *FlatTable {
+	return &FlatTable{cap: m.ResourceCount}
+}
+
+func (t *FlatTable) grow(n int) {
+	for len(t.use) <= n {
+		t.use = append(t.use, make([]int, len(t.cap)))
+	}
+}
+
+// Fits reports whether the reservation pattern can be placed at time ≥ 0.
+// As with ModTable, repeated (resource, offset) entries are accounted
+// cumulatively.
+func (t *FlatTable) Fits(res []machine.ResUse, time int) bool {
+	ok := true
+	placed := 0
+	for _, u := range res {
+		at := time + u.Offset
+		if at < 0 {
+			ok = false
+			break
+		}
+		t.grow(at)
+		t.use[at][u.Resource]++
+		placed++
+		if t.use[at][u.Resource] > t.cap[u.Resource] {
+			ok = false
+			break
+		}
+	}
+	for i := 0; i < placed; i++ {
+		u := res[i]
+		t.use[time+u.Offset][u.Resource]--
+	}
+	return ok
+}
+
+// Place commits the reservation pattern at time.
+func (t *FlatTable) Place(res []machine.ResUse, time int) {
+	for _, u := range res {
+		t.grow(time + u.Offset)
+		t.use[time+u.Offset][u.Resource]++
+	}
+}
+
+// Usage returns the use count of resource r at the given cycle.
+func (t *FlatTable) Usage(time int, r machine.Resource) int {
+	if time < 0 || time >= len(t.use) {
+		return 0
+	}
+	return t.use[time][int(r)]
+}
+
+// Len returns the number of occupied cycles.
+func (t *FlatTable) Len() int { return len(t.use) }
+
+// reservationExtent returns one past the last offset used by a pattern.
+func reservationExtent(res []machine.ResUse) int {
+	e := 1
+	for _, u := range res {
+		if u.Offset+1 > e {
+			e = u.Offset + 1
+		}
+	}
+	return e
+}
+
+// Extent returns the occupancy extent of a node: the number of cycles
+// from issue through its last reservation (at least Len).
+func Extent(n *depgraph.Node) int {
+	e := reservationExtent(n.Reservation)
+	if n.Len > e {
+		e = n.Len
+	}
+	return e
+}

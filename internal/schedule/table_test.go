@@ -1,0 +1,121 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"softpipe/internal/machine"
+)
+
+// Property (testing/quick): a modulo table never exceeds capacity under
+// any sequence of Fits-guarded Places, counts repeated resources within a
+// pattern cumulatively, and Remove exactly undoes Place.
+func TestModTableQuick(t *testing.T) {
+	m := machine.Warp()
+	f := func(iiRaw uint8, patRaw []uint8, timesRaw []int16) bool {
+		ii := int(iiRaw%13) + 1
+		tab := NewModTable(ii, m)
+		type placed struct {
+			res  []machine.ResUse
+			time int
+		}
+		var history []placed
+		for i := 0; i < len(patRaw) && i < len(timesRaw); i++ {
+			// Build a small random reservation pattern.
+			n := int(patRaw[i]%3) + 1
+			var res []machine.ResUse
+			for j := 0; j < n; j++ {
+				res = append(res, machine.ResUse{
+					Resource: machine.Resource(int(patRaw[i]+uint8(j)) % len(m.ResourceCount)),
+					Offset:   int(patRaw[i]>>2+uint8(j)) % 5,
+				})
+			}
+			at := int(timesRaw[i])
+			if tab.Fits(res, at) {
+				tab.Place(res, at)
+				history = append(history, placed{res, at})
+			}
+			// Capacity invariant after every step.
+			for row := 0; row < ii; row++ {
+				for r, cap := range m.ResourceCount {
+					if tab.Usage(row, machine.Resource(r)) > cap {
+						return false
+					}
+				}
+			}
+		}
+		// Remove everything: the table must return to empty.
+		for _, p := range history {
+			tab.Remove(p.res, p.time)
+		}
+		for row := 0; row < ii; row++ {
+			for r := range m.ResourceCount {
+				if tab.Usage(row, machine.Resource(r)) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModTableRepeatedResource(t *testing.T) {
+	m := machine.Warp()
+	tab := NewModTable(4, m)
+	// The AGU has 2 units; a pattern using it twice at one offset fits
+	// once but a third concurrent use must not.
+	two := []machine.ResUse{
+		{Resource: machine.ResAGU, Offset: 0},
+		{Resource: machine.ResAGU, Offset: 0},
+	}
+	if !tab.Fits(two, 0) {
+		t.Fatal("two AGU uses must fit an empty table")
+	}
+	tab.Place(two, 0)
+	one := []machine.ResUse{{Resource: machine.ResAGU, Offset: 0}}
+	if tab.Fits(one, 0) {
+		t.Fatal("third AGU use at the same slot must not fit")
+	}
+	if !tab.Fits(one, 1) {
+		t.Fatal("a different slot must fit")
+	}
+	// Wrap-around: offset 4 maps to row 0.
+	if tab.Fits([]machine.ResUse{{Resource: machine.ResAGU, Offset: 4}}, 0) {
+		t.Fatal("offset wrapping must account modulo II")
+	}
+}
+
+func TestModTableNegativeTimes(t *testing.T) {
+	m := machine.Warp()
+	tab := NewModTable(3, m)
+	res := []machine.ResUse{{Resource: machine.ResFAdd, Offset: 0}}
+	tab.Place(res, -1) // row 2
+	if tab.Fits(res, 2) {
+		t.Fatal("time -1 and time 2 share a row at II=3")
+	}
+	if !tab.Fits(res, 0) {
+		t.Fatal("row 0 must be free")
+	}
+}
+
+func TestFlatTableGrowth(t *testing.T) {
+	m := machine.Warp()
+	tab := NewFlatTable(m)
+	res := []machine.ResUse{{Resource: machine.ResFMul, Offset: 3}}
+	if !tab.Fits(res, 10) {
+		t.Fatal("empty flat table must fit anywhere >= 0")
+	}
+	tab.Place(res, 10)
+	if tab.Usage(13, machine.ResFMul) != 1 {
+		t.Fatal("placement not recorded at time+offset")
+	}
+	if tab.Fits(res, 10) {
+		t.Fatal("capacity 1 must reject a second multiplier at 13")
+	}
+	if tab.Fits(res, -5) {
+		t.Fatal("negative cycles are invalid")
+	}
+}

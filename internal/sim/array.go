@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+	"softpipe/internal/vliw"
+)
+
+// Array simulates a linear Warp array: cells connected by bounded FIFO
+// queues, the host feeding the first cell and collecting from the last
+// (Lam §1: "The Warp array is a linear array of VLIW processors"; each
+// cell owns a 512-word queue per channel).  Cells step in lock-step
+// global cycles; a cell whose queue operation cannot proceed stalls with
+// its local clock frozen, which preserves each cell's compiled schedule
+// exactly ("except for a short setup time at the beginning, these
+// programs never stall", §4.1 — the setup skew is where stalls happen).
+type Array struct {
+	Cells []*Sim
+	// MaxCycles bounds the run; 0 picks a generous default.
+	MaxCycles int64
+
+	queues []*Queue
+	cycles int64
+}
+
+// QueueCapacity matches the Warp cell's 512-word channel queues.
+const QueueCapacity = 512
+
+// NewArray builds an array of len(progs) cells.  The host input is
+// preloaded on the first cell's input channel; the last cell's sends
+// accumulate as the array output.
+func NewArray(progs []*vliw.Program, m *machine.Machine, input []float64) *Array {
+	a := &Array{}
+	a.queues = make([]*Queue, len(progs)+1)
+	a.queues[0] = NewQueue(0) // host side: unbounded, preloaded
+	for i := 1; i < len(progs); i++ {
+		a.queues[i] = NewQueue(QueueCapacity)
+	}
+	a.queues[len(progs)] = NewQueue(0) // host collection side
+	for _, v := range input {
+		a.queues[0].push(v)
+	}
+	for i, p := range progs {
+		c := New(p, m)
+		c.inQ = a.queues[i]
+		c.outQ = a.queues[i+1]
+		a.Cells = append(a.Cells, c)
+	}
+	return a
+}
+
+// NewHomogeneousArray runs the same cell program on n cells (the shape of
+// all the paper's measured applications, §4.1).
+func NewHomogeneousArray(p *vliw.Program, m *machine.Machine, n int, input []float64) *Array {
+	progs := make([]*vliw.Program, n)
+	for i := range progs {
+		progs[i] = p
+	}
+	return NewArray(progs, m, input)
+}
+
+// Run steps every cell until all halt, then drains in-flight writes.
+// It returns the host-side output stream and the final state of the last
+// cell (homogeneous reductions usually leave results there).
+func (a *Array) Run() ([]float64, *ir.State, error) {
+	max := a.MaxCycles
+	if max == 0 {
+		max = 200_000_000
+	}
+	stallStreak := 0
+	for a.cycles = 0; ; a.cycles++ {
+		if a.cycles >= max {
+			return nil, nil, fmt.Errorf("sim: array exceeded %d cycles", max)
+		}
+		allHalted := true
+		progress := false
+		for ci, c := range a.Cells {
+			if c.halted {
+				continue
+			}
+			allHalted = false
+			stalled, err := c.Step()
+			if err != nil {
+				return nil, nil, fmt.Errorf("cell %d: %w", ci, err)
+			}
+			if !stalled {
+				progress = true
+			}
+		}
+		if allHalted {
+			break
+		}
+		if !progress {
+			stallStreak++
+			if stallStreak > 4 {
+				return nil, nil, fmt.Errorf("sim: array deadlocked at cycle %d (%s)", a.cycles, a.describeStalls())
+			}
+		} else {
+			stallStreak = 0
+		}
+	}
+	for ci, c := range a.Cells {
+		if err := c.Drain(max); err != nil {
+			return nil, nil, fmt.Errorf("cell %d: %w", ci, err)
+		}
+	}
+	return a.queues[len(a.Cells)].buf, a.Cells[len(a.Cells)-1].state(), nil
+}
+
+func (a *Array) describeStalls() string {
+	s := ""
+	for i, q := range a.queues {
+		s += fmt.Sprintf("q%d=%d ", i, q.Len())
+	}
+	return s
+}
+
+// Stats aggregates the cells' counters; Cycles is the array wall clock.
+func (a *Array) Stats() Stats {
+	var total Stats
+	for _, c := range a.Cells {
+		total.Flops += c.stats.Flops
+		total.Ops += c.stats.Ops
+		total.Instrs += c.stats.Instrs
+	}
+	total.Cycles = a.cycles
+	return total
+}

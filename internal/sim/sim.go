@@ -1,0 +1,464 @@
+// Package sim executes VLIW object programs cycle-accurately: every slot
+// of an instruction issues in the same cycle, results are written back a
+// fixed latency later, and loads/stores access a flat data memory.  It is
+// the stand-in for the Warp cell hardware of Lam (PLDI 1988); MFLOPS
+// figures come from counted floating-point issues over counted cycles at
+// the machine's clock rate (5 MHz for the Warp-like cell).
+//
+// Timing contract (the dependence delays in internal/depgraph mirror it):
+//   - operands are read at issue, after the cycle's register write-backs;
+//   - a result issued at t with latency L is readable from t+L on;
+//   - loads read memory at issue; stores write memory at issue but after
+//     all loads of the same instruction;
+//   - control takes effect at the next cycle (no branch delay slots).
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+	"softpipe/internal/vliw"
+)
+
+// Stats reports what a run cost.
+type Stats struct {
+	Cycles int64
+	Flops  int64
+	Instrs int64 // instruction words executed
+	Ops    int64 // slot operations executed
+}
+
+// MFLOPS converts the counters to a rate on machine m, scaled by `cells`
+// identical cells (pass m.Cells for homogeneous array programs, 1 for a
+// single cell).
+func (s Stats) MFLOPS(m *machine.Machine, cells int) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Flops) * m.ClockMHz / float64(s.Cycles) * float64(cells)
+}
+
+type writeback struct {
+	isFloat bool
+	reg     int
+	f       float64
+	i       int64
+	pc      int // issuing instruction, for diagnostics
+}
+
+// Sim is a single-cell simulator instance.
+type Sim struct {
+	Prog *vliw.Program
+	Mach *machine.Machine
+	// MaxCycles guards against runaway programs; 0 means a generous
+	// default.
+	MaxCycles int64
+	// Trace, when non-nil, receives one line per executed instruction
+	// word (cycle, pc, disassembly) for the first TraceCycles cycles
+	// (0 means unlimited).
+	Trace       io.Writer
+	TraceCycles int64
+	// InputTape feeds Recv operations when the cell runs standalone;
+	// OutputTape collects Send values.  Inside an Array the inter-cell
+	// queues are used instead.
+	InputTape  []float64
+	OutputTape []float64
+
+	fregs []float64
+	iregs []int64
+	memF  []float64 // parallel typed views of the flat memory
+	memI  []int64
+
+	pending map[int64][]writeback
+	stats   Stats
+
+	// Execution cursor (local cell time; stalls freeze it so the
+	// scheduled timing is preserved exactly).
+	pc     int
+	t      int64
+	halted bool
+	inPos  int
+	inQ    *Queue
+	outQ   *Queue
+}
+
+// Queue is a bounded FIFO channel between adjacent cells (each Warp cell
+// has a 512-word queue per communication channel, Lam §1).
+type Queue struct {
+	buf []float64
+	cap int
+}
+
+// NewQueue returns an empty queue with the given capacity (0 means
+// unbounded, used for the host-side tapes).
+func NewQueue(capacity int) *Queue { return &Queue{cap: capacity} }
+
+// Len reports the queued word count.
+func (q *Queue) Len() int { return len(q.buf) }
+
+func (q *Queue) full() bool  { return q.cap > 0 && len(q.buf) >= q.cap }
+func (q *Queue) empty() bool { return len(q.buf) == 0 }
+
+func (q *Queue) push(v float64) { q.buf = append(q.buf, v) }
+
+func (q *Queue) pop() float64 {
+	v := q.buf[0]
+	q.buf = q.buf[1:]
+	return v
+}
+
+// New prepares a simulator with initialized memory.
+func New(p *vliw.Program, m *machine.Machine) *Sim {
+	s := &Sim{
+		Prog:    p,
+		Mach:    m,
+		fregs:   make([]float64, p.NumFRegs),
+		iregs:   make([]int64, p.NumIRegs),
+		memF:    make([]float64, p.MemWords),
+		memI:    make([]int64, p.MemWords),
+		pending: make(map[int64][]writeback),
+	}
+	for _, a := range p.Arrays {
+		if a.Kind == ir.KindFloat {
+			copy(s.memF[a.Base:a.Base+a.Size], p.InitF[a.Name])
+		} else {
+			copy(s.memI[a.Base:a.Base+a.Size], p.InitI[a.Name])
+		}
+	}
+	return s
+}
+
+// Run executes the program until halt and returns the observable state.
+// Standalone cells never stall: Recv reads the input tape (erroring past
+// its end) and Send appends to the output tape.
+func (s *Sim) Run() (*ir.State, error) {
+	max := s.MaxCycles
+	if max == 0 {
+		max = 200_000_000
+	}
+	for !s.halted {
+		if s.t >= max {
+			return nil, fmt.Errorf("sim: exceeded %d cycles (pc=%d)", max, s.pc)
+		}
+		stalled, err := s.Step()
+		if err != nil {
+			return nil, err
+		}
+		if stalled {
+			return nil, fmt.Errorf("sim: cell stalled outside an array (pc=%d)", s.pc)
+		}
+	}
+	if err := s.Drain(max); err != nil {
+		return nil, err
+	}
+	s.stats.Cycles = s.t
+	return s.state(), nil
+}
+
+// Drain advances local time until every in-flight write-back has landed.
+func (s *Sim) Drain(max int64) error {
+	for len(s.pending) > 0 {
+		if err := s.applyWritebacks(s.t); err != nil {
+			return err
+		}
+		s.t++
+		if max > 0 && s.t >= max {
+			return fmt.Errorf("sim: drain exceeded %d cycles", max)
+		}
+	}
+	return nil
+}
+
+// Halted reports whether the cell has executed its halt instruction.
+func (s *Sim) Halted() bool { return s.halted }
+
+// Step executes one local cycle.  When the instruction needs a queue
+// operation that cannot proceed (empty input, full output) the cell
+// stalls: local time freezes (in-flight write-backs hold with it), so
+// the compiler's cycle-exact schedule is preserved and only dilated.
+func (s *Sim) Step() (stalled bool, err error) {
+	if s.halted {
+		return false, nil
+	}
+	pc := s.pc
+	t := s.t
+	if pc < 0 || pc >= len(s.Prog.Instrs) {
+		return false, fmt.Errorf("sim: pc %d out of range at cycle %d", pc, t)
+	}
+	in := &s.Prog.Instrs[pc]
+	for oi := range in.Ops {
+		switch in.Ops[oi].Class {
+		case machine.ClassRecv:
+			if s.inQ != nil && s.inQ.empty() {
+				return true, nil
+			}
+			if s.inQ == nil && s.inPos >= len(s.InputTape) {
+				return false, fmt.Errorf("sim: receive beyond end of input tape (pc=%d)", pc)
+			}
+		case machine.ClassSend:
+			if s.outQ != nil && s.outQ.full() {
+				return true, nil
+			}
+		}
+	}
+	if err := s.applyWritebacks(t); err != nil {
+		return false, err
+	}
+	if s.Trace != nil && (s.TraceCycles == 0 || t < s.TraceCycles) {
+		fmt.Fprintf(s.Trace, "%8d  @%-5d %s\n", t, pc, in.String())
+	}
+	next := pc + 1
+	// Issue all slots: reads first, then memory stores, then queued
+	// register write-backs.
+	type memStore struct {
+		isFloat bool
+		addr    int64
+		f       float64
+		i       int64
+	}
+	var stores []memStore
+	for oi := range in.Ops {
+		o := &in.Ops[oi]
+		d := s.Mach.Desc(o.Class)
+		if d == nil {
+			return false, fmt.Errorf("sim: @%d: unsupported class %v", pc, o.Class)
+		}
+		s.stats.Ops++
+		s.stats.Flops += int64(d.Flops)
+		lat := int64(d.Latency)
+		switch o.Class {
+		case machine.ClassNop:
+		case machine.ClassFAdd:
+			s.wb(t+lat, pc, true, o.Dst, s.fregs[o.Src[0]]+s.fregs[o.Src[1]], 0)
+		case machine.ClassFSub:
+			s.wb(t+lat, pc, true, o.Dst, s.fregs[o.Src[0]]-s.fregs[o.Src[1]], 0)
+		case machine.ClassFMul:
+			s.wb(t+lat, pc, true, o.Dst, s.fregs[o.Src[0]]*s.fregs[o.Src[1]], 0)
+		case machine.ClassFNeg:
+			s.wb(t+lat, pc, true, o.Dst, -s.fregs[o.Src[0]], 0)
+		case machine.ClassFMov:
+			s.wb(t+lat, pc, true, o.Dst, s.fregs[o.Src[0]], 0)
+		case machine.ClassFConst:
+			s.wb(t+lat, pc, true, o.Dst, o.FImm, 0)
+		case machine.ClassRecv:
+			var v float64
+			if s.inQ != nil {
+				v = s.inQ.pop()
+			} else {
+				v = s.InputTape[s.inPos]
+				s.inPos++
+			}
+			s.wb(t+lat, pc, true, o.Dst, v, 0)
+		case machine.ClassSend:
+			if s.outQ != nil {
+				s.outQ.push(s.fregs[o.Src[0]])
+			} else {
+				s.OutputTape = append(s.OutputTape, s.fregs[o.Src[0]])
+			}
+		case machine.ClassFRecipSeed:
+			s.wb(t+lat, pc, true, o.Dst, ir.RecipSeed(s.fregs[o.Src[0]]), 0)
+		case machine.ClassFRsqrtSeed:
+			s.wb(t+lat, pc, true, o.Dst, ir.RsqrtSeed(s.fregs[o.Src[0]]), 0)
+		case machine.ClassF2I:
+			s.wb(t+lat, pc, false, o.Dst, 0, int64(s.fregs[o.Src[0]]))
+		case machine.ClassI2F:
+			s.wb(t+lat, pc, true, o.Dst, float64(s.iregs[o.Src[0]]), 0)
+		case machine.ClassFCmp:
+			v := b2i(ir.Pred(o.IImm).Eval(signF(s.fregs[o.Src[0]], s.fregs[o.Src[1]])))
+			s.wb(t+lat, pc, false, o.Dst, 0, v)
+		case machine.ClassIAdd, machine.ClassAdrAdd:
+			s.wb(t+lat, pc, false, o.Dst, 0, s.iregs[o.Src[0]]+s.iregs[o.Src[1]])
+		case machine.ClassISub:
+			s.wb(t+lat, pc, false, o.Dst, 0, s.iregs[o.Src[0]]-s.iregs[o.Src[1]])
+		case machine.ClassIMul:
+			s.wb(t+lat, pc, false, o.Dst, 0, s.iregs[o.Src[0]]*s.iregs[o.Src[1]])
+		case machine.ClassIMov:
+			s.wb(t+lat, pc, false, o.Dst, 0, s.iregs[o.Src[0]])
+		case machine.ClassIConst:
+			s.wb(t+lat, pc, false, o.Dst, 0, o.IImm)
+		case machine.ClassIShr:
+			s.wb(t+lat, pc, false, o.Dst, 0, int64(uint64(s.iregs[o.Src[0]])>>uint(o.IImm)))
+		case machine.ClassIAnd:
+			s.wb(t+lat, pc, false, o.Dst, 0, s.iregs[o.Src[0]]&o.IImm)
+		case machine.ClassICmp:
+			v := b2i(ir.Pred(o.IImm).Eval(signI(s.iregs[o.Src[0]], s.iregs[o.Src[1]])))
+			s.wb(t+lat, pc, false, o.Dst, 0, v)
+		case machine.ClassISelect:
+			if s.iregs[o.Src[0]] != 0 {
+				s.selectWB(t+lat, pc, o, 1)
+			} else {
+				s.selectWB(t+lat, pc, o, 2)
+			}
+		case machine.ClassLoad:
+			addr, err := s.memAddr(o, pc, t)
+			if err != nil {
+				return false, err
+			}
+			arr := s.Prog.Array(o.Array)
+			if arr.Kind == ir.KindFloat {
+				s.wb(t+lat, pc, true, o.Dst, s.memF[addr], 0)
+			} else {
+				s.wb(t+lat, pc, false, o.Dst, 0, s.memI[addr])
+			}
+		case machine.ClassStore:
+			addr, err := s.memAddr(o, pc, t)
+			if err != nil {
+				return false, err
+			}
+			arr := s.Prog.Array(o.Array)
+			if arr.Kind == ir.KindFloat {
+				stores = append(stores, memStore{isFloat: true, addr: addr, f: s.fregs[o.Src[1]]})
+			} else {
+				stores = append(stores, memStore{addr: addr, i: s.iregs[o.Src[1]]})
+			}
+		default:
+			return false, fmt.Errorf("sim: @%d: cannot execute class %v", pc, o.Class)
+		}
+	}
+	for _, st := range stores {
+		if st.isFloat {
+			s.memF[st.addr] = st.f
+		} else {
+			s.memI[st.addr] = st.i
+		}
+	}
+	switch in.Ctl.Kind {
+	case vliw.CtlNone:
+	case vliw.CtlHalt:
+		s.halted = true
+	case vliw.CtlJump:
+		next = in.Ctl.Target
+	case vliw.CtlDBNZ:
+		s.iregs[in.Ctl.Reg]--
+		if s.iregs[in.Ctl.Reg] != 0 {
+			next = in.Ctl.Target
+		}
+	case vliw.CtlJZ:
+		if s.iregs[in.Ctl.Reg] == 0 {
+			next = in.Ctl.Target
+		}
+	case vliw.CtlJNZ:
+		if s.iregs[in.Ctl.Reg] != 0 {
+			next = in.Ctl.Target
+		}
+	}
+	s.stats.Instrs++
+	s.t++
+	s.pc = next
+	return false, nil
+}
+
+// Stats reports the counters of the completed run.
+func (s *Sim) Stats() Stats { return s.stats }
+
+func (s *Sim) memAddr(o *vliw.SlotOp, pc int, t int64) (int64, error) {
+	arr := s.Prog.Array(o.Array)
+	if arr == nil {
+		return 0, fmt.Errorf("sim: @%d: unknown array %q", pc, o.Array)
+	}
+	idx := s.iregs[o.Src[0]] + o.Disp - int64(arr.Base)
+	if idx < 0 || idx >= int64(arr.Size) {
+		return 0, fmt.Errorf("sim: @%d cycle %d: %s[%d] out of bounds (size %d)",
+			pc, t, o.Array, idx, arr.Size)
+	}
+	return int64(arr.Base) + idx, nil
+}
+
+func (s *Sim) selectWB(due int64, pc int, o *vliw.SlotOp, which int) {
+	// The select's kind is encoded by its destination file: the code
+	// generator sets FImm to 1 for float selects.
+	if o.FImm != 0 {
+		s.wb(due, pc, true, o.Dst, s.fregs[o.Src[which]], 0)
+	} else {
+		s.wb(due, pc, false, o.Dst, 0, s.iregs[o.Src[which]])
+	}
+}
+
+func (s *Sim) wb(due int64, pc int, isFloat bool, reg int, f float64, i int64) {
+	s.pending[due] = append(s.pending[due], writeback{isFloat: isFloat, reg: reg, f: f, i: i, pc: pc})
+}
+
+func (s *Sim) applyWritebacks(t int64) error {
+	wbs, ok := s.pending[t]
+	if !ok {
+		return nil
+	}
+	delete(s.pending, t)
+	seenF := map[int]int{}
+	seenI := map[int]int{}
+	for _, w := range wbs {
+		if w.isFloat {
+			if prev, dup := seenF[w.reg]; dup {
+				return fmt.Errorf("sim: write-back conflict on f%d at cycle %d (pc %d and %d)", w.reg, t, prev, w.pc)
+			}
+			seenF[w.reg] = w.pc
+			s.fregs[w.reg] = w.f
+		} else {
+			if prev, dup := seenI[w.reg]; dup {
+				return fmt.Errorf("sim: write-back conflict on i%d at cycle %d (pc %d and %d)", w.reg, t, prev, w.pc)
+			}
+			seenI[w.reg] = w.pc
+			s.iregs[w.reg] = w.i
+		}
+	}
+	return nil
+}
+
+func (s *Sim) state() *ir.State {
+	st := &ir.State{
+		FloatArrays: map[string][]float64{},
+		IntArrays:   map[string][]int64{},
+		Scalars:     map[string]float64{},
+	}
+	for _, a := range s.Prog.Arrays {
+		if a.Kind == ir.KindFloat {
+			st.FloatArrays[a.Name] = append([]float64(nil), s.memF[a.Base:a.Base+a.Size]...)
+		} else {
+			st.IntArrays[a.Name] = append([]int64(nil), s.memI[a.Base:a.Base+a.Size]...)
+		}
+	}
+	for _, r := range s.Prog.Results {
+		if r.Kind == ir.KindFloat {
+			st.Scalars[r.Name] = s.fregs[r.Reg]
+		} else {
+			st.Scalars[r.Name] = float64(s.iregs[r.Reg])
+		}
+	}
+	return st
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func signF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func signI(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// Run executes p on machine m and returns state and stats.
+func Run(p *vliw.Program, m *machine.Machine) (*ir.State, Stats, error) {
+	s := New(p, m)
+	st, err := s.Run()
+	return st, s.stats, err
+}

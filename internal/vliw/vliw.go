@@ -1,0 +1,254 @@
+// Package vliw defines the wide-instruction object-code representation the
+// code generator emits and the simulator executes: one optional operation
+// per functional-unit issue slot plus a sequencer (control) field, exactly
+// the machine-instruction model of a Warp-like cell (Lam §1: "all these
+// components ... can be programmed to operate concurrently via wide
+// instructions").
+package vliw
+
+import (
+	"fmt"
+	"strings"
+
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+)
+
+// SlotOp is one operation within a wide instruction.  Registers are
+// physical indices into the float or int register file according to the
+// class.  Loads and stores address the flat data memory with
+// mem[ireg[Src[0]] + Disp].
+type SlotOp struct {
+	Class machine.Class
+	Dst   int
+	Src   []int
+	FImm  float64
+	IImm  int64 // predicate for compares
+	Disp  int64 // displacement for loads/stores (array base + offset)
+	// Array names the array touched, for diagnostics and bounds checks.
+	Array string
+}
+
+// String renders the slot op.
+func (o *SlotOp) String() string {
+	var b strings.Builder
+	if hasDst(o.Class) {
+		fmt.Fprintf(&b, "%s%d = ", regPrefix(o.Class), o.Dst)
+	}
+	b.WriteString(o.Class.String())
+	switch o.Class {
+	case machine.ClassFConst:
+		fmt.Fprintf(&b, " %g", o.FImm)
+	case machine.ClassIConst:
+		fmt.Fprintf(&b, " %d", o.IImm)
+	case machine.ClassFCmp, machine.ClassICmp:
+		fmt.Fprintf(&b, ".%v", ir.Pred(o.IImm))
+	}
+	for _, s := range o.Src {
+		fmt.Fprintf(&b, " %d", s)
+	}
+	if o.Class == machine.ClassLoad || o.Class == machine.ClassStore {
+		fmt.Fprintf(&b, " [%s%+d]", o.Array, o.Disp)
+	}
+	return b.String()
+}
+
+func hasDst(c machine.Class) bool {
+	return c != machine.ClassStore && c != machine.ClassNop
+}
+
+// writesReg reports whether the class writes back a destination register
+// (Send and the sequencer classes carry no result).
+func writesReg(c machine.Class) bool {
+	return hasDst(c) && c != machine.ClassSend && !c.IsBranch()
+}
+
+func regPrefix(c machine.Class) string {
+	if c.IsFloat() || c == machine.ClassLoad {
+		return "f" // may still be an int load; prefix is cosmetic
+	}
+	return "i"
+}
+
+// CtlKind enumerates sequencer operations.
+type CtlKind int
+
+// Sequencer operations.
+const (
+	CtlNone CtlKind = iota
+	// CtlHalt stops the machine.
+	CtlHalt
+	// CtlJump branches unconditionally to Target.
+	CtlJump
+	// CtlDBNZ decrements int register Reg and branches to Target if the
+	// result is nonzero (the loop-back "CJump" of the paper's examples;
+	// the count lives in a register dedicated by the code generator).
+	CtlDBNZ
+	// CtlJZ branches to Target if int register Reg is zero (used to
+	// select the ELSE arm of conditionals and to guard zero-trip loops).
+	CtlJZ
+	// CtlJNZ branches to Target if int register Reg is nonzero.
+	CtlJNZ
+)
+
+// Ctl is the sequencer field of an instruction.
+type Ctl struct {
+	Kind   CtlKind
+	Reg    int
+	Target int // instruction index
+}
+
+// Instr is one very long instruction word.
+type Instr struct {
+	Ops []SlotOp
+	Ctl Ctl
+}
+
+// String renders the instruction.
+func (in *Instr) String() string {
+	var parts []string
+	for i := range in.Ops {
+		parts = append(parts, in.Ops[i].String())
+	}
+	switch in.Ctl.Kind {
+	case CtlHalt:
+		parts = append(parts, "halt")
+	case CtlJump:
+		parts = append(parts, fmt.Sprintf("jump @%d", in.Ctl.Target))
+	case CtlDBNZ:
+		parts = append(parts, fmt.Sprintf("dbnz i%d @%d", in.Ctl.Reg, in.Ctl.Target))
+	case CtlJZ:
+		parts = append(parts, fmt.Sprintf("jz i%d @%d", in.Ctl.Reg, in.Ctl.Target))
+	case CtlJNZ:
+		parts = append(parts, fmt.Sprintf("jnz i%d @%d", in.Ctl.Reg, in.Ctl.Target))
+	}
+	if len(parts) == 0 {
+		return "nop"
+	}
+	return strings.Join(parts, " ; ")
+}
+
+// ArrayInfo records where an array lives in the flat data memory.
+type ArrayInfo struct {
+	Name string
+	Kind ir.Kind
+	Base int
+	Size int
+}
+
+// Result names a register whose final value is an observable output.
+type Result struct {
+	Name string
+	Kind ir.Kind
+	Reg  int
+}
+
+// Program is a complete object program for one cell.
+type Program struct {
+	Name   string
+	Instrs []Instr
+
+	NumFRegs int
+	NumIRegs int
+
+	MemWords int
+	Arrays   []ArrayInfo
+	// InitF/InitI give initial array contents (parallel to Arrays).
+	InitF map[string][]float64
+	InitI map[string][]int64
+
+	Results []Result
+}
+
+// Array returns the layout entry for name, or nil.
+func (p *Program) Array(name string) *ArrayInfo {
+	for i := range p.Arrays {
+		if p.Arrays[i].Name == name {
+			return &p.Arrays[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks structural sanity: register and target ranges and
+// per-instruction resource usage against machine m.
+func (p *Program) Validate(m *machine.Machine) error {
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		use := make([]int, len(m.ResourceCount))
+		type dst struct {
+			float bool
+			reg   int
+			lat   int
+		}
+		written := map[dst]bool{}
+		for i := range in.Ops {
+			o := &in.Ops[i]
+			d := m.Desc(o.Class)
+			if d == nil {
+				return fmt.Errorf("vliw: @%d: class %v unsupported", pc, o.Class)
+			}
+			// Two same-latency ops in one instruction writing the same
+			// register always collide in the write-back stage.  (Writes
+			// with different latencies land on different cycles and are
+			// legal — the allocator packs adjacent lifetimes that way.)
+			if writesReg(o.Class) {
+				k := dst{float: o.Class.IsFloat(), reg: o.Dst, lat: d.Latency}
+				switch o.Class {
+				case machine.ClassLoad:
+					if a := p.Array(o.Array); a != nil {
+						k.float = a.Kind == ir.KindFloat
+					}
+				case machine.ClassISelect:
+					// A select writes the file its operands live in; the
+					// code generator marks float selects with FImm = 1.
+					k.float = o.FImm != 0
+				}
+				if written[k] {
+					return fmt.Errorf("vliw: @%d: write-back collision on one register in a single instruction: %s", pc, in)
+				}
+				written[k] = true
+			}
+			// Only offset-0 reservations can be checked per instruction
+			// word; multi-cycle patterns were checked at schedule time.
+			for _, u := range d.Reservation {
+				if u.Offset == 0 {
+					use[u.Resource]++
+				}
+			}
+			for _, s := range o.Src {
+				if s < 0 {
+					return fmt.Errorf("vliw: @%d: negative register", pc)
+				}
+			}
+			if o.Class == machine.ClassLoad || o.Class == machine.ClassStore {
+				if p.Array(o.Array) == nil {
+					return fmt.Errorf("vliw: @%d: unknown array %q", pc, o.Array)
+				}
+			}
+		}
+		for r, n := range use {
+			if n > m.ResourceCount[r] {
+				return fmt.Errorf("vliw: @%d: resource %v oversubscribed (%d > %d): %s",
+					pc, machine.Resource(r), n, m.ResourceCount[r], in)
+			}
+		}
+		if in.Ctl.Kind == CtlJump || in.Ctl.Kind == CtlDBNZ || in.Ctl.Kind == CtlJZ || in.Ctl.Kind == CtlJNZ {
+			if in.Ctl.Target < 0 || in.Ctl.Target >= len(p.Instrs) {
+				return fmt.Errorf("vliw: @%d: branch target %d out of range", pc, in.Ctl.Target)
+			}
+		}
+	}
+	return nil
+}
+
+// String disassembles the program.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %s: %d instrs, %d fregs, %d iregs, %d mem words\n",
+		p.Name, len(p.Instrs), p.NumFRegs, p.NumIRegs, p.MemWords)
+	for pc := range p.Instrs {
+		fmt.Fprintf(&b, "%4d: %s\n", pc, p.Instrs[pc].String())
+	}
+	return b.String()
+}

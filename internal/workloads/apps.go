@@ -1,0 +1,224 @@
+package workloads
+
+import (
+	"math"
+
+	"softpipe/internal/ir"
+)
+
+// Apps returns the representative application kernels of Lam Table 4-1.
+// Image sizes are scaled down from 512×512 (the per-cell MFLOPS rate of
+// these kernels is size-independent once the loops reach steady state;
+// see DESIGN.md, Substitutions).  PaperMFLOPS records the array rate the
+// paper reports where legible.
+func Apps() []*App {
+	return []*App{
+		{
+			Kernel: Kernel{
+				Name: "matmul-100",
+				Note: "100x100 matrix multiplication (Table 4-1)",
+				Source: `
+program matmul;
+const n = 100;
+var a, b, c: array [0..99] of array [0..99] of real;
+    i, j, k: int;
+begin
+  for k := 0 to n-1 do
+    for i := 0 to n-1 do
+      for j := 0 to n-1 do
+        c[i][j] := c[i][j] + a[i][k] * b[k][j];
+end.
+`,
+				Init: func(p *ir.Program) { fill(p, "a", 0, 0.1); fill(p, "b", 0, 0.1) },
+			},
+			PaperMFLOPS: 79.4,
+		},
+		{
+			Kernel: Kernel{
+				Name: "fft-stage",
+				Note: "radix-2 FFT butterfly pass, 512 complex points (Table 4-1: 512x512 complex FFT)",
+				Source: `
+program fftstage;
+const h = 256;
+var xr, xi: array [0..511] of real;
+    yr, yi: array [0..511] of real;
+    wr, wi: array [0..255] of real;
+    tr, ti: real;
+    k: int;
+begin
+  for k := 0 to h-1 do begin
+    tr := xr[k+h]*wr[k] - xi[k+h]*wi[k];
+    ti := xr[k+h]*wi[k] + xi[k+h]*wr[k];
+    yr[k] := xr[k] + tr;
+    yi[k] := xi[k] + ti;
+    yr[k+h] := xr[k] - tr;
+    yi[k+h] := xi[k] - ti;
+  end;
+end.
+`,
+				Init: func(p *ir.Program) {
+					fill(p, "xr", -1, 1)
+					fill(p, "xi", -1, 1)
+					w := p.Array("wr")
+					wi := p.Array("wi")
+					w.InitF = make([]float64, w.Size)
+					wi.InitF = make([]float64, wi.Size)
+					for i := 0; i < w.Size; i++ {
+						th := 2 * math.Pi * float64(i) / 512
+						w.InitF[i] = math.Cos(th)
+						wi.InitF[i] = -math.Sin(th)
+					}
+				},
+			},
+			PaperMFLOPS: 104,
+		},
+		{
+			Kernel: Kernel{
+				Name: "conv3x3",
+				Note: "3x3 convolution over a 64x64 image (Table 4-1, 512x512)",
+				Source: `
+program conv3;
+const n = 64;
+var img: array [0..65] of array [0..65] of real;
+    out: array [0..63] of array [0..63] of real;
+    w0, w1, w2, w3, w4, w5, w6, w7, w8: real;
+    i, j: int;
+begin
+  w0 := 0.0625; w1 := 0.125; w2 := 0.0625;
+  w3 := 0.125;  w4 := 0.25;  w5 := 0.125;
+  w6 := 0.0625; w7 := 0.125; w8 := 0.0625;
+  for i := 0 to n-1 do
+    for j := 0 to n-1 do
+      out[i][j] := w0*img[i][j]   + w1*img[i][j+1]   + w2*img[i][j+2] +
+                   w3*img[i+1][j] + w4*img[i+1][j+1] + w5*img[i+1][j+2] +
+                   w6*img[i+2][j] + w7*img[i+2][j+1] + w8*img[i+2][j+2];
+end.
+`,
+				Init: func(p *ir.Program) { fill(p, "img", 0, 1) },
+			},
+			PaperMFLOPS: 71.9,
+		},
+		{
+			Kernel: Kernel{
+				Name: "hough",
+				Note: "Hough transform, 32x32 edge image, 32 angles (Table 4-1)",
+				Source: `
+program hough;
+const n = 32;
+const na = 32;
+var img: array [0..31] of array [0..31] of real;
+    costab, sintab: array [0..31] of real;
+    acc: array [0..31] of array [0..95] of real;
+    r: real;
+    ri: int;
+    x, y, t: int;
+begin
+  for x := 0 to n-1 do
+    for y := 0 to n-1 do
+      if img[x][y] > 0.5 then
+        for t := 0 to na-1 do begin
+          r := float(x)*costab[t] + float(y)*sintab[t];
+          ri := trunc(r) + 47;
+          acc[t][ri] := acc[t][ri] + 1.0;
+        end;
+end.
+`,
+				Init: func(p *ir.Program) {
+					fill(p, "img", 0, 1)
+					c := p.Array("costab")
+					s := p.Array("sintab")
+					c.InitF = make([]float64, c.Size)
+					s.InitF = make([]float64, s.Size)
+					for i := 0; i < c.Size; i++ {
+						th := math.Pi * float64(i) / 32
+						c.InitF[i] = math.Cos(th)
+						s.InitF[i] = math.Sin(th)
+					}
+				},
+			},
+			PaperMFLOPS: 42.2,
+		},
+		{
+			Kernel: Kernel{
+				Name: "local-average",
+				Note: "local selective averaging with a data-dependent conditional (Table 4-1)",
+				Source: `
+program lsavg;
+const n = 64;
+var img: array [0..65] of array [0..65] of real;
+    out: array [0..63] of array [0..63] of real;
+    c, avg, thr: real;
+    i, j: int;
+begin
+  thr := 0.3;
+  for i := 0 to n-1 do
+    for j := 0 to n-1 do begin
+      c := img[i+1][j+1];
+      avg := 0.25*(img[i][j+1] + img[i+2][j+1] + img[i+1][j] + img[i+1][j+2]);
+      if abs(avg - c) < thr then
+        out[i][j] := avg
+      else
+        out[i][j] := c;
+    end;
+end.
+`,
+				Init: func(p *ir.Program) { fill(p, "img", 0, 1) },
+			},
+			PaperMFLOPS: 39.2,
+		},
+		{
+			Kernel: Kernel{
+				Name: "warshall",
+				Note: "shortest path, Warshall's algorithm, 32 nodes (Table 4-1: 350 nodes); the row-k/row-i aliasing is disambiguated with the paper's compiler directive",
+				Source: `
+program warshall;
+const n = 32;
+var d: array [0..31] of array [0..31] of real;
+    dik: real;
+    i, j, k: int;
+begin
+  for k := 0 to n-1 do
+    for i := 0 to n-1 do begin
+      { dik is read once per row: stores to d[i][k] at j=k would only
+        lower it again, so the hand-hoisted form is the faithful
+        hand-tuned translation (the compiler itself must not hoist a
+        load from an array the loop stores). }
+      dik := d[i][k];
+      independent for j := 0 to n-1 do
+        d[i][j] := min(d[i][j], dik + d[k][j]);
+    end;
+end.
+`,
+				Init: func(p *ir.Program) { fill(p, "d", 0.1, 10) },
+			},
+			PaperMFLOPS: 15.2,
+		},
+		{
+			Kernel: Kernel{
+				Name: "roberts",
+				Note: "Roberts edge operator over a 64x64 image (Table 4-1, 512x512)",
+				Source: `
+program roberts;
+const n = 64;
+var img: array [0..64] of array [0..64] of real;
+    out: array [0..63] of array [0..63] of real;
+    i, j: int;
+begin
+  for i := 0 to n-1 do
+    for j := 0 to n-1 do
+      out[i][j] := abs(img[i][j] - img[i+1][j+1]) + abs(img[i][j+1] - img[i+1][j]);
+end.
+`,
+				Init: func(p *ir.Program) { fill(p, "img", 0, 1) },
+			},
+			PaperMFLOPS: 24.3,
+		},
+	}
+}
+
+// App is a Table 4-1 entry: a kernel plus the MFLOPS rate the paper
+// reports for the 10-cell array.
+type App struct {
+	Kernel
+	PaperMFLOPS float64
+}

@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softpipe/internal/ir"
+)
+
+// RandomProgram generates a deterministic random structured program for
+// differential testing of the whole compiler: the same seed always
+// yields the same program, and every generated program is valid,
+// in-bounds, and interpreter-executable.  The shapes deliberately cover
+// what the synthetic suite does not: nested loops with small constant
+// trip counts (the unrolling pass's target), conditionals nested inside
+// inner loops, stores that alias loads across iterations, and degenerate
+// trip counts (0 and 1).
+func RandomProgram(seed int64) *ir.Program {
+	rng := rand.New(rand.NewSource(seed))
+	b := ir.NewBuilder(fmt.Sprintf("fuzz%d", seed))
+	const size = 160
+	names := []string{"a", "c", "d"}
+	for ai, name := range names {
+		arr := b.Array(name, ir.KindFloat, size)
+		for i := 0; i < size; i++ {
+			arr.InitF = append(arr.InitF, float64((i*(31+ai)+int(seed))%97)/97.0-0.4)
+		}
+	}
+	g := &fuzzGen{rng: rng, b: b, names: names}
+	g.consts = []ir.VReg{b.FConst(1.25), b.FConst(-0.5), b.FConst(0.75)}
+
+	outerTrips := []int64{0, 1, 2, 7, 33, 64}
+	nLoops := 1 + rng.Intn(2)
+	for li := 0; li < nLoops; li++ {
+		trip := outerTrips[rng.Intn(len(outerTrips))]
+		g.loop(trip, 0)
+	}
+	return b.P
+}
+
+type fuzzGen struct {
+	rng    *rand.Rand
+	b      *ir.Builder
+	names  []string
+	consts []ir.VReg
+	nAcc   int
+}
+
+// loop emits one counted loop at the given nesting depth.
+func (g *fuzzGen) loop(trip int64, depth int) {
+	b, rng := g.b, g.rng
+	var acc ir.VReg = ir.NoReg
+	if rng.Intn(2) == 0 {
+		acc = b.FMov(g.consts[0])
+	}
+	b.ForN(trip, func(l *ir.LoopCtx) {
+		vals := append([]ir.VReg(nil), g.consts...)
+
+		nLoads := 1 + rng.Intn(2)
+		for i := 0; i < nLoads; i++ {
+			vals = append(vals, g.load(l, vals))
+		}
+		g.arith(&vals, acc)
+
+		// Maybe a conditional, with stores or accumulation in its arms.
+		// Each arm works on its own copy of the value pool: a register
+		// defined inside one arm and read on the other path (or after
+		// the conditional) would be read-before-write, which the IR
+		// leaves undefined — the interpreter sees zero, compiled code
+		// sees whatever shares the physical register.
+		if rng.Intn(3) == 0 {
+			cond := b.FCmp(ir.PredGT, vals[rng.Intn(len(vals))], g.consts[1])
+			b.If(cond, func() {
+				armVals := append([]ir.VReg(nil), vals...)
+				g.arith(&armVals, acc)
+				if rng.Intn(2) == 0 {
+					g.store(l, armVals)
+				}
+			}, func() {
+				armVals := append([]ir.VReg(nil), vals...)
+				g.arith(&armVals, acc)
+			})
+		}
+
+		// Maybe a small constant-trip inner loop (depth-limited).
+		if depth == 0 && rng.Intn(3) == 0 {
+			innerTrips := []int64{0, 1, 2, 3, 4, 5}
+			g.loop(innerTrips[rng.Intn(len(innerTrips))], depth+1)
+		}
+
+		if rng.Intn(2) == 0 {
+			g.store(l, vals)
+		}
+	})
+	if acc != ir.NoReg && depth == 0 {
+		b.Result(fmt.Sprintf("acc%d", g.nAcc), acc)
+		g.nAcc++
+	}
+}
+
+// load reads a random array through a fresh strength-reduced pointer.
+// Strides and offsets keep every access within the 160-word arrays:
+// offset ≤ 8, stride ≤ 2, outer trips ≤ 64, inner trips ≤ 5 nested under
+// stride-1 outer pointers.
+func (g *fuzzGen) load(l *ir.LoopCtx, vals []ir.VReg) ir.VReg {
+	rng, b := g.rng, g.b
+	arr := g.names[rng.Intn(len(g.names))]
+	off := int64(rng.Intn(9))
+	stride := int64(1 + rng.Intn(2))
+	p := l.Pointer(off, stride)
+	return b.Load(arr, p, ir.Aff(l.ID, stride, off))
+}
+
+func (g *fuzzGen) store(l *ir.LoopCtx, vals []ir.VReg) {
+	rng, b := g.rng, g.b
+	arr := g.names[rng.Intn(len(g.names))]
+	off := int64(rng.Intn(9))
+	stride := int64(1 + rng.Intn(2))
+	p := l.Pointer(off, stride)
+	v := vals[rng.Intn(len(vals))]
+	b.Store(arr, p, v, ir.Aff(l.ID, stride, off))
+}
+
+// arith grows the value pool with a short chain of float operations and
+// maybe folds one into the accumulator.
+func (g *fuzzGen) arith(vals *[]ir.VReg, acc ir.VReg) {
+	rng, b := g.rng, g.b
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		x := (*vals)[rng.Intn(len(*vals))]
+		y := (*vals)[rng.Intn(len(*vals))]
+		var v ir.VReg
+		switch rng.Intn(3) {
+		case 0:
+			v = b.FAdd(x, y)
+		case 1:
+			v = b.FSub(x, y)
+		default:
+			v = b.FMul(x, y)
+		}
+		*vals = append(*vals, v)
+	}
+	if acc != ir.NoReg && rng.Intn(2) == 0 {
+		b.FAddTo(acc, acc, (*vals)[len(*vals)-1])
+	}
+}

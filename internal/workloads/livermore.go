@@ -1,0 +1,532 @@
+// Package workloads holds the benchmark programs of the evaluation:
+// the Livermore loops in W2-like source (Lam Table 4-2), the application
+// kernels of Table 4-1, and the deterministic synthetic suite standing in
+// for the 72 user programs of Figures 4-1 and 4-2 (see DESIGN.md,
+// Substitutions).
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"softpipe/internal/ir"
+	"softpipe/internal/lang"
+)
+
+// Kernel is one benchmark program.
+type Kernel struct {
+	ID     int // Livermore kernel number (0 for non-Livermore)
+	Name   string
+	Source string
+	// Note describes the kernel's scheduling character.
+	Note string
+	// Init presets the input arrays after lowering.
+	Init func(p *ir.Program)
+}
+
+// Build compiles the kernel to IR and applies its input data.
+func (k *Kernel) Build() (*ir.Program, error) {
+	p, err := lang.Compile(k.Source)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", k.Name, err)
+	}
+	if k.Init != nil {
+		k.Init(p)
+	}
+	return p, nil
+}
+
+// kernel2 generates the restructured ICCG kernel: the original halving
+// while-loop becomes one statically generated stride-2 sweep per level
+// (n = 64 gives six levels), each carrying the original IVDEP directive
+// as `independent`.
+func kernel2() *Kernel {
+	const n = 64
+	var body strings.Builder
+	ipntp := 0
+	ii := n
+	for ii > 1 {
+		ipnt := ipntp
+		ipntp += ii
+		ii /= 2
+		cnt := ii
+		// iteration j: i = ipntp+1+j reads k = ipnt+1+2j.
+		fmt.Fprintf(&body, `
+  independent for j := 0 to %d do
+    x[%d + j] := x[%d + 2*j] - v[%d + 2*j]*x[%d + 2*j] - v[%d + 2*j]*x[%d + 2*j];`,
+			cnt-1,
+			ipntp+1,      // destination base
+			ipnt+1,       // x[kk]
+			ipnt+1, ipnt, // v[kk]*x[kk-1]
+			ipnt+2, ipnt+2) // v[kk+1]*x[kk+1]
+	}
+	src := fmt.Sprintf(`
+program kernel2;
+var x, v: array [0..%d] of real;
+    j: int;
+begin%s
+end.
+`, 2*n-1, body.String())
+	return &Kernel{
+		ID: 2, Name: "k2-iccg",
+		Note:   "incomplete Cholesky conjugate gradient, restructured into halving levels",
+		Source: src,
+		Init: func(p *ir.Program) {
+			fill(p, "x", 0, 0.1)
+			fill(p, "v", 0, 0.1)
+		},
+	}
+}
+
+// fill presets a float array with a deterministic, well-conditioned
+// pattern (values in roughly [lo, hi]).
+func fill(p *ir.Program, name string, lo, hi float64) {
+	a := p.Array(name)
+	if a == nil {
+		panic("workloads: missing array " + name)
+	}
+	vals := make([]float64, a.Size)
+	state := uint64(12345 + len(name)*7919)
+	for i := range vals {
+		state = state*6364136223846793005 + 1442695040888963407
+		frac := float64(state>>11) / float64(1<<53)
+		vals[i] = lo + frac*(hi-lo)
+	}
+	a.InitF = vals
+}
+
+// Livermore returns the translated Livermore kernels (19 of the 24).
+// Kernel 2 is restructured into statically generated halving levels (the
+// paper notes kernels needed manual restructuring, §4.2); kernels whose
+// control flow falls outside the W2 subset (8: 3-D arrays; 13: 2-D PIC;
+// 15-17: irregular control flow) are omitted.
+func Livermore() []*Kernel {
+	return []*Kernel{
+		kernel2(),
+		{
+			ID: 1, Name: "k1-hydro",
+			Note: "fully parallel iterations; memory-port bound",
+			Source: `
+program kernel1;
+const n = 400;
+var x, y: array [0..399] of real;
+    z: array [0..410] of real;
+    q, r, t: real;
+    k: int;
+begin
+  q := 0.5; r := 0.25; t := 0.125;
+  for k := 0 to n-1 do
+    x[k] := q + y[k]*(r*z[k+10] + t*z[k+11]);
+end.
+`,
+			Init: func(p *ir.Program) { fill(p, "y", 0, 1); fill(p, "z", 0, 1) },
+		},
+		{
+			ID: 3, Name: "k3-inner-product",
+			Note: "accumulator recurrence: II bound by the 7-cycle adder",
+			Source: `
+program kernel3;
+const n = 1000;
+var x, z: array [0..999] of real;
+    q: real;
+    k: int;
+begin
+  q := 0.0;
+  for k := 0 to n-1 do
+    q := q + z[k]*x[k];
+end.
+`,
+			Init: func(p *ir.Program) { fill(p, "x", 0, 1); fill(p, "z", 0, 1) },
+		},
+		{
+			ID: 4, Name: "k4-banded-linear",
+			Note: "inner-product recurrences over banded rows",
+			Source: `
+program kernel4;
+const m = 50;
+var x: array [0..199] of real;
+    y: array [0..299] of real;
+    xtmp: array [0..2] of real;
+    temp: real;
+    j, b: int;
+begin
+  for b := 0 to 2 do begin
+    temp := x[b*50+6];
+    for j := 0 to m-1 do
+      temp := temp - x[b*50+7+j] * y[5*j+4];
+    xtmp[b] := y[4] * temp;
+  end;
+  for b := 0 to 2 do
+    x[b*50+6] := xtmp[b];
+end.
+`,
+			Init: func(p *ir.Program) { fill(p, "x", 0, 0.01); fill(p, "y", 0, 0.01) },
+		},
+		{
+			ID: 5, Name: "k5-tridiagonal",
+			Note: "memory-carried recurrence: x[i] depends on x[i-1]",
+			Source: `
+program kernel5;
+const n = 400;
+var x, y, z: array [0..399] of real;
+    i: int;
+begin
+  for i := 1 to n-1 do
+    x[i] := z[i]*(y[i] - x[i-1]);
+end.
+`,
+			Init: func(p *ir.Program) { fill(p, "x", 0, 1); fill(p, "y", 0, 1); fill(p, "z", 0, 0.9) },
+		},
+		{
+			ID: 6, Name: "k6-linear-recurrence",
+			Note: "triangular inner loop with runtime trip count",
+			Source: `
+program kernel6;
+const n = 40;
+var w: array [0..39] of real;
+    b: array [0..39] of array [0..39] of real;
+    s: real;
+    i, k: int;
+begin
+  for i := 1 to n-1 do begin
+    s := 0.0;
+    for k := 0 to i-1 do
+      s := s + b[k][i] * w[i-k-1];
+    w[i] := w[i] + s;
+  end;
+end.
+`,
+			Init: func(p *ir.Program) { fill(p, "w", 0, 0.01); fill(p, "b", 0, 0.01) },
+		},
+		{
+			ID: 7, Name: "k7-state-fragment",
+			Note: "long parallel expression; near-peak candidate",
+			Source: `
+program kernel7;
+const n = 400;
+var x, y, z: array [0..399] of real;
+    u: array [0..405] of real;
+    q, r, t: real;
+    k: int;
+begin
+  q := 0.5; r := 0.25; t := 0.125;
+  for k := 0 to n-1 do
+    x[k] := u[k] + r*(z[k] + r*y[k]) +
+            t*(u[k+3] + r*(u[k+2] + r*u[k+1]) +
+               t*(u[k+6] + q*(u[k+5] + q*u[k+4])));
+end.
+`,
+			Init: func(p *ir.Program) { fill(p, "y", 0, 1); fill(p, "z", 0, 1); fill(p, "u", 0, 1) },
+		},
+		{
+			ID: 9, Name: "k9-integrate-predictors",
+			Note: "wide parallel row update over a 2-D array",
+			Source: `
+program kernel9;
+const n = 100;
+var px: array [0..99] of array [0..12] of real;
+    i: int;
+begin
+  for i := 0 to n-1 do
+    px[i][0] := 0.01*px[i][12] + 0.02*px[i][11] + 0.03*px[i][10] +
+                0.04*px[i][9] + 0.05*px[i][8] + 0.06*px[i][7] +
+                0.07*px[i][6] + 0.08*(px[i][4] + px[i][5]) + px[i][2];
+end.
+`,
+			Init: func(p *ir.Program) { fill(p, "px", 0, 1) },
+		},
+		{
+			ID: 10, Name: "k10-difference-predictors",
+			Note: "long serial chain inside each iteration, parallel across",
+			Source: `
+program kernel10;
+const n = 100;
+var px: array [0..99] of array [0..13] of real;
+    cx: array [0..99] of array [0..13] of real;
+    ar, br, cr: real;
+    i: int;
+begin
+  for i := 0 to n-1 do begin
+    ar := cx[i][4];
+    br := ar - px[i][4];   px[i][4] := ar;
+    cr := br - px[i][5];   px[i][5] := br;
+    ar := cr - px[i][6];   px[i][6] := cr;
+    br := ar - px[i][7];   px[i][7] := ar;
+    cr := br - px[i][8];   px[i][8] := br;
+    ar := cr - px[i][9];   px[i][9] := cr;
+    br := ar - px[i][10];  px[i][10] := ar;
+    cr := br - px[i][11];  px[i][11] := br;
+    px[i][13] := cr - px[i][12];
+    px[i][12] := cr;
+  end;
+end.
+`,
+			Init: func(p *ir.Program) { fill(p, "px", 0, 1); fill(p, "cx", 0, 1) },
+		},
+		{
+			ID: 11, Name: "k11-first-sum",
+			Note: "running-sum recurrence (translated to scalar form)",
+			Source: `
+program kernel11;
+const n = 1000;
+var x, y: array [0..999] of real;
+    s: real;
+    k: int;
+begin
+  s := 0.0;
+  for k := 0 to n-1 do begin
+    s := s + y[k];
+    x[k] := s;
+  end;
+end.
+`,
+			Init: func(p *ir.Program) { fill(p, "y", 0, 1) },
+		},
+		{
+			ID: 12, Name: "k12-first-difference",
+			Note: "fully parallel; the paper's ideal pipelining case",
+			Source: `
+program kernel12;
+const n = 1000;
+var x: array [0..999] of real;
+    y: array [0..1000] of real;
+    k: int;
+begin
+  for k := 0 to n-1 do
+    x[k] := y[k+1] - y[k];
+end.
+`,
+			Init: func(p *ir.Program) { fill(p, "y", 0, 1) },
+		},
+		{
+			ID: 14, Name: "k14-particle-in-cell",
+			Note: "1-D PIC: indirect gather, float/int conversion, wraparound conditional, scatter with unanalyzable addresses",
+			Source: `
+program kernel14;
+const n = 100;
+const grid = 64;
+var grd, xx, vx, xi, ex1, dex1, rx: array [0..99] of real;
+    ex, dex: array [0..63] of real;
+    rh: array [0..64] of real;
+    ix, ir: array [0..99] of int;
+    w: real;
+    k: int;
+begin
+  for k := 0 to n-1 do begin
+    ix[k] := trunc(grd[k]);
+    xi[k] := float(ix[k]);
+    ex1[k] := ex[ix[k]];
+    dex1[k] := dex[ix[k]];
+  end;
+  for k := 0 to n-1 do begin
+    vx[k] := vx[k] + ex1[k] + (xx[k] - xi[k])*dex1[k];
+    xx[k] := xx[k] + vx[k] + 0.5;
+    if xx[k] >= float(grid) then
+      xx[k] := xx[k] - float(grid);
+    if xx[k] < 0.0 then
+      xx[k] := xx[k] + float(grid);
+    ir[k] := trunc(xx[k]);
+    rx[k] := xx[k] - float(ir[k]);
+  end;
+  for k := 0 to n-1 do begin
+    w := rx[k];
+    rh[ir[k]] := rh[ir[k]] + 1.0 - w;
+    rh[ir[k]+1] := rh[ir[k]+1] + w;
+  end;
+end.
+`,
+			Init: func(p *ir.Program) {
+				fill(p, "grd", 0, 60)
+				fill(p, "xx", 0, 60)
+				fill(p, "vx", 0, 0.3)
+				fill(p, "ex", 0, 0.3)
+				fill(p, "dex", 0, 0.05)
+			},
+		},
+		{
+			ID: 18, Name: "k18-2d-hydro",
+			Note: "three sweeps over 2-D grids with neighbor stencils and division",
+			Source: `
+program kernel18;
+const kn = 30;
+const jn = 30;
+var za, zb, zm, zp, zq, zr, zu, zv, zz: array [0..31] of array [0..31] of real;
+    s, t: real;
+    k, j: int;
+begin
+  s := 0.0041;
+  t := 0.0037;
+  for k := 1 to kn-1 do
+    for j := 1 to jn-1 do begin
+      za[k][j] := (zp[k+1][j-1] + zq[k+1][j-1] - zp[k][j-1] - zq[k][j-1]) *
+                  (zr[k][j] + zr[k][j-1]) / (zm[k][j-1] + zm[k+1][j-1]);
+      zb[k][j] := (zp[k][j-1] + zq[k][j-1] - zp[k][j] - zq[k][j]) *
+                  (zr[k][j] + zr[k-1][j]) / (zm[k][j] + zm[k][j-1]);
+    end;
+  for k := 1 to kn-1 do
+    for j := 1 to jn-1 do begin
+      zu[k][j] := zu[k][j] + s*(za[k][j]*(zz[k][j] - zz[k][j+1]) -
+                                za[k][j-1]*(zz[k][j] - zz[k][j-1]) -
+                                zb[k][j]*(zz[k][j] - zz[k-1][j]) +
+                                zb[k+1][j]*(zz[k][j] - zz[k+1][j]));
+      zv[k][j] := zv[k][j] + s*(za[k][j]*(zr[k][j] - zr[k][j+1]) -
+                                za[k][j-1]*(zr[k][j] - zr[k][j-1]) -
+                                zb[k][j]*(zr[k][j] - zr[k-1][j]) +
+                                zb[k+1][j]*(zr[k][j] - zr[k+1][j]));
+    end;
+  for k := 1 to kn-1 do
+    for j := 1 to jn-1 do begin
+      zr[k][j] := zr[k][j] + t*zu[k][j];
+      zz[k][j] := zz[k][j] + t*zv[k][j];
+    end;
+end.
+`,
+			Init: func(p *ir.Program) {
+				for _, n := range []string{"zm", "zp", "zq", "zr", "zu", "zv", "zz"} {
+					fill(p, n, 0.5, 1.5)
+				}
+			},
+		},
+		{
+			ID: 19, Name: "k19-general-recurrence",
+			Note: "two sequential scalar recurrences (forward and backward sweeps)",
+			Source: `
+program kernel19;
+const n = 100;
+var b5, sa, sb: array [0..99] of real;
+    stb5: real;
+    k, i: int;
+begin
+  stb5 := 0.1;
+  for k := 0 to n-1 do begin
+    b5[k] := sa[k] + stb5*sb[k];
+    stb5 := b5[k] - stb5;
+  end;
+  for i := 0 to n-1 do begin
+    k := n - 1 - i;
+    b5[k] := sa[k] + stb5*sb[k];
+    stb5 := b5[k] - stb5;
+  end;
+end.
+`,
+			Init: func(p *ir.Program) { fill(p, "sa", 0, 0.1); fill(p, "sb", 0, 0.5) },
+		},
+		{
+			ID: 20, Name: "k20-discrete-ordinates",
+			Note: "division, a data-dependent conditional and a loop-carried recurrence",
+			Source: `
+program kernel20;
+const n = 100;
+var g, u, v, w, x, y, z, vx: array [0..99] of real;
+    xxa: array [0..100] of real;
+    di, dn: real;
+    k: int;
+begin
+  for k := 0 to n-1 do begin
+    di := y[k] - g[k] / (xxa[k] + 0.5);
+    dn := 0.2;
+    if di <> 0.0 then
+      dn := max(0.01, min(z[k]/di, 0.9));
+    x[k] := ((w[k] + v[k]*dn)*xxa[k] + u[k]) / (vx[k] + v[k]*dn);
+    xxa[k+1] := (x[k] - xxa[k])*dn + xxa[k];
+  end;
+end.
+`,
+			Init: func(p *ir.Program) {
+				for _, nm := range []string{"g", "u", "v", "w", "y", "z"} {
+					fill(p, nm, 0.1, 1)
+				}
+				fill(p, "vx", 0.5, 1.5)
+				fill(p, "xxa", 0.1, 1)
+			},
+		},
+		{
+			ID: 23, Name: "k23-implicit-hydro",
+			Note: "2-D stencil with a loop-carried recurrence along the inner axis",
+			Source: `
+program kernel23;
+const jn = 6;
+const kn = 30;
+var za, zb, zr, zu, zv, zz: array [0..31] of array [0..7] of real;
+    qa: real;
+    j, k: int;
+begin
+  for j := 1 to jn do
+    for k := 1 to kn do begin
+      qa := za[k][j+1]*zr[k][j] + za[k][j-1]*zb[k][j] +
+            za[k+1][j]*zu[k][j] + za[k-1][j]*zv[k][j] + zz[k][j];
+      za[k][j] := za[k][j] + 0.175*(qa - za[k][j]);
+    end;
+end.
+`,
+			Init: func(p *ir.Program) {
+				for _, nm := range []string{"za", "zb", "zr", "zu", "zv", "zz"} {
+					fill(p, nm, 0, 0.2)
+				}
+			},
+		},
+		{
+			ID: 21, Name: "k21-matmul",
+			Note: "triple loop; the invariant operand is hoisted automatically",
+			Source: `
+program kernel21;
+const n = 25;
+var px: array [0..24] of array [0..24] of real;
+    vy: array [0..24] of array [0..24] of real;
+    cx: array [0..24] of array [0..24] of real;
+    i, j, k: int;
+begin
+  for k := 0 to n-1 do
+    for i := 0 to n-1 do
+      for j := 0 to n-1 do
+        px[i][j] := px[i][j] + vy[k][j] * cx[i][k];
+end.
+`,
+			Init: func(p *ir.Program) { fill(p, "vy", 0, 0.1); fill(p, "cx", 0, 0.1) },
+		},
+		{
+			ID: 22, Name: "k22-planckian",
+			Note: "EXP expands into 20 conditionals; effectively not pipelinable (§4.2)",
+			Source: `
+program kernel22;
+const n = 100;
+var u, v, w, x, y: array [0..99] of real;
+    e: real;
+    k: int;
+begin
+  for k := 0 to n-1 do begin
+    y[k] := u[k] / v[k];
+    e := exp(y[k]);
+    w[k] := x[k] / (e - 1.0);
+  end;
+end.
+`,
+			Init: func(p *ir.Program) {
+				fill(p, "u", 0.1, 2)
+				fill(p, "v", 1, 3)
+				fill(p, "x", 0, 1)
+			},
+		},
+		{
+			ID: 24, Name: "k24-first-min",
+			Note: "data-dependent conditional per iteration (argmin)",
+			Source: `
+program kernel24;
+const n = 1000;
+var x: array [0..999] of real;
+    vmin: real;
+    m, k: int;
+begin
+  m := 0;
+  vmin := x[0];
+  for k := 1 to n-1 do
+    if x[k] < vmin then begin
+      vmin := x[k];
+      m := k;
+    end;
+end.
+`,
+			Init: func(p *ir.Program) { fill(p, "x", -1, 1) },
+		},
+	}
+}

@@ -1,0 +1,130 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softpipe/internal/ir"
+)
+
+// SuiteProgram is one synthetic stand-in for the user programs of Lam
+// Figures 4-1 and 4-2.
+type SuiteProgram struct {
+	Name    string
+	HasCond bool
+	Prog    *ir.Program
+}
+
+// SuiteSize matches the paper's sample of 72 user programs, of which 42
+// contain conditional statements (§4.1).
+const (
+	SuiteSize     = 72
+	SuiteCondSize = 42
+)
+
+// Suite generates the deterministic synthetic program population.  The
+// mix follows the population properties the paper states: 42/72 programs
+// contain conditionals; op balance, memory traffic, and recurrences vary
+// so that achieved MFLOPS spread as in Figure 4-1 and speedups over
+// locally compacted code spread as in Figure 4-2.
+func Suite() []*SuiteProgram {
+	out := make([]*SuiteProgram, 0, SuiteSize)
+	for i := 0; i < SuiteSize; i++ {
+		withCond := i < SuiteCondSize
+		rng := rand.New(rand.NewSource(int64(1988*1000 + i)))
+		p := generate(rng, i, withCond)
+		out = append(out, p)
+	}
+	return out
+}
+
+func generate(rng *rand.Rand, idx int, withCond bool) *SuiteProgram {
+	b := ir.NewBuilder(fmt.Sprintf("user%02d", idx))
+	size := 256
+	a := b.Array("a", ir.KindFloat, size)
+	c := b.Array("c", ir.KindFloat, size)
+	d := b.Array("d", ir.KindFloat, size)
+	for i := 0; i < size; i++ {
+		a.InitF = append(a.InitF, float64((i*31+idx)%97)/97.0-0.4)
+		c.InitF = append(c.InitF, float64((i*17+idx)%89)/89.0)
+		d.InitF = append(d.InitF, float64((i*7+idx)%83)/83.0)
+	}
+	consts := []ir.VReg{b.FConst(1.1), b.FConst(-0.7), b.FConst(0.33)}
+	var accs []ir.VReg
+	nAcc := rng.Intn(2)
+	if !withCond && rng.Intn(3) == 0 {
+		nAcc++ // some recurrence-heavy programs
+	}
+	for i := 0; i < nAcc; i++ {
+		accs = append(accs, b.FConst(0))
+	}
+
+	nLoops := 1 + rng.Intn(2)
+	for li := 0; li < nLoops; li++ {
+		n := int64(100 + rng.Intn(150))
+		b.ForN(n, func(l *ir.LoopCtx) {
+			// Streams: 1-3 input loads with small offsets.
+			var vals []ir.VReg
+			vals = append(vals, consts...)
+			nLoads := 1 + rng.Intn(3)
+			for i := 0; i < nLoads; i++ {
+				arr := []string{"a", "c", "d"}[rng.Intn(3)]
+				off := int64(rng.Intn(8))
+				p := l.Pointer(off, 1)
+				vals = append(vals, b.Load(arr, p, ir.Aff(l.ID, 1, off)))
+			}
+			// Arithmetic: balance of adds and muls, some chains.
+			nOps := 2 + rng.Intn(8)
+			for i := 0; i < nOps; i++ {
+				x := vals[rng.Intn(len(vals))]
+				y := vals[rng.Intn(len(vals))]
+				switch rng.Intn(4) {
+				case 0, 1:
+					vals = append(vals, b.FAdd(x, y))
+				case 2:
+					vals = append(vals, b.FMul(x, y))
+				default:
+					vals = append(vals, b.FSub(x, y))
+				}
+			}
+			res := vals[len(vals)-1]
+			if len(accs) > 0 && rng.Intn(2) == 0 {
+				acc := accs[rng.Intn(len(accs))]
+				b.FAddTo(acc, acc, res)
+			}
+			st := l.Pointer(0, 1)
+			if withCond {
+				cond := b.FCmp(ir.PredGT, res, consts[1])
+				thenLen := 1 + rng.Intn(2)
+				b.If(cond, func() {
+					x := res
+					for i := 0; i < thenLen; i++ {
+						x = b.FMul(x, consts[0])
+					}
+					b.Store("c", st, x, ir.Aff(l.ID, 1, 0))
+				}, func() {
+					b.Store("c", st, consts[2], ir.Aff(l.ID, 1, 0))
+				})
+				// Conditionals break the rest of the iteration into
+				// small basic blocks ("the computation is broken up into
+				// small basic blocks, making code motions across basic
+				// blocks even more important", Lam §4.1): independent
+				// work after the branch is stranded behind barriers in
+				// the baseline but overlaps freely once pipelined.
+				extra := 1 + rng.Intn(2)
+				y := vals[rng.Intn(len(vals))]
+				for i := 0; i < extra; i++ {
+					y = b.FAdd(b.FMul(y, consts[0]), consts[2])
+				}
+				st2 := l.Pointer(0, 1)
+				b.Store("d", st2, y, ir.Aff(l.ID, 1, 0))
+			} else {
+				b.Store("c", st, res, ir.Aff(l.ID, 1, 0))
+			}
+		})
+	}
+	for i, acc := range accs {
+		b.Result(fmt.Sprintf("acc%d", i), acc)
+	}
+	return &SuiteProgram{Name: b.P.Name, HasCond: withCond, Prog: b.P}
+}

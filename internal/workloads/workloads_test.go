@@ -1,0 +1,179 @@
+package workloads
+
+import (
+	"testing"
+
+	"softpipe/internal/codegen"
+	"softpipe/internal/ir"
+	"softpipe/internal/lang"
+	"softpipe/internal/machine"
+	"softpipe/internal/sim"
+)
+
+// verifyKernel compiles k both ways and checks against the interpreter.
+func verifyKernel(t *testing.T, k *Kernel) {
+	t.Helper()
+	m := machine.Warp()
+	p, err := k.Build()
+	if err != nil {
+		t.Fatalf("%s: %v", k.Name, err)
+	}
+	want, err := ir.Run(p)
+	if err != nil {
+		t.Fatalf("%s: interp: %v", k.Name, err)
+	}
+	for _, mode := range []codegen.Mode{codegen.ModePipelined, codegen.ModeUnpipelined} {
+		prog, _, err := codegen.Compile(p, m, codegen.Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("%s mode %d: %v", k.Name, mode, err)
+		}
+		got, _, err := sim.Run(prog, m)
+		if err != nil {
+			t.Fatalf("%s mode %d: sim: %v", k.Name, mode, err)
+		}
+		if d := want.Diff(got); d != "" {
+			t.Fatalf("%s mode %d: %s", k.Name, mode, d)
+		}
+	}
+}
+
+func TestLivermoreKernelsCorrect(t *testing.T) {
+	for _, k := range Livermore() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) { verifyKernel(t, k) })
+	}
+}
+
+func TestAppsCorrect(t *testing.T) {
+	for _, a := range Apps() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) { verifyKernel(t, &a.Kernel) })
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != SuiteSize {
+		t.Fatalf("suite has %d programs, want %d", len(suite), SuiteSize)
+	}
+	cond := 0
+	for _, sp := range suite {
+		if sp.HasCond {
+			cond++
+		}
+	}
+	if cond != SuiteCondSize {
+		t.Fatalf("%d conditional programs, want %d (42 of 72, Lam §4.1)", cond, SuiteCondSize)
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a := Suite()
+	b := Suite()
+	m := machine.Warp()
+	for i := range a {
+		pa, _, err := codegen.Compile(a[i].Prog, m, codegen.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, _, err := codegen.Compile(b[i].Prog, m, codegen.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pa.String() != pb.String() {
+			t.Fatalf("program %d not deterministic", i)
+		}
+	}
+}
+
+// TestSuiteCorrect differentially verifies a sample of the population
+// (the full run is exercised by the benchmark harness).
+func TestSuiteCorrect(t *testing.T) {
+	suite := Suite()
+	for i := 0; i < len(suite); i += 7 {
+		sp := suite[i]
+		m := machine.Warp()
+		want, err := ir.Run(sp.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		for _, mode := range []codegen.Mode{codegen.ModePipelined, codegen.ModeUnpipelined} {
+			prog, _, err := codegen.Compile(sp.Prog, m, codegen.Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("%s mode %d: %v", sp.Name, mode, err)
+			}
+			got, _, err := sim.Run(prog, m)
+			if err != nil {
+				t.Fatalf("%s mode %d: %v", sp.Name, mode, err)
+			}
+			if d := want.Diff(got); d != "" {
+				t.Fatalf("%s mode %d: %s", sp.Name, mode, d)
+			}
+		}
+	}
+}
+
+// TestKernelSourcesRoundTrip: every shipped kernel source survives
+// Parse -> Format -> Parse unchanged (and therefore compiles the same).
+func TestKernelSourcesRoundTrip(t *testing.T) {
+	var sources []string
+	for _, k := range Livermore() {
+		sources = append(sources, k.Source)
+	}
+	for _, a := range Apps() {
+		sources = append(sources, a.Source)
+	}
+	for _, src := range sources {
+		ast, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		formatted := lang.Format(ast)
+		p1, err := lang.Lower(ast)
+		if err != nil {
+			t.Fatalf("lower original: %v", err)
+		}
+		ast2, err := lang.Parse(formatted)
+		if err != nil {
+			t.Fatalf("reparse: %v\n%s", err, formatted)
+		}
+		p2, err := lang.Lower(ast2)
+		if err != nil {
+			t.Fatalf("lower formatted: %v", err)
+		}
+		if p1.String() != p2.String() {
+			t.Fatalf("formatting changed the lowered program:\n%s", formatted)
+		}
+	}
+}
+
+// TestSystolicMatmul checks the array-level matrix multiply against a
+// host-computed product, at a small size.
+func TestSystolicMatmul(t *testing.T) {
+	m := machine.Warp()
+	n, cells := 20, 4
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) * 0.25
+		b[i] = float64(i%5)*0.5 - 1
+	}
+	got, st, _, err := SystolicMatmul(m, n, cells, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			for k := 0; k < n; k++ {
+				want += a[i*n+k] * b[k*n+j]
+			}
+			if got[i*n+j] != want {
+				t.Fatalf("c[%d][%d] = %v, want %v", i, j, got[i*n+j], want)
+			}
+		}
+	}
+	if st.Flops == 0 || st.Cycles == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}

@@ -1,0 +1,275 @@
+// Package softpipe is a from-scratch reproduction of
+//
+//	Monica Lam, "Software Pipelining: An Effective Scheduling Technique
+//	for VLIW Machines", PLDI 1988
+//
+// as a reusable Go library: a W2-like source language, a software
+// pipelining (modulo scheduling) compiler with modulo variable expansion
+// and hierarchical reduction, and a cycle-accurate simulator of a
+// Warp-like VLIW cell.
+//
+// Quick start:
+//
+//	obj, err := softpipe.CompileSource(src, softpipe.Warp(), softpipe.Options{})
+//	res, err := obj.Run()
+//	fmt.Println(res.CellMFLOPS)
+//
+// The evaluation harness that regenerates the paper's tables and figures
+// lives in cmd/livermore and cmd/warpbench; see EXPERIMENTS.md.
+package softpipe
+
+import (
+	"fmt"
+	"io"
+
+	"softpipe/internal/codegen"
+	"softpipe/internal/ir"
+	"softpipe/internal/lang"
+	"softpipe/internal/machine"
+	"softpipe/internal/pipeline"
+	"softpipe/internal/sim"
+	"softpipe/internal/vliw"
+)
+
+// Machine describes a VLIW target (resources, latencies, register files,
+// clock).  Use Warp, Scalar or Wide to obtain one.
+type Machine = machine.Machine
+
+// Warp returns the default target: a Warp-like cell with two 7-cycle
+// floating-point units, an ALU, split memory ports, an address unit and
+// a 5 MHz clock (10 MFLOPS peak).
+func Warp() *Machine { return machine.Warp() }
+
+// Scalar returns a single-issue variant of the Warp cell (at most one
+// operation per instruction), useful as a sequential reference point.
+func Scalar() *Machine { return machine.Scalar() }
+
+// Wide returns a Warp-like cell with `factor` copies of every arithmetic
+// unit and memory port, for the scalability experiments of Lam §6.
+func Wide(factor int) *Machine { return machine.Wide(factor) }
+
+// Program is a compiled-to-IR program: the unit the backend consumes.
+// Obtain one with ParseSource or via NewBuilder.
+type Program = ir.Program
+
+// Builder constructs IR programs directly (the synthetic workloads and
+// many tests use it); see ir.Builder's methods.
+type Builder = ir.Builder
+
+// NewBuilder returns a builder over a fresh program.
+func NewBuilder(name string) *Builder { return ir.NewBuilder(name) }
+
+// State is the observable outcome of running a program.
+type State = ir.State
+
+// MVEPolicy selects the modulo-variable-expansion unroll policy (Lam
+// §2.3).
+type MVEPolicy = pipeline.Policy
+
+// Unroll policies.
+const (
+	// MinUnroll unrolls max(qᵢ) times, rounding register counts up to
+	// factors of the unroll (the paper's preferred policy).
+	MinUnroll = pipeline.PolicyMinUnroll
+	// LCMUnroll unrolls lcm(qᵢ) times with minimal registers.
+	LCMUnroll = pipeline.PolicyLCM
+)
+
+// Options tunes compilation.
+type Options struct {
+	// Baseline disables software pipelining: loop bodies are locally
+	// compacted but iterations never overlap (the Figure 4-2 baseline).
+	Baseline bool
+	// DisableMVE keeps all inter-iteration register constraints
+	// (ablation: shows what modulo variable expansion buys).
+	DisableMVE bool
+	// DisableHier turns off hierarchical reduction: loops containing
+	// conditionals fall back to unpipelined code (ablation).
+	DisableHier bool
+	// DisableLoopReduction turns off the §3.2 loop reduction that
+	// overlaps scalar code with inner-loop prologs and epilogs
+	// (ablation).
+	DisableLoopReduction bool
+	// BinarySearch uses the FPS-164 compiler's binary search for the
+	// initiation interval instead of the paper's linear search.
+	BinarySearch bool
+	// Policy selects the MVE unroll policy (default MinUnroll).
+	Policy MVEPolicy
+	// UnrollInnerTrip, when positive, fully unrolls constant-trip inner
+	// loops of at most that many iterations so the enclosing loop is
+	// modulo scheduled directly (outer-loop software pipelining).
+	UnrollInnerTrip int
+}
+
+func (o Options) lower() codegen.Options {
+	mode := codegen.ModePipelined
+	if o.Baseline {
+		mode = codegen.ModeUnpipelined
+	}
+	return codegen.Options{
+		Mode:                 mode,
+		DisableHier:          o.DisableHier,
+		DisableLoopReduction: o.DisableLoopReduction,
+		UnrollInnerTrip:      o.UnrollInnerTrip,
+		Pipeline: pipeline.Options{
+			Policy:       o.Policy,
+			DisableMVE:   o.DisableMVE,
+			BinarySearch: o.BinarySearch,
+		},
+	}
+}
+
+// LoopInfo reports how one loop compiled (initiation intervals, bounds,
+// unrolling), mirroring the statistics of Lam §4.
+type LoopInfo = codegen.LoopReport
+
+// Report aggregates per-loop compilation outcomes.
+type Report = codegen.Report
+
+// Object is a compiled VLIW binary plus its compilation report.
+type Object struct {
+	Binary  *vliw.Program
+	Report  *Report
+	Machine *Machine
+	source  *Program
+}
+
+// ParseSource compiles W2-like source text to IR.  Array inputs are
+// zero-filled; set Program.Array(name).InitF before compiling/running.
+func ParseSource(src string) (*Program, error) { return lang.Compile(src) }
+
+// CompileSource parses and compiles W2-like source for machine m.
+func CompileSource(src string, m *Machine, opts Options) (*Object, error) {
+	p, err := lang.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(p, m, opts)
+}
+
+// Compile lowers an IR program to VLIW code for machine m.
+func Compile(p *Program, m *Machine, opts Options) (*Object, error) {
+	bin, rep, err := codegen.Compile(p, m, opts.lower())
+	if err != nil {
+		return nil, err
+	}
+	return &Object{Binary: bin, Report: rep, Machine: m, source: p}, nil
+}
+
+// Disassemble renders the wide-instruction program.
+func (o *Object) Disassemble() string { return o.Binary.String() }
+
+// Result is a completed simulation.
+type Result struct {
+	State       *State
+	Cycles      int64
+	Flops       int64
+	CellMFLOPS  float64
+	ArrayMFLOPS float64 // cell rate × the machine's cell count (Lam §4.1)
+}
+
+// Run executes the object program on its machine's cycle-accurate model.
+func (o *Object) Run() (*Result, error) {
+	st, stats, err := sim.Run(o.Binary, o.Machine)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		State:       st,
+		Cycles:      stats.Cycles,
+		Flops:       stats.Flops,
+		CellMFLOPS:  stats.MFLOPS(o.Machine, 1),
+		ArrayMFLOPS: stats.MFLOPS(o.Machine, o.Machine.Cells),
+	}, nil
+}
+
+// Trace executes the program while writing a per-cycle execution trace
+// (cycle, pc, instruction) for the first `cycles` issued instruction
+// words to w (0 traces everything).
+func (o *Object) Trace(w io.Writer, cycles int64) error {
+	s := sim.New(o.Binary, o.Machine)
+	s.Trace = w
+	s.TraceCycles = cycles
+	_, err := s.Run()
+	return err
+}
+
+// Verify runs the object program and checks the final state against the
+// reference IR interpreter, returning the result on success.
+func (o *Object) Verify() (*Result, error) {
+	want, err := ir.Run(o.source)
+	if err != nil {
+		return nil, fmt.Errorf("softpipe: interpreter: %w", err)
+	}
+	res, err := o.Run()
+	if err != nil {
+		return nil, err
+	}
+	if d := want.Diff(res.State); d != "" {
+		return nil, fmt.Errorf("softpipe: simulation diverges from interpreter: %s", d)
+	}
+	return res, nil
+}
+
+// Interpret executes the IR program directly on the reference
+// interpreter (no compilation), returning the observable state.
+func Interpret(p *Program) (*State, error) { return ir.Run(p) }
+
+// WithFloatData returns a copy of the object whose named float arrays are
+// re-initialized — the cheap way to run one compiled cell program on many
+// cells with per-cell data (a homogeneous Warp program).
+func (o *Object) WithFloatData(data map[string][]float64) *Object {
+	bin := *o.Binary
+	bin.InitF = map[string][]float64{}
+	for k, v := range o.Binary.InitF {
+		bin.InitF[k] = v
+	}
+	for k, v := range data {
+		bin.InitF[k] = v
+	}
+	return &Object{Binary: &bin, Report: o.Report, Machine: o.Machine, source: o.source}
+}
+
+// ArrayResult is a completed array simulation.
+type ArrayResult struct {
+	// Output is the stream the last cell sent to the host.
+	Output []float64
+	// LastCellState is the final memory/result state of the last cell.
+	LastCellState *State
+	Cycles        int64
+	Flops         int64
+	// MFLOPS is the whole-array rate (total flops over the array wall
+	// clock at the machine's frequency).
+	MFLOPS float64
+}
+
+// RunArray chains the compiled cells into a linear Warp array — cell i's
+// sends feed cell i+1's receives through a bounded queue — preloads the
+// first cell's input channel with `input`, and runs until every cell
+// halts.  All cells must target the same machine.
+func RunArray(cells []*Object, input []float64) (*ArrayResult, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("softpipe: empty array")
+	}
+	m := cells[0].Machine
+	progs := make([]*vliw.Program, len(cells))
+	for i, c := range cells {
+		if c.Machine != m {
+			return nil, fmt.Errorf("softpipe: cells target different machines")
+		}
+		progs[i] = c.Binary
+	}
+	arr := sim.NewArray(progs, m, input)
+	out, last, err := arr.Run()
+	if err != nil {
+		return nil, err
+	}
+	st := arr.Stats()
+	return &ArrayResult{
+		Output:        out,
+		LastCellState: last,
+		Cycles:        st.Cycles,
+		Flops:         st.Flops,
+		MFLOPS:        st.MFLOPS(m, 1),
+	}, nil
+}

@@ -1,0 +1,277 @@
+package softpipe_test
+
+import (
+	"strings"
+	"testing"
+
+	"softpipe"
+	"softpipe/internal/ir"
+)
+
+const apiSrc = `
+program api;
+const n = 64;
+var x, y: array [0..63] of real;
+    total: real;
+    i: int;
+begin
+  total := 0.0;
+  for i := 0 to n-1 do begin
+    y[i] := y[i] + 2.0 * x[i];
+    total := total + y[i];
+  end;
+end.
+`
+
+func buildAPIProgram(t *testing.T) *softpipe.Program {
+	t.Helper()
+	p, err := softpipe.ParseSource(apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := p.Array("x")
+	ys := p.Array("y")
+	for i := 0; i < 64; i++ {
+		xs.InitF = append(xs.InitF, float64(i))
+		ys.InitF = append(ys.InitF, 1)
+	}
+	return p
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	p := buildAPIProgram(t)
+	obj, err := softpipe.Compile(p, softpipe.Warp(), softpipe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := obj.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := 0.0
+	for i := 0; i < 64; i++ {
+		wantTotal += 1 + 2*float64(i)
+	}
+	if res.State.Scalars["total"] != wantTotal {
+		t.Errorf("total = %v, want %v", res.State.Scalars["total"], wantTotal)
+	}
+	if res.CellMFLOPS <= 0 || res.ArrayMFLOPS != 10*res.CellMFLOPS {
+		t.Errorf("MFLOPS accounting wrong: %v / %v", res.CellMFLOPS, res.ArrayMFLOPS)
+	}
+	if len(obj.Report.Loops) != 1 || !obj.Report.Loops[0].Pipelined {
+		t.Errorf("loop report: %+v", obj.Report.Loops)
+	}
+	dis := obj.Disassemble()
+	for _, want := range []string{"fadd", "fmul", "dbnz", "halt"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+}
+
+func TestPublicAPIBaselineSlower(t *testing.T) {
+	pipe, err := softpipe.Compile(buildAPIProgram(t), softpipe.Warp(), softpipe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := softpipe.Compile(buildAPIProgram(t), softpipe.Warp(), softpipe.Options{Baseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := pipe.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Cycles >= br.Cycles {
+		t.Errorf("pipelined %d cycles, baseline %d", pr.Cycles, br.Cycles)
+	}
+	if pr.State.Scalars["total"] != br.State.Scalars["total"] {
+		t.Errorf("modes disagree on results")
+	}
+}
+
+func TestPublicAPITrace(t *testing.T) {
+	obj, err := softpipe.Compile(buildAPIProgram(t), softpipe.Warp(), softpipe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := obj.Trace(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 10 {
+		t.Errorf("trace lines = %d, want 10", n)
+	}
+}
+
+func TestPublicAPIAblationKnobs(t *testing.T) {
+	for _, opts := range []softpipe.Options{
+		{DisableMVE: true},
+		{DisableHier: true},
+		{DisableLoopReduction: true},
+		{BinarySearch: true},
+		{Policy: softpipe.LCMUnroll},
+		{Baseline: true},
+	} {
+		obj, err := softpipe.Compile(buildAPIProgram(t), softpipe.Warp(), opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if _, err := obj.Verify(); err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+	}
+}
+
+func TestPublicAPIBuilder(t *testing.T) {
+	b := softpipe.NewBuilder("frombuilder")
+	b.Array("v", ir.KindFloat, 32)
+	c := b.FConst(3)
+	b.ForN(32, func(l *ir.LoopCtx) {
+		p := l.Pointer(0, 1)
+		x := b.Load("v", p, ir.Aff(l.ID, 1, 0))
+		b.Store("v", p, b.FMul(x, c), ir.Aff(l.ID, 1, 0))
+	})
+	st, err := softpipe.Interpret(b.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st
+	obj, err := softpipe.Compile(b.P, softpipe.Warp(), softpipe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarAndWideMachines(t *testing.T) {
+	for _, m := range []*softpipe.Machine{softpipe.Scalar(), softpipe.Wide(2), softpipe.Wide(4)} {
+		obj, err := softpipe.Compile(buildAPIProgram(t), m, softpipe.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if _, err := obj.Verify(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestUnrollInnerOption(t *testing.T) {
+	src := `
+program fir;
+const n = 64;
+var a: array [0..67] of real;
+    w: array [0..3] of real;
+    c: array [0..63] of real;
+    s: real;
+    i, j: int;
+begin
+  for i := 0 to n-1 do begin
+    s := 0.0;
+    for j := 0 to 3 do
+      s := s + a[i+j]*w[j];
+    c[i] := s;
+  end;
+end.
+`
+	compile := func(trip int) *softpipe.Object {
+		t.Helper()
+		p, err := softpipe.ParseSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, wv := p.Array("a"), p.Array("w")
+		for i := 0; i < 68; i++ {
+			a.InitF = append(a.InitF, float64(i%9)-4)
+		}
+		wv.InitF = []float64{0.25, 0.5, 0.75, 1}
+		obj, err := softpipe.Compile(p, softpipe.Warp(), softpipe.Options{UnrollInnerTrip: trip})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return obj
+	}
+	unrolled, reduced := compile(4), compile(0)
+	ur, err := unrolled.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := reduced.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unrolled.Report.Loops) != 1 || !unrolled.Report.Loops[0].Pipelined {
+		t.Fatalf("nest did not collapse to one pipelined loop: %+v", unrolled.Report.Loops)
+	}
+	if ur.Cycles*2 > rr.Cycles {
+		t.Errorf("outer-loop pipelining should dominate: %d vs %d cycles", ur.Cycles, rr.Cycles)
+	}
+}
+
+func TestPublicArrayAPI(t *testing.T) {
+	src := `
+program relay;
+var i: int;
+begin
+  for i := 0 to 49 do
+    send(receive() * 2.0);
+end.
+`
+	obj, err := softpipe.CompileSource(src, softpipe.Warp(), softpipe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]float64, 50)
+	for i := range input {
+		input[i] = float64(i)
+	}
+	res, err := softpipe.RunArray([]*softpipe.Object{obj, obj, obj}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 50 {
+		t.Fatalf("output %d values", len(res.Output))
+	}
+	for i, v := range res.Output {
+		if v != float64(i)*8 {
+			t.Fatalf("out[%d] = %v, want %v", i, v, float64(i)*8)
+		}
+	}
+	if res.MFLOPS <= 0 {
+		t.Error("no MFLOPS reported")
+	}
+}
+
+func TestWithFloatData(t *testing.T) {
+	src := `
+program scale;
+var w: array [0..0] of real;
+    i: int;
+begin
+  for i := 0 to 9 do
+    send(receive() * w[0]);
+end.
+`
+	obj, err := softpipe.CompileSource(src, softpipe.Warp(), softpipe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := obj.WithFloatData(map[string][]float64{"w": {2}})
+	c2 := obj.WithFloatData(map[string][]float64{"w": {3}})
+	input := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	res, err := softpipe.RunArray([]*softpipe.Object{c1, c2}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Output {
+		if v != 6 {
+			t.Fatalf("out[%d] = %v, want 6", i, v)
+		}
+	}
+}
