@@ -108,7 +108,7 @@ func BenchmarkFig41_MFLOPS(b *testing.B) {
 	m := machine.Warp()
 	var meanMF float64
 	for i := 0; i < b.N; i++ {
-		res, err := bench.RunSuite(m, false)
+		res, err := bench.RunSuite(m, false, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +125,7 @@ func BenchmarkFig42_Speedup(b *testing.B) {
 	m := machine.Warp()
 	var mean, condMean, noCondMean, metPct float64
 	for i := 0; i < b.N; i++ {
-		res, err := bench.RunSuite(m, false)
+		res, err := bench.RunSuite(m, false, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

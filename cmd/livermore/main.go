@@ -5,13 +5,19 @@
 //
 // Usage:
 //
-//	livermore [-verify]
+//	livermore [-verify] [-parallel N] [-cpuprofile f] [-memprofile f]
+//
+// -parallel sizes the compile/simulate worker pool (0 = GOMAXPROCS,
+// 1 = sequential); the table is identical either way.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"softpipe/internal/bench"
 	"softpipe/internal/machine"
@@ -21,10 +27,37 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("livermore: ")
 	verify := flag.Bool("verify", true, "differentially verify every run against the interpreter")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
 	m := machine.Warp()
-	rows, err := bench.Table42(m, *verify)
+	rows, err := bench.Table42(m, *verify, *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,19 +7,34 @@
 // Usage:
 //
 //	warpbench [-table41] [-fig41] [-fig42] [-stats] [-verify]
+//	          [-parallel N] [-cpuprofile f] [-memprofile f]
+//	          [-benchjson f]
 //
-// With no selection flags, everything runs.
+// With no selection flags, everything runs.  -parallel sizes the
+// compile/simulate worker pool (0 = GOMAXPROCS, 1 = sequential).
+// -benchjson instead times the harness itself — suite wall-clock
+// sequential vs. parallel, simulator cycles/sec and allocs per cycle —
+// and writes the baseline JSON (see EXPERIMENTS.md for the schema).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"testing"
+	"time"
 
 	"softpipe/internal/bench"
+	"softpipe/internal/ir"
 	"softpipe/internal/machine"
+	"softpipe/internal/sim"
+	"softpipe/internal/vliw"
 )
 
 func main() {
@@ -30,13 +45,27 @@ func main() {
 	f42 := flag.Bool("fig42", false, "Figure 4-2: speedup histogram")
 	stats := flag.Bool("stats", false, "§4.1 population statistics")
 	verify := flag.Bool("verify", false, "differentially verify every run")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	benchjson := flag.String("benchjson", "", "benchmark the harness itself and write the baseline JSON to this file")
 	flag.Parse()
 	all := !*t41 && !*f41 && !*f42 && !*stats
 
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
+
 	m := machine.Warp()
 
+	if *benchjson != "" {
+		if err := writeBenchJSON(m, *benchjson); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	if all || *t41 {
-		rows, err := bench.Table41(m, *verify)
+		rows, err := bench.Table41(m, *verify, *parallel)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,7 +89,7 @@ func main() {
 	needSuite := all || *f41 || *f42 || *stats
 	if needSuite {
 		var err error
-		suite, err = bench.RunSuite(m, *verify)
+		suite, err = bench.RunSuite(m, *verify, *parallel)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -105,6 +134,210 @@ func main() {
 			fmt.Printf("  average efficiency of loops missing the bound: %.0f%% (paper: 75%%)\n",
 				100*st.AvgEffOfMissed)
 		}
+	}
+}
+
+// startProfiles begins CPU profiling (if requested) and returns a stop
+// function that finishes the CPU profile and snapshots the heap.
+func startProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+// HarnessBaseline is the BENCH_harness.json schema: how fast the
+// reproduction harness itself runs on this machine.  Future PRs compare
+// against it to keep the tooling's throughput from regressing.
+type HarnessBaseline struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+
+	// Whole-suite wall-clock (72 programs × {pipelined, unpipelined},
+	// compile + simulate), sequential (workers=1) vs. the worker pool
+	// (workers=GOMAXPROCS).  On a single-core host the two coincide.
+	SuitePrograms     int     `json:"suite_programs"`
+	SuiteSequentialMS float64 `json:"suite_sequential_ms"`
+	SuiteParallelMS   float64 `json:"suite_parallel_ms"`
+	SuiteSpeedup      float64 `json:"suite_parallel_speedup"`
+	SuiteMeanMFLOPS   float64 `json:"suite_mean_array_mflops"`
+
+	// Simulator steady-state hot loop on a synthetic pipelined kernel.
+	SimNsPerCycle     float64 `json:"sim_ns_per_cycle"`
+	SimCyclesPerSec   float64 `json:"sim_cycles_per_sec"`
+	SimAllocsPerCycle float64 `json:"sim_allocs_per_cycle"`
+}
+
+func writeBenchJSON(m *machine.Machine, path string) error {
+	b := HarnessBaseline{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	timeSuite := func(workers int) (float64, []bench.SuiteResult, error) {
+		bestMS := 0.0
+		var res []bench.SuiteResult
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			r, err := bench.RunSuite(m, false, workers)
+			if err != nil {
+				return 0, nil, err
+			}
+			ms := float64(time.Since(start)) / float64(time.Millisecond)
+			if rep == 0 || ms < bestMS {
+				bestMS = ms
+			}
+			res = r
+		}
+		return bestMS, res, nil
+	}
+	seqMS, res, err := timeSuite(1)
+	if err != nil {
+		return err
+	}
+	parMS, res2, err := timeSuite(0)
+	if err != nil {
+		return err
+	}
+	s := 0.0
+	for i, r := range res {
+		if res2[i].ArrayMFLOPS != r.ArrayMFLOPS {
+			return fmt.Errorf("benchjson: parallel run diverges from sequential on %s", r.Name)
+		}
+		s += r.ArrayMFLOPS
+	}
+	b.SuitePrograms = len(res)
+	b.SuiteSequentialMS = seqMS
+	b.SuiteParallelMS = parMS
+	b.SuiteSpeedup = seqMS / parMS
+	b.SuiteMeanMFLOPS = s / float64(len(res))
+
+	nsPerCycle, allocs, err := measureSim(m)
+	if err != nil {
+		return err
+	}
+	b.SimNsPerCycle = nsPerCycle
+	b.SimCyclesPerSec = 1e9 / nsPerCycle
+	b.SimAllocsPerCycle = allocs
+
+	out, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("suite: %.1f ms sequential, %.1f ms parallel (%.2fx, %d workers)\n",
+		seqMS, parMS, seqMS/parMS, runtime.GOMAXPROCS(0))
+	fmt.Printf("sim:   %.1f ns/cycle (%.1f Mcycles/s), %.3f allocs/cycle steady state\n",
+		nsPerCycle, 1e3/nsPerCycle, allocs)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// measureSim prices the simulator's steady-state loop on the same
+// pipelined-kernel shape as the in-package benchmarks: ns per cycle via
+// testing.Benchmark and allocations per cycle via testing.AllocsPerRun,
+// both after a warm-up so ring slots and the store buffer have settled.
+func measureSim(m *machine.Machine) (nsPerCycle, allocsPerCycle float64, err error) {
+	const warm = 64
+	r := testing.Benchmark(func(bb *testing.B) {
+		s := sim.New(simKernel(int64(bb.N)+4*warm), m)
+		for i := 0; i < warm; i++ {
+			if _, serr := s.Step(); serr != nil {
+				err = serr
+				bb.FailNow()
+			}
+		}
+		bb.ResetTimer()
+		for i := 0; i < bb.N; i++ {
+			if _, serr := s.Step(); serr != nil {
+				err = serr
+				bb.FailNow()
+			}
+		}
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	s := sim.New(simKernel(5_000_000), m)
+	for i := 0; i < warm; i++ {
+		if _, serr := s.Step(); serr != nil {
+			return 0, 0, serr
+		}
+	}
+	allocs := testing.AllocsPerRun(10_000, func() {
+		if _, serr := s.Step(); serr != nil {
+			err = serr
+		}
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return float64(r.NsPerOp()), allocs, nil
+}
+
+// simKernel builds the synthetic pipelined-kernel-shaped object program
+// used to price the simulator: a counted loop whose single wide
+// instruction loads, multiplies, accumulates and stores every cycle.
+func simKernel(iters int64) *vliw.Program {
+	const n = 64
+	initF := make([]float64, n)
+	for i := range initF {
+		initF[i] = float64(i%7) * 0.25
+	}
+	instrs := []vliw.Instr{
+		{Ops: []vliw.SlotOp{{Class: machine.ClassIConst, Dst: 0, IImm: iters}}}, // count
+		{Ops: []vliw.SlotOp{{Class: machine.ClassIConst, Dst: 1, IImm: 0}}},     // ptr
+		{Ops: []vliw.SlotOp{{Class: machine.ClassIConst, Dst: 2, IImm: 1}}},     // stride
+		{Ops: []vliw.SlotOp{{Class: machine.ClassFConst, Dst: 0, FImm: 0}}},     // acc
+		{}, {}, {}, {}, {},
+		{
+			Ops: []vliw.SlotOp{
+				{Class: machine.ClassLoad, Dst: 1, Src: []int{1}, Array: "a"},
+				{Class: machine.ClassFMul, Dst: 2, Src: []int{1, 1}},
+				{Class: machine.ClassFAdd, Dst: 0, Src: []int{0, 2}},
+				{Class: machine.ClassStore, Src: []int{1, 2}, Array: "a"},
+				{Class: machine.ClassIAdd, Dst: 4, Src: []int{1, 2}},
+				{Class: machine.ClassIAnd, Dst: 1, Src: []int{4}, IImm: 63},
+			},
+			Ctl: vliw.Ctl{Kind: vliw.CtlDBNZ, Reg: 0, Target: 9},
+		},
+		{Ctl: vliw.Ctl{Kind: vliw.CtlHalt}},
+	}
+	return &vliw.Program{
+		Name:     "simbench",
+		Instrs:   instrs,
+		NumFRegs: 8,
+		NumIRegs: 8,
+		MemWords: n,
+		Arrays:   []vliw.ArrayInfo{{Name: "a", Kind: ir.KindFloat, Base: 0, Size: n}},
+		InitF:    map[string][]float64{"a": initF},
+		InitI:    map[string][]int64{},
 	}
 }
 

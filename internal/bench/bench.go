@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -83,15 +84,23 @@ type Table42Row struct {
 	Note      string
 }
 
-// Table42 reproduces Table 4-2 on machine m (one cell).
-func Table42(m *machine.Machine, verify bool) ([]Table42Row, error) {
-	var rows []Table42Row
-	for _, k := range workloads.Livermore() {
-		row, err := runKernel42(k, m, verify)
+// Table42 reproduces Table 4-2 on machine m (one cell).  Kernels
+// compile and simulate on a pool of `workers` goroutines (≤ 0 means
+// GOMAXPROCS); results land in kernel order regardless of the pool size,
+// so parallel and sequential runs are byte-identical.
+func Table42(m *machine.Machine, verify bool, workers int) ([]Table42Row, error) {
+	kernels := workloads.Livermore()
+	rows := make([]Table42Row, len(kernels))
+	err := ForEach(context.Background(), len(kernels), workers, func(i int) error {
+		row, err := runKernel42(kernels[i], m, verify)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, *row)
+		rows[i] = *row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -173,34 +182,44 @@ type Table41Row struct {
 
 // Table41 reproduces Table 4-1.  Single-cell kernels scale by the cell
 // count (the §4.1 homogeneous rule); the systolic matmul runs on the
-// actual simulated array.
-func Table41(m *machine.Machine, verify bool) ([]Table41Row, error) {
-	var rows []Table41Row
-	sys, err := SystolicMatmulRow(m, 100, m.Cells)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, sys)
+// actual simulated array.  Applications fan out over `workers`
+// goroutines (≤ 0 means GOMAXPROCS) with the row order fixed.
+func Table41(m *machine.Machine, verify bool, workers int) ([]Table41Row, error) {
+	apps := workloads.Apps()
+	rows := make([]Table41Row, len(apps)+1)
 	runner := Run
 	if verify {
 		runner = RunVerified
 	}
-	for _, app := range workloads.Apps() {
+	err := ForEach(context.Background(), len(apps)+1, workers, func(i int) error {
+		if i == 0 {
+			sys, err := SystolicMatmulRow(m, 100, m.Cells)
+			if err != nil {
+				return err
+			}
+			rows[0] = sys
+			return nil
+		}
+		app := apps[i-1]
 		p, err := app.Build()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := runner(p, m, codegen.ModePipelined)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Table41Row{
+		rows[i] = Table41Row{
 			Name:        app.Name,
 			ArrayMFLOPS: r.ArrayMFLOPS,
 			CellMFLOPS:  r.CellMFLOPS,
 			PaperMFLOPS: app.PaperMFLOPS,
 			Cycles:      r.Cycles,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -247,29 +266,38 @@ type SuiteResult struct {
 	Report      *codegen.Report
 }
 
-// RunSuite measures the synthetic population in both modes.
-func RunSuite(m *machine.Machine, verify bool) ([]SuiteResult, error) {
+// RunSuite measures the synthetic population in both modes.  One job
+// covers both compilations of a program (pipelined and the unpipelined
+// baseline share sp.Prog), fanned out over `workers` goroutines (≤ 0
+// means GOMAXPROCS); result order is the suite order either way.
+func RunSuite(m *machine.Machine, verify bool, workers int) ([]SuiteResult, error) {
 	runner := Run
 	if verify {
 		runner = RunVerified
 	}
-	var out []SuiteResult
-	for _, sp := range workloads.Suite() {
+	progs := workloads.Suite()
+	out := make([]SuiteResult, len(progs))
+	err := ForEach(context.Background(), len(progs), workers, func(i int) error {
+		sp := progs[i]
 		pipe, err := runner(sp.Prog, m, codegen.ModePipelined)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := runner(sp.Prog, m, codegen.ModeUnpipelined)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, SuiteResult{
+		out[i] = SuiteResult{
 			Name:        sp.Name,
 			HasCond:     sp.HasCond,
 			ArrayMFLOPS: pipe.ArrayMFLOPS,
 			Speedup:     float64(base.Cycles) / float64(pipe.Cycles),
 			Report:      pipe.Report,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -10,7 +10,7 @@ import (
 
 func TestTable42Shape(t *testing.T) {
 	m := machine.Warp()
-	rows, err := Table42(m, true)
+	rows, err := Table42(m, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestTable42Shape(t *testing.T) {
 
 func TestTable41Shape(t *testing.T) {
 	m := machine.Warp()
-	rows, err := Table41(m, true)
+	rows, err := Table41(m, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestTable41Shape(t *testing.T) {
 
 func TestSuiteFigures(t *testing.T) {
 	m := machine.Warp()
-	res, err := RunSuite(m, false)
+	res, err := RunSuite(m, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0) … fn(n-1) on a bounded pool of worker goroutines
+// and waits for them.  workers ≤ 0 sizes the pool to
+// runtime.GOMAXPROCS(0); workers == 1 degenerates to a sequential loop
+// on the calling goroutine's clock, which keeps single-core behavior
+// identical to the historical code path.
+//
+// Jobs must be independent: callers get determinism by writing job i's
+// result into slot i of a pre-sized slice, never by sharing accumulators.
+// On failure the first error by job index is returned and the context
+// derived for the pool is canceled, so in-flight workers finish their
+// current job and undispatched jobs never start.  A canceled parent ctx
+// stops dispatch the same way and its error is returned.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = -1
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstIdx == -1 || i < firstIdx {
+						firstErr, firstIdx = err, i
+					}
+					mu.Unlock()
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

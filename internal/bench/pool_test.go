@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 100
+			var counts [n]int32
+			err := ForEach(context.Background(), n, workers, func(i int) error {
+				atomic.AddInt32(&counts[i], 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("job %d ran %d times, want 1", i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := ForEach(context.Background(), 50, 4, func(i int) error {
+		switch i {
+		case 7:
+			return errA
+		case 30:
+			return errB
+		}
+		return nil
+	})
+	// Job 7 always dispatches before job 30 can be the only failure
+	// observed: with the pool canceled at the first error, the error of
+	// the lowest failing index that actually ran must win.
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !errors.Is(err, errA) && !errors.Is(err, errB) {
+		t.Fatalf("got unrelated error %v", err)
+	}
+	// Sequential pool: deterministic — must be exactly the first error.
+	if err := ForEach(context.Background(), 50, 1, func(i int) error {
+		if i == 7 {
+			return errA
+		}
+		if i == 30 {
+			return errB
+		}
+		return nil
+	}); !errors.Is(err, errA) {
+		t.Fatalf("workers=1: got %v, want errA", err)
+	}
+}
+
+func TestForEachErrorCancelsRemainingJobs(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int32
+	err := ForEach(context.Background(), 10_000, 2, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if n := atomic.LoadInt32(&ran); n == 10_000 {
+		t.Error("cancellation did not stop dispatch (all jobs ran)")
+	}
+}
+
+func TestForEachHonorsParentContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := ForEach(ctx, 100, 4, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -45,7 +45,8 @@ type Options struct {
 	// loops of at most that many iterations before scheduling, so the
 	// enclosing loop becomes innermost and is modulo scheduled directly
 	// (outer-loop software pipelining, §3.2 taken to its limit).  The
-	// pass rewrites the program's block tree in place.
+	// pass rewrites a private clone; the caller's program is never
+	// modified.
 	UnrollInnerTrip int
 }
 
@@ -79,12 +80,17 @@ type Report struct {
 	IRegsUsed int
 }
 
-// Compile lowers p for machine m.
+// Compile lowers p for machine m.  It treats p as read-only (the unroll
+// pass, the one rewriting transformation, works on a private clone), so
+// the same program may be compiled from many goroutines concurrently.
 func Compile(p *ir.Program, m *machine.Machine, opts Options) (*vliw.Program, *Report, error) {
 	if err := p.Validate(m); err != nil {
 		return nil, nil, err
 	}
-	unrollSmallLoops(p, int64(opts.UnrollInnerTrip))
+	if needsUnroll(p.Body, int64(opts.UnrollInnerTrip), false) {
+		p = p.Clone()
+		unrollSmallLoops(p, int64(opts.UnrollInnerTrip))
+	}
 	e := newEmitter(p, m, opts)
 	e.layoutMemory()
 	e.prepass()

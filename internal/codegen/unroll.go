@@ -29,8 +29,33 @@ const forceUnrollCap = 64
 // loop-free body) nested inside another loop by that many copies of its
 // body.  Loops carrying the `unroll` directive expand regardless of
 // maxTrip or nesting; loops marked NoPipeline are left alone.
+// Compile only calls this on a program it owns (see needsUnroll).
 func unrollSmallLoops(p *ir.Program, maxTrip int64) {
 	unrollInBlock(p, p.Body, maxTrip, false)
+}
+
+// needsUnroll reports whether unrollSmallLoops would change the block
+// tree: true iff some loop in b is unrollable under the same traversal.
+// Compile uses it to decide whether the program must be cloned before
+// the (mutating) unroll pass runs — programs without expandable loops
+// go straight to emission with zero copying.  An inner loop that blocks
+// its parent (hasLoop) is either unrollable itself, in which case this
+// scan already answers true, or survives in the real pass too, so the
+// answer matches the pass exactly.
+func needsUnroll(b *ir.Block, maxTrip int64, inLoop bool) bool {
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *ir.IfStmt:
+			if needsUnroll(s.Then, maxTrip, inLoop) || needsUnroll(s.Else, maxTrip, inLoop) {
+				return true
+			}
+		case *ir.LoopStmt:
+			if needsUnroll(s.Body, maxTrip, true) || unrollable(s, maxTrip, inLoop) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func unrollInBlock(p *ir.Program, b *ir.Block, maxTrip int64, inLoop bool) {

@@ -221,6 +221,54 @@ func (c *Closure) DistZero(u, v int) int {
 	return NegInf
 }
 
+// InstantiateAt densely evaluates the closure at a concrete initiation
+// interval ii ≥ SMin.  The returned slice is row-major n×n over member
+// indices (n = len(Members)); entry i*n+j is the longest path distance
+// from Members[i] to Members[j], NegInf when no path exists.  dst is
+// reused when its capacity suffices, so the iterative II search can
+// instantiate once per (component, candidate interval) into the same
+// buffer instead of re-evaluating Pareto frontiers at every placement.
+func (c *Closure) InstantiateAt(ii int, dst []int) []int {
+	n := len(c.Members)
+	if cap(dst) < n*n {
+		dst = make([]int, n*n)
+	} else {
+		dst = dst[:n*n]
+	}
+	t := ii - c.SMin
+	for i, row := range c.Dist {
+		out := dst[i*n : (i+1)*n]
+		for j, s := range row {
+			out[j] = s.Eval(t)
+		}
+	}
+	return dst
+}
+
+// ZeroMatrix densely extracts the intra-iteration (omega = 0) distances
+// in the same row-major member-index layout as InstantiateAt.  The
+// matrix does not depend on the initiation interval, so callers compute
+// it once per component and reuse it across the whole II search.
+func (c *Closure) ZeroMatrix(dst []int) []int {
+	n := len(c.Members)
+	if cap(dst) < n*n {
+		dst = make([]int, n*n)
+	} else {
+		dst = dst[:n*n]
+	}
+	for i, row := range c.Dist {
+		out := dst[i*n : (i+1)*n]
+		for j, s := range row {
+			if len(s) > 0 && s[0].P == 0 {
+				out[j] = s[0].D
+			} else {
+				out[j] = NegInf
+			}
+		}
+	}
+	return dst
+}
+
 // RecurrenceMII returns the smallest initiation interval permitted by the
 // component's cycles: max over cycles of ceil(delay(c)/omega(c)).
 // Cycles already satisfied at SMin contribute nothing (the overall MII

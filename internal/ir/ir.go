@@ -326,6 +326,54 @@ func (p *Program) NewLoopID() int {
 	return id
 }
 
+// Clone returns a deep copy of the program: mutating passes (e.g. the
+// unroll pass in codegen) clone first so that compilation never writes
+// through a caller-owned program, which keeps one *Program safe to
+// compile from many goroutines concurrently.
+func (p *Program) Clone() *Program {
+	c := &Program{
+		Name:       p.Name,
+		RegKind:    append([]Kind(nil), p.RegKind...),
+		nextOpID:   p.nextOpID,
+		nextLoopID: p.nextLoopID,
+		Results:    append([]ScalarResult(nil), p.Results...),
+		Body:       cloneBlock(p.Body),
+	}
+	if p.Arrays != nil {
+		c.Arrays = make([]*ArrayDecl, len(p.Arrays))
+		for i, a := range p.Arrays {
+			d := *a
+			d.InitF = append([]float64(nil), a.InitF...)
+			d.InitI = append([]int64(nil), a.InitI...)
+			c.Arrays[i] = &d
+		}
+	}
+	return c
+}
+
+func cloneBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	c := &Block{}
+	if b.Stmts != nil {
+		c.Stmts = make([]Stmt, len(b.Stmts))
+		for i, s := range b.Stmts {
+			switch s := s.(type) {
+			case *OpStmt:
+				c.Stmts[i] = &OpStmt{Op: s.Op.Clone()}
+			case *IfStmt:
+				c.Stmts[i] = &IfStmt{Cond: s.Cond, Then: cloneBlock(s.Then), Else: cloneBlock(s.Else)}
+			case *LoopStmt:
+				l := *s
+				l.Body = cloneBlock(s.Body)
+				c.Stmts[i] = &l
+			}
+		}
+	}
+	return c
+}
+
 // Array returns the declaration of the named array, or nil.
 func (p *Program) Array(name string) *ArrayDecl {
 	for _, a := range p.Arrays {

@@ -166,7 +166,11 @@ func PlanLoop(nodes []*depgraph.Node, loopID int, m *machine.Machine, opts Optio
 			} else {
 				ci += n - 1
 			}
-			if n > worstQ {
+			// Break copy-count ties on the lower register number:
+			// ranging over the Copies map visits keys in a randomized
+			// order, and letting that order pick the victim makes the
+			// whole schedule differ from run to run.
+			if n > worstQ || (n == worstQ && (worst == ir.NoReg || r < worst)) {
 				worstQ, worst = n, r
 			}
 		}
@@ -238,8 +242,11 @@ func planWith(nodes []*depgraph.Node, full *depgraph.Graph, expanded map[ir.VReg
 	}
 	var res *schedule.Result
 	var st *schedule.Stats
+	// One searcher serves every construct-window retry: the SCC closures
+	// and scheduling scratch carry over, only the floor MinII moves.
+	searcher := schedule.NewSearcher(a, m)
 	for {
-		res, st, err = schedule.Modulo(a, m, schedule.Options{
+		res, st, err = searcher.Search(schedule.Options{
 			MaxII:          maxII,
 			MinII:          minII,
 			BinarySearch:   opts.BinarySearch,

@@ -52,25 +52,168 @@ type Stats struct {
 	MetLower bool
 }
 
-// Modulo finds the smallest feasible initiation interval ≥ the MII using
+// compEdge is an intra-component omega-0 edge in member-index space.
+type compEdge struct {
+	from, to, delay int
+}
+
+// crossEdge is a condensed inter-component edge.  The effective delay of
+// the condensation depends on the per-attempt internal offsets, so only
+// the II-independent parts are kept here; Searcher.cdelay holds the
+// instantiated delays of the current attempt, parallel to this slice.
+type crossEdge struct {
+	gfrom, gto   int // graph-node endpoints
+	from, to     int // component endpoints
+	delay, omega int
+}
+
+// compData is the per-component preprocessing and scratch of the
+// searcher.  Everything except dense, lo, hi, times, sched, deg is
+// independent of the candidate initiation interval and computed once.
+type compData struct {
+	edges []compEdge // omega-0 intra-component edges, from != to
+	indeg []int      // indegrees over edges
+	h     []int      // list priority: critical-path height over edges
+	zero  []int      // dense intra-iteration distances (ZeroMatrix)
+
+	dense  []int // closure instantiated at the current candidate II
+	lo, hi []int // precedence-constrained ranges
+	times  []int // issue time per member
+	sched  []bool
+	deg    []int
+}
+
+// Searcher runs the iterative search of Lam §2.2 for one analyzed loop.
+// It front-loads every II-independent computation (SCC member indexing,
+// intra-component edge lists, list priorities, intra-iteration distance
+// matrices, condensation edges) and keeps all scheduling scratch —
+// modulo reservation tables included — alive across candidate intervals,
+// so trying II = s+1 after s fails allocates almost nothing.  A Searcher
+// is not safe for concurrent use; compile pipelines create one per loop.
+type Searcher struct {
+	a *depgraph.Analysis
+	m *machine.Machine
+
+	comps  []compData
+	cross  []crossEdge
+	cindeg []int // condensation indegrees over cross
+
+	// Condensation scheduling scratch, reused across attempts.
+	intTime []int
+	compLen []int
+	vres    [][]machine.ResUse
+	cdelay  []int // per-cross-edge condensed delay of the current attempt
+	ch      []int
+	deg     []int
+	order   []int
+	ready   []int
+	vtime   []int
+	placed  []bool
+	condTab *ModTable
+	compTab *ModTable
+}
+
+// NewSearcher prepares a reusable searcher for the analyzed loop.
+func NewSearcher(a *depgraph.Analysis, m *machine.Machine) *Searcher {
+	g := a.Graph
+	n := len(g.Nodes)
+	nc := len(a.SCC.Components)
+	sr := &Searcher{
+		a: a, m: m,
+		cindeg:  make([]int, nc),
+		intTime: make([]int, n),
+		compLen: make([]int, nc),
+		vres:    make([][]machine.ResUse, nc),
+		ch:      make([]int, nc),
+		deg:     make([]int, nc),
+		order:   make([]int, 0, nc),
+		ready:   make([]int, 0, nc),
+		vtime:   make([]int, nc),
+		placed:  make([]bool, nc),
+		condTab: NewModTable(1, m),
+		compTab: NewModTable(1, m),
+	}
+	memberIdx := make([]int, n)
+	for _, comp := range a.SCC.Components {
+		for i, v := range comp {
+			memberIdx[v] = i
+		}
+	}
+	sr.comps = make([]compData, nc)
+	for ci, comp := range a.SCC.Components {
+		if a.SCC.IsTrivial(g, ci) {
+			continue
+		}
+		k := len(comp)
+		cd := &sr.comps[ci]
+		cd.indeg = make([]int, k)
+		cd.h = make([]int, k)
+		cd.zero = a.Closures[ci].ZeroMatrix(nil)
+		cd.lo = make([]int, k)
+		cd.hi = make([]int, k)
+		cd.times = make([]int, k)
+		cd.sched = make([]bool, k)
+		cd.deg = make([]int, k)
+		for i, v := range comp {
+			cd.h[i] = Extent(g.Nodes[v])
+		}
+	}
+	for _, e := range g.Edges {
+		cf, ct := a.SCC.Comp[e.From], a.SCC.Comp[e.To]
+		if cf != ct {
+			sr.cross = append(sr.cross, crossEdge{
+				gfrom: e.From, gto: e.To,
+				from: cf, to: ct,
+				delay: e.Delay, omega: e.Omega,
+			})
+			sr.cindeg[ct]++
+			continue
+		}
+		if e.Omega == 0 && e.From != e.To && !a.SCC.IsTrivial(g, cf) {
+			cd := &sr.comps[cf]
+			cd.edges = append(cd.edges, compEdge{
+				from: memberIdx[e.From], to: memberIdx[e.To], delay: e.Delay,
+			})
+			cd.indeg[memberIdx[e.To]]++
+		}
+	}
+	// Heights within each component by reverse relaxation over the
+	// omega-0 edges (|comp| sweeps suffice on a DAG).
+	for ci := range sr.comps {
+		cd := &sr.comps[ci]
+		for range cd.h {
+			for _, e := range cd.edges {
+				if c := cd.h[e.to] + e.delay; c > cd.h[e.from] {
+					cd.h[e.from] = c
+				}
+			}
+		}
+	}
+	sr.cdelay = make([]int, len(sr.cross))
+	return sr
+}
+
+// Search finds the smallest feasible initiation interval ≥ the MII using
 // the iterative approach of Lam §2.2 and returns the kernel schedule.
-func Modulo(a *depgraph.Analysis, m *machine.Machine, opts Options) (*Result, *Stats, error) {
+// It may be called repeatedly (e.g. with a raised MinII after a
+// construct-window violation); scratch carries over between calls.
+func (sr *Searcher) Search(opts Options) (*Result, *Stats, error) {
 	maxII := opts.MaxII
 	if maxII <= 0 {
-		maxII = DefaultMaxII(a)
+		maxII = DefaultMaxII(sr.a)
 	}
-	floor := a.MII
+	floor := sr.a.MII
 	if opts.MinII > floor {
 		floor = opts.MinII
 	}
 	st := &Stats{MII: floor}
 	if opts.BinarySearch {
-		r, err := moduloBinary(a, m, opts, floor, maxII, st)
+		r, err := sr.searchBinary(opts, floor, maxII, st)
 		return r, st, err
 	}
 	for s := floor; s <= maxII; s++ {
 		st.Attempts++
-		if r := attempt(a, m, opts, s); r != nil {
+		if r := sr.attempt(opts, s); r != nil {
 			st.Achieved = s
 			st.MetLower = s == st.MII
 			return r, st, nil
@@ -79,14 +222,21 @@ func Modulo(a *depgraph.Analysis, m *machine.Machine, opts Options) (*Result, *S
 	return nil, st, fmt.Errorf("schedule: no feasible initiation interval in [%d, %d]", st.MII, maxII)
 }
 
-func moduloBinary(a *depgraph.Analysis, m *machine.Machine, opts Options, floor, maxII int, st *Stats) (*Result, error) {
+// Modulo finds the smallest feasible initiation interval ≥ the MII using
+// the iterative approach of Lam §2.2 and returns the kernel schedule.
+// It is the one-shot form of NewSearcher(a, m).Search(opts).
+func Modulo(a *depgraph.Analysis, m *machine.Machine, opts Options) (*Result, *Stats, error) {
+	return NewSearcher(a, m).Search(opts)
+}
+
+func (sr *Searcher) searchBinary(opts Options, floor, maxII int, st *Stats) (*Result, error) {
 	lo, hi := floor, maxII
 	var best *Result
 	bestII := -1
 	for lo <= hi {
 		mid := (lo + hi) / 2
 		st.Attempts++
-		if r := attempt(a, m, opts, mid); r != nil {
+		if r := sr.attempt(opts, mid); r != nil {
 			best, bestII = r, mid
 			hi = mid - 1
 		} else {
@@ -103,30 +253,37 @@ func moduloBinary(a *depgraph.Analysis, m *machine.Machine, opts Options, floor,
 
 // attempt tries to build a schedule with initiation interval s; nil means
 // infeasible under the non-backtracking heuristics.
-func attempt(a *depgraph.Analysis, m *machine.Machine, opts Options, s int) *Result {
-	g := a.Graph
+func (sr *Searcher) attempt(opts Options, s int) *Result {
+	a, g := sr.a, sr.a.Graph
 	n := len(g.Nodes)
+	nc := len(a.SCC.Components)
 
-	// 1. Schedule each nontrivial component individually (fresh table):
-	// internal offsets intTime, normalized to start at 0.
-	intTime := make([]int, n)
-	compLen := make([]int, len(a.SCC.Components))
+	// 1. Schedule each nontrivial component individually: internal
+	// offsets intTime, normalized to start at 0.
+	intTime := sr.intTime
+	compLen := sr.compLen
+	for i := range intTime {
+		intTime[i] = 0
+	}
+	for ci := range compLen {
+		compLen[ci] = 0
+	}
 	for ci, comp := range a.SCC.Components {
 		if a.SCC.IsTrivial(g, ci) {
 			continue
 		}
-		times := scheduleComponent(g, a.Closures[ci], comp, m, s)
-		if times == nil {
+		if !sr.scheduleComponent(ci, comp, s) {
 			return nil
 		}
-		minT := times[comp[0]]
-		for _, v := range comp {
-			if times[v] < minT {
-				minT = times[v]
+		cd := &sr.comps[ci]
+		minT := cd.times[0]
+		for _, t := range cd.times {
+			if t < minT {
+				minT = t
 			}
 		}
-		for _, v := range comp {
-			intTime[v] = times[v] - minT
+		for i, v := range comp {
+			intTime[v] = cd.times[i] - minT
 			if e := intTime[v] + Extent(g.Nodes[v]); e > compLen[ci] {
 				compLen[ci] = e
 			}
@@ -135,41 +292,28 @@ func attempt(a *depgraph.Analysis, m *machine.Machine, opts Options, s int) *Res
 
 	// 2. Reduce the graph: one vertex per component, with the aggregate
 	// resource usage of its members (Lam §2.2.2).
-	nc := len(a.SCC.Components)
-	vres := make([][]machine.ResUse, nc)
 	for ci, comp := range a.SCC.Components {
+		sr.vres[ci] = sr.vres[ci][:0]
 		for _, v := range comp {
 			for _, u := range g.Nodes[v].Reservation {
-				vres[ci] = append(vres[ci], machine.ResUse{Resource: u.Resource, Offset: u.Offset + intTime[v]})
+				sr.vres[ci] = append(sr.vres[ci], machine.ResUse{Resource: u.Resource, Offset: u.Offset + intTime[v]})
 			}
 		}
 	}
-	type cedge struct {
-		from, to, delay, omega int
-	}
-	var cedges []cedge
-	for _, e := range g.Edges {
-		cf, ct := a.SCC.Comp[e.From], a.SCC.Comp[e.To]
-		if cf == ct {
-			continue
-		}
-		cedges = append(cedges, cedge{
-			from:  cf,
-			to:    ct,
-			delay: intTime[e.From] + e.Delay - intTime[e.To],
-			omega: e.Omega,
-		})
+	for i, e := range sr.cross {
+		sr.cdelay[i] = intTime[e.gfrom] + e.delay - intTime[e.gto]
 	}
 
 	// 3. List-schedule the acyclic condensation against the shared
 	// modulo reservation table.
-	tab := NewModTable(s, m)
+	tab := sr.condTab
+	tab.Reset(s)
 	if opts.ReserveBranch {
 		tab.Place([]machine.ResUse{{Resource: opts.BranchResource}}, s-1)
 	}
 
 	// Priorities: critical-path height over omega-0 condensed edges.
-	ch := make([]int, nc)
+	ch := sr.ch
 	for ci := range ch {
 		ext := compLen[ci]
 		if ext == 0 { // trivial component
@@ -177,63 +321,62 @@ func attempt(a *depgraph.Analysis, m *machine.Machine, opts Options, s int) *Res
 		}
 		ch[ci] = ext
 	}
-	// Topological order (condensation is a DAG over all edges).
-	indeg := make([]int, nc)
-	for _, e := range cedges {
-		indeg[e.to]++
+	// Topological order (condensation is a DAG over all edges), then
+	// heights by reverse topological sweep over omega-0 edges.
+	deg := sr.deg
+	copy(deg, sr.cindeg)
+	order := sr.order[:0]
+	ready := sr.ready[:0]
+	for i := 0; i < nc; i++ {
+		if deg[i] == 0 {
+			ready = append(ready, i)
+		}
 	}
-	// Heights by reverse topological sweep over omega-0 edges.
-	order := make([]int, 0, nc)
-	{
-		deg := append([]int(nil), indeg...)
-		var ready []int
-		for i := 0; i < nc; i++ {
-			if deg[i] == 0 {
-				ready = append(ready, i)
+	for len(ready) > 0 {
+		v := ready[0]
+		for _, w := range ready {
+			if w < v {
+				v = w
 			}
 		}
-		for len(ready) > 0 {
-			v := ready[0]
-			for _, w := range ready {
-				if w < v {
-					v = w
-				}
+		for i, w := range ready {
+			if w == v {
+				ready = append(ready[:i], ready[i+1:]...)
+				break
 			}
-			for i, w := range ready {
-				if w == v {
-					ready = append(ready[:i], ready[i+1:]...)
-					break
-				}
-			}
-			order = append(order, v)
-			for _, e := range cedges {
-				if e.from == v {
-					deg[e.to]--
-					if deg[e.to] == 0 {
-						ready = append(ready, e.to)
-					}
+		}
+		order = append(order, v)
+		for _, e := range sr.cross {
+			if e.from == v {
+				deg[e.to]--
+				if deg[e.to] == 0 {
+					ready = append(ready, e.to)
 				}
 			}
 		}
-		if len(order) != nc {
-			return nil // should not happen: condensation is acyclic
-		}
-		for i := nc - 1; i >= 0; i-- {
-			v := order[i]
-			for _, e := range cedges {
-				if e.from != v || e.omega != 0 {
-					continue
-				}
-				if c := ch[e.to] + e.delay; c > ch[v] {
-					ch[v] = c
-				}
+	}
+	sr.order, sr.ready = order, ready
+	if len(order) != nc {
+		return nil // should not happen: condensation is acyclic
+	}
+	for i := nc - 1; i >= 0; i-- {
+		v := order[i]
+		for ei, e := range sr.cross {
+			if e.from != v || e.omega != 0 {
+				continue
+			}
+			if c := ch[e.to] + sr.cdelay[ei]; c > ch[v] {
+				ch[v] = c
 			}
 		}
 	}
 
-	vtime := make([]int, nc)
-	placed := make([]bool, nc)
-	deg := append([]int(nil), indeg...)
+	vtime := sr.vtime
+	placed := sr.placed
+	for i := range placed {
+		placed[i] = false
+	}
+	copy(deg, sr.cindeg)
 	for count := 0; count < nc; count++ {
 		best := -1
 		for i := 0; i < nc; i++ {
@@ -248,22 +391,22 @@ func attempt(a *depgraph.Analysis, m *machine.Machine, opts Options, s int) *Res
 			return nil
 		}
 		earliest := 0
-		for _, e := range cedges {
+		for ei, e := range sr.cross {
 			if e.to != best || !placed[e.from] {
 				continue
 			}
-			if t := vtime[e.from] + e.delay - s*e.omega; t > earliest {
+			if t := vtime[e.from] + sr.cdelay[ei] - s*e.omega; t > earliest {
 				earliest = t
 			}
 		}
-		t, ok := findSlot(tab, vres[best], earliest, s)
+		t, ok := findSlot(tab, sr.vres[best], earliest, s)
 		if !ok {
 			return nil
 		}
-		tab.Place(vres[best], t)
+		tab.Place(sr.vres[best], t)
 		vtime[best] = t
 		placed[best] = true
-		for _, e := range cedges {
+		for _, e := range sr.cross {
 			if e.from == best {
 				deg[e.to]--
 			}
@@ -297,70 +440,42 @@ func findSlot(tab *ModTable, res []machine.ResUse, earliest, s int) (int, bool) 
 
 // scheduleComponent schedules one strongly connected component for target
 // interval s using the precedence-constrained-range algorithm of Lam
-// §2.2.2.  It returns issue times indexed by graph node (only component
-// members are set), or nil on failure.
-func scheduleComponent(g *depgraph.Graph, cl *depgraph.Closure, comp []int, m *machine.Machine, s int) []int {
+// §2.2.2.  Issue times land in sr.comps[ci].times (member-index order);
+// false means failure.
+func (sr *Searcher) scheduleComponent(ci int, comp []int, s int) bool {
 	const inf = int(1) << 30
-	times := make([]int, len(g.Nodes))
-	inComp := make(map[int]bool, len(comp))
-	for _, v := range comp {
-		inComp[v] = true
-	}
+	g := sr.a.Graph
+	cd := &sr.comps[ci]
+	k := len(comp)
 
-	// Topological order over intra-iteration edges within the component.
-	indeg := map[int]int{}
-	for _, v := range comp {
-		indeg[v] = 0
+	// Instantiate the symbolic closure at this candidate interval once;
+	// every range update below is then two array reads.
+	cd.dense = sr.a.Closures[ci].InstantiateAt(s, cd.dense)
+	copy(cd.deg, cd.indeg)
+	for i := 0; i < k; i++ {
+		cd.lo[i] = -inf
+		cd.hi[i] = inf
+		cd.sched[i] = false
 	}
-	for _, e := range g.Edges {
-		if e.Omega == 0 && inComp[e.From] && inComp[e.To] && e.From != e.To {
-			indeg[e.To]++
-		}
-	}
-	// Heights within the component over omega-0 edges.
-	h := map[int]int{}
-	for _, v := range comp {
-		h[v] = Extent(g.Nodes[v])
-	}
-	// Reverse topological relaxation (repeat |comp| times is enough on a
-	// DAG; component sizes are small).
-	for range comp {
-		for _, e := range g.Edges {
-			if e.Omega != 0 || !inComp[e.From] || !inComp[e.To] || e.From == e.To {
-				continue
-			}
-			if c := h[e.To] + e.Delay; c > h[e.From] {
-				h[e.From] = c
-			}
-		}
-	}
+	tab := sr.compTab
+	tab.Reset(s)
 
-	lo := map[int]int{}
-	hi := map[int]int{}
-	for _, v := range comp {
-		lo[v] = -inf
-		hi[v] = inf
-	}
-	scheduled := map[int]bool{}
-	tab := NewModTable(s, m)
-	deg := indeg
-
-	for count := 0; count < len(comp); count++ {
+	for count := 0; count < k; count++ {
 		best := -1
-		for _, v := range comp {
-			if scheduled[v] || deg[v] > 0 {
+		for i := 0; i < k; i++ {
+			if cd.sched[i] || cd.deg[i] > 0 {
 				continue
 			}
-			if best == -1 || h[v] > h[best] || (h[v] == h[best] && v < best) {
-				best = v
+			if best == -1 || cd.h[i] > cd.h[best] || (cd.h[i] == cd.h[best] && comp[i] < comp[best]) {
+				best = i
 			}
 		}
 		if best == -1 {
-			return nil // omega-0 cycle; rejected earlier by Analyze
+			return false // omega-0 cycle; rejected earlier by Analyze
 		}
-		l, u := lo[best], hi[best]
+		l, u := cd.lo[best], cd.hi[best]
 		if l > u {
-			return nil
+			return false
 		}
 		// Anchor the scan at the intra-iteration lower bound so that a
 		// node with no omega-0 constraint from the scheduled set does
@@ -368,12 +483,12 @@ func scheduleComponent(g *depgraph.Graph, cl *depgraph.Closure, comp []int, m *m
 		// anchored this way, the lower bound stays fixed as s grows
 		// while the upper bound relaxes (the paper's property 2).
 		anchor := 0
-		for _, w := range comp {
-			if !scheduled[w] {
+		for j := 0; j < k; j++ {
+			if !cd.sched[j] {
 				continue
 			}
-			if d := cl.DistZero(w, best); d != depgraph.NegInf {
-				if t := times[w] + d; t > anchor {
+			if d := cd.zero[j*k+best]; d != depgraph.NegInf {
+				if t := cd.times[j] + d; t > anchor {
 					anchor = t
 				}
 			}
@@ -391,39 +506,40 @@ func scheduleComponent(g *depgraph.Graph, cl *depgraph.Closure, comp []int, m *m
 		}
 		placedAt := -1
 		for t := start; t <= limit; t++ {
-			if tab.Fits(g.Nodes[best].Reservation, t) {
+			if tab.Fits(g.Nodes[comp[best]].Reservation, t) {
 				placedAt = t
 				break
 			}
 		}
 		if placedAt == -1 {
-			return nil
+			return false
 		}
-		tab.Place(g.Nodes[best].Reservation, placedAt)
-		times[best] = placedAt
-		scheduled[best] = true
-		for _, e := range g.Edges {
-			if e.Omega == 0 && inComp[e.From] && e.From == best && inComp[e.To] && e.To != best {
-				deg[e.To]--
+		tab.Place(g.Nodes[comp[best]].Reservation, placedAt)
+		cd.times[best] = placedAt
+		cd.sched[best] = true
+		for _, e := range cd.edges {
+			if e.from == best {
+				cd.deg[e.to]--
 			}
 		}
-		// Update precedence-constrained ranges with the precomputed
-		// closure, the symbolic interval now instantiated at s.
-		for _, w := range comp {
-			if scheduled[w] {
+		// Update precedence-constrained ranges from the instantiated
+		// closure.
+		row := cd.dense[best*k : (best+1)*k]
+		for j := 0; j < k; j++ {
+			if cd.sched[j] {
 				continue
 			}
-			if d := cl.DistAt(best, w, s); d != depgraph.NegInf {
-				if t := placedAt + d; t > lo[w] {
-					lo[w] = t
+			if d := row[j]; d != depgraph.NegInf {
+				if t := placedAt + d; t > cd.lo[j] {
+					cd.lo[j] = t
 				}
 			}
-			if d := cl.DistAt(w, best, s); d != depgraph.NegInf {
-				if t := placedAt - d; t < hi[w] {
-					hi[w] = t
+			if d := cd.dense[j*k+best]; d != depgraph.NegInf {
+				if t := placedAt - d; t < cd.hi[j] {
+					cd.hi[j] = t
 				}
 			}
 		}
 	}
-	return times
+	return true
 }

@@ -18,19 +18,36 @@ import (
 // ModTable is a modulo resource reservation table for initiation interval
 // II: the resource usage of time t is accounted at row t mod II, so the
 // steady state of the pipelined loop can be checked directly (Lam §2.1).
+// Rows are stored in one flat backing slice (row r, resource q at index
+// r*nres+q) so the iterative II search can Reset and reuse one table
+// across every candidate interval instead of reallocating per attempt.
 type ModTable struct {
-	II  int
-	cap []int   // per-resource capacity
-	use [][]int // [II][resource] counts
+	II   int
+	cap  []int // per-resource capacity
+	nres int
+	use  []int // flat [II][resource] counts
 }
 
 // NewModTable returns an empty table for the given interval and machine.
 func NewModTable(ii int, m *machine.Machine) *ModTable {
-	t := &ModTable{II: ii, cap: m.ResourceCount, use: make([][]int, ii)}
-	for i := range t.use {
-		t.use[i] = make([]int, len(m.ResourceCount))
-	}
+	t := &ModTable{cap: m.ResourceCount, nres: len(m.ResourceCount)}
+	t.Reset(ii)
 	return t
+}
+
+// Reset clears the table and resizes it for a new initiation interval,
+// reusing the backing storage when it is large enough.
+func (t *ModTable) Reset(ii int) {
+	t.II = ii
+	n := ii * t.nres
+	if cap(t.use) < n {
+		t.use = make([]int, n)
+		return
+	}
+	t.use = t.use[:n]
+	for i := range t.use {
+		t.use[i] = 0
+	}
 }
 
 func (t *ModTable) row(time int) int {
@@ -48,17 +65,17 @@ func (t *ModTable) Fits(res []machine.ResUse, time int) bool {
 	ok := true
 	placed := 0
 	for _, u := range res {
-		row := t.use[t.row(time+u.Offset)]
-		row[u.Resource]++
+		at := t.row(time+u.Offset)*t.nres + int(u.Resource)
+		t.use[at]++
 		placed++
-		if row[u.Resource] > t.cap[u.Resource] {
+		if t.use[at] > t.cap[u.Resource] {
 			ok = false
 			break
 		}
 	}
 	for i := 0; i < placed; i++ {
 		u := res[i]
-		t.use[t.row(time+u.Offset)][u.Resource]--
+		t.use[t.row(time+u.Offset)*t.nres+int(u.Resource)]--
 	}
 	return ok
 }
@@ -66,29 +83,29 @@ func (t *ModTable) Fits(res []machine.ResUse, time int) bool {
 // Place commits the reservation pattern at time.
 func (t *ModTable) Place(res []machine.ResUse, time int) {
 	for _, u := range res {
-		t.use[t.row(time+u.Offset)][u.Resource]++
+		t.use[t.row(time+u.Offset)*t.nres+int(u.Resource)]++
 	}
 }
 
 // Remove undoes a Place.
 func (t *ModTable) Remove(res []machine.ResUse, time int) {
 	for _, u := range res {
-		t.use[t.row(time+u.Offset)][u.Resource]--
+		t.use[t.row(time+u.Offset)*t.nres+int(u.Resource)]--
 	}
 }
 
 // Usage returns the current use count of resource r at row (time mod II).
 func (t *ModTable) Usage(time int, r machine.Resource) int {
-	return t.use[t.row(time)][int(r)]
+	return t.use[t.row(time)*t.nres+int(r)]
 }
 
 // String renders the table.
 func (t *ModTable) String() string {
 	var b strings.Builder
-	for i, row := range t.use {
+	for i := 0; i < t.II; i++ {
 		fmt.Fprintf(&b, "%3d:", i)
-		for r, n := range row {
-			if n > 0 {
+		for r := 0; r < t.nres; r++ {
+			if n := t.use[i*t.nres+r]; n > 0 {
 				fmt.Fprintf(&b, " %v=%d", machine.Resource(r), n)
 			}
 		}

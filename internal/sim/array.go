@@ -106,7 +106,7 @@ func (a *Array) Run() ([]float64, *ir.State, error) {
 			return nil, nil, fmt.Errorf("cell %d: %w", ci, err)
 		}
 	}
-	return a.queues[len(a.Cells)].buf, a.Cells[len(a.Cells)-1].state(), nil
+	return a.queues[len(a.Cells)].contents(), a.Cells[len(a.Cells)-1].state(), nil
 }
 
 func (a *Array) describeStalls() string {

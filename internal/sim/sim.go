@@ -11,6 +11,12 @@
 //   - loads read memory at issue; stores write memory at issue but after
 //     all loads of the same instruction;
 //   - control takes effect at the next cycle (no branch delay slots).
+//
+// The per-cycle loop is allocation-free in steady state: instructions are
+// pre-decoded into a dense form with array bases/bounds resolved, pending
+// write-backs live in a latency-bounded circular buffer indexed by
+// cycle mod (maxLatency+1), and write-back conflict detection uses flat
+// per-register stamp slices instead of maps.
 package sim
 
 import (
@@ -48,6 +54,34 @@ type writeback struct {
 	pc      int // issuing instruction, for diagnostics
 }
 
+// decOp is one pre-decoded slot operation: latency, flop count and array
+// layout are resolved at decode time so the cycle loop does no descriptor
+// or array-table lookups.
+type decOp struct {
+	class    machine.Class
+	dst      int
+	src0     int
+	src1     int
+	src2     int
+	lat      int64
+	flops    int64
+	fimm     float64
+	iimm     int64
+	disp     int64
+	arrBase  int64
+	arrEnd   int64 // base+size
+	arrFloat bool
+	arrName  string // diagnostics only
+	selFloat bool   // ClassISelect: float-file select
+}
+
+type memStore struct {
+	isFloat bool
+	addr    int64
+	f       float64
+	i       int64
+}
+
 // Sim is a single-cell simulator instance.
 type Sim struct {
 	Prog *vliw.Program
@@ -71,8 +105,31 @@ type Sim struct {
 	memF  []float64 // parallel typed views of the flat memory
 	memI  []int64
 
-	pending map[int64][]writeback
-	stats   Stats
+	// Pre-decoded program: ops[opStart[pc]:opStart[pc+1]] are the slots
+	// of instruction pc, ctl[pc] its sequencer field.
+	ops       []decOp
+	opStart   []int32
+	ctl       []vliw.Ctl
+	decodeErr error
+
+	// ring[t mod len(ring)] holds the write-backs landing at cycle t;
+	// len(ring) = maxLatency+1, so a result issued at t (due ≤ t+maxLat)
+	// never wraps onto a slot that has not been drained yet.  Slots are
+	// truncated, not freed, after application: in steady state they keep
+	// their capacity and the loop allocates nothing.
+	ring     [][]writeback
+	nPending int
+
+	// lastWF/lastWI[r] = cycle+1 of the last write-back applied to the
+	// register, for same-cycle conflict detection without per-cycle maps.
+	lastWF []int64
+	lastWI []int64
+
+	// storeBuf is the reusable same-instruction store staging area
+	// (loads of an instruction read memory before its stores land).
+	storeBuf []memStore
+
+	stats Stats
 
 	// Execution cursor (local cell time; stalls freeze it so the
 	// scheduled timing is preserved exactly).
@@ -85,10 +142,12 @@ type Sim struct {
 }
 
 // Queue is a bounded FIFO channel between adjacent cells (each Warp cell
-// has a 512-word queue per communication channel, Lam §1).
+// has a 512-word queue per communication channel, Lam §1).  Values are
+// popped via a head cursor so steady-state traffic does not reallocate.
 type Queue struct {
-	buf []float64
-	cap int
+	buf  []float64
+	head int
+	cap  int
 }
 
 // NewQueue returns an empty queue with the given capacity (0 means
@@ -96,29 +155,51 @@ type Queue struct {
 func NewQueue(capacity int) *Queue { return &Queue{cap: capacity} }
 
 // Len reports the queued word count.
-func (q *Queue) Len() int { return len(q.buf) }
+func (q *Queue) Len() int { return len(q.buf) - q.head }
 
-func (q *Queue) full() bool  { return q.cap > 0 && len(q.buf) >= q.cap }
-func (q *Queue) empty() bool { return len(q.buf) == 0 }
+func (q *Queue) full() bool  { return q.cap > 0 && q.Len() >= q.cap }
+func (q *Queue) empty() bool { return q.Len() == 0 }
 
 func (q *Queue) push(v float64) { q.buf = append(q.buf, v) }
 
 func (q *Queue) pop() float64 {
-	v := q.buf[0]
-	q.buf = q.buf[1:]
+	v := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		// Drained: recycle the backing array.
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head >= 1024 && q.head*2 >= len(q.buf) {
+		// Mostly-consumed long queue: compact so the backing array
+		// stays proportional to the live contents.
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
 	return v
 }
 
+// contents returns the live queued values (host-side collection).
+func (q *Queue) contents() []float64 { return q.buf[q.head:] }
+
 // New prepares a simulator with initialized memory.
 func New(p *vliw.Program, m *machine.Machine) *Sim {
+	maxLat := 1
+	for c := machine.Class(0); c < machine.Class(machine.NumClasses()); c++ {
+		if d := m.Desc(c); d != nil && d.Latency > maxLat {
+			maxLat = d.Latency
+		}
+	}
 	s := &Sim{
-		Prog:    p,
-		Mach:    m,
-		fregs:   make([]float64, p.NumFRegs),
-		iregs:   make([]int64, p.NumIRegs),
-		memF:    make([]float64, p.MemWords),
-		memI:    make([]int64, p.MemWords),
-		pending: make(map[int64][]writeback),
+		Prog:   p,
+		Mach:   m,
+		fregs:  make([]float64, p.NumFRegs),
+		iregs:  make([]int64, p.NumIRegs),
+		memF:   make([]float64, p.MemWords),
+		memI:   make([]int64, p.MemWords),
+		ring:   make([][]writeback, maxLat+1),
+		lastWF: make([]int64, p.NumFRegs),
+		lastWI: make([]int64, p.NumIRegs),
 	}
 	for _, a := range p.Arrays {
 		if a.Kind == ir.KindFloat {
@@ -127,7 +208,69 @@ func New(p *vliw.Program, m *machine.Machine) *Sim {
 			copy(s.memI[a.Base:a.Base+a.Size], p.InitI[a.Name])
 		}
 	}
+	s.decode()
 	return s
+}
+
+// decode lowers the program into the dense pre-decoded form, resolving
+// operation descriptors and array layout once.  Unsupported classes and
+// unknown arrays surface as an error on the first Step/Run.
+func (s *Sim) decode() {
+	p, m := s.Prog, s.Mach
+	nOps := 0
+	for i := range p.Instrs {
+		nOps += len(p.Instrs[i].Ops)
+	}
+	s.ops = make([]decOp, 0, nOps)
+	s.opStart = make([]int32, len(p.Instrs)+1)
+	s.ctl = make([]vliw.Ctl, len(p.Instrs))
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		s.opStart[pc] = int32(len(s.ops))
+		s.ctl[pc] = in.Ctl
+		for oi := range in.Ops {
+			o := &in.Ops[oi]
+			d := m.Desc(o.Class)
+			if d == nil {
+				s.decodeErr = fmt.Errorf("sim: @%d: unsupported class %v", pc, o.Class)
+				return
+			}
+			dec := decOp{
+				class: o.Class,
+				dst:   o.Dst,
+				lat:   int64(d.Latency),
+				flops: int64(d.Flops),
+				fimm:  o.FImm,
+				iimm:  o.IImm,
+				disp:  o.Disp,
+			}
+			if len(o.Src) > 0 {
+				dec.src0 = o.Src[0]
+			}
+			if len(o.Src) > 1 {
+				dec.src1 = o.Src[1]
+			}
+			if len(o.Src) > 2 {
+				dec.src2 = o.Src[2]
+			}
+			switch o.Class {
+			case machine.ClassLoad, machine.ClassStore:
+				arr := p.Array(o.Array)
+				if arr == nil {
+					s.decodeErr = fmt.Errorf("sim: @%d: unknown array %q", pc, o.Array)
+					return
+				}
+				dec.arrBase = int64(arr.Base)
+				dec.arrEnd = int64(arr.Base + arr.Size)
+				dec.arrFloat = arr.Kind == ir.KindFloat
+				dec.arrName = arr.Name
+			case machine.ClassISelect:
+				dec.selFloat = o.FImm != 0
+			}
+			s.ops = append(s.ops, dec)
+		}
+	}
+	s.opStart[len(p.Instrs)] = int32(len(s.ops))
 }
 
 // Run executes the program until halt and returns the observable state.
@@ -159,7 +302,7 @@ func (s *Sim) Run() (*ir.State, error) {
 
 // Drain advances local time until every in-flight write-back has landed.
 func (s *Sim) Drain(max int64) error {
-	for len(s.pending) > 0 {
+	for s.nPending > 0 {
 		if err := s.applyWritebacks(s.t); err != nil {
 			return err
 		}
@@ -182,14 +325,17 @@ func (s *Sim) Step() (stalled bool, err error) {
 	if s.halted {
 		return false, nil
 	}
+	if s.decodeErr != nil {
+		return false, s.decodeErr
+	}
 	pc := s.pc
 	t := s.t
-	if pc < 0 || pc >= len(s.Prog.Instrs) {
+	if pc < 0 || pc >= len(s.ctl) {
 		return false, fmt.Errorf("sim: pc %d out of range at cycle %d", pc, t)
 	}
-	in := &s.Prog.Instrs[pc]
-	for oi := range in.Ops {
-		switch in.Ops[oi].Class {
+	ops := s.ops[s.opStart[pc]:s.opStart[pc+1]]
+	for oi := range ops {
+		switch ops[oi].class {
 		case machine.ClassRecv:
 			if s.inQ != nil && s.inQ.empty() {
 				return true, nil
@@ -207,41 +353,31 @@ func (s *Sim) Step() (stalled bool, err error) {
 		return false, err
 	}
 	if s.Trace != nil && (s.TraceCycles == 0 || t < s.TraceCycles) {
-		fmt.Fprintf(s.Trace, "%8d  @%-5d %s\n", t, pc, in.String())
+		fmt.Fprintf(s.Trace, "%8d  @%-5d %s\n", t, pc, s.Prog.Instrs[pc].String())
 	}
 	next := pc + 1
 	// Issue all slots: reads first, then memory stores, then queued
 	// register write-backs.
-	type memStore struct {
-		isFloat bool
-		addr    int64
-		f       float64
-		i       int64
-	}
-	var stores []memStore
-	for oi := range in.Ops {
-		o := &in.Ops[oi]
-		d := s.Mach.Desc(o.Class)
-		if d == nil {
-			return false, fmt.Errorf("sim: @%d: unsupported class %v", pc, o.Class)
-		}
+	stores := s.storeBuf[:0]
+	for oi := range ops {
+		o := &ops[oi]
 		s.stats.Ops++
-		s.stats.Flops += int64(d.Flops)
-		lat := int64(d.Latency)
-		switch o.Class {
+		s.stats.Flops += o.flops
+		lat := o.lat
+		switch o.class {
 		case machine.ClassNop:
 		case machine.ClassFAdd:
-			s.wb(t+lat, pc, true, o.Dst, s.fregs[o.Src[0]]+s.fregs[o.Src[1]], 0)
+			s.wb(t+lat, pc, true, o.dst, s.fregs[o.src0]+s.fregs[o.src1], 0)
 		case machine.ClassFSub:
-			s.wb(t+lat, pc, true, o.Dst, s.fregs[o.Src[0]]-s.fregs[o.Src[1]], 0)
+			s.wb(t+lat, pc, true, o.dst, s.fregs[o.src0]-s.fregs[o.src1], 0)
 		case machine.ClassFMul:
-			s.wb(t+lat, pc, true, o.Dst, s.fregs[o.Src[0]]*s.fregs[o.Src[1]], 0)
+			s.wb(t+lat, pc, true, o.dst, s.fregs[o.src0]*s.fregs[o.src1], 0)
 		case machine.ClassFNeg:
-			s.wb(t+lat, pc, true, o.Dst, -s.fregs[o.Src[0]], 0)
+			s.wb(t+lat, pc, true, o.dst, -s.fregs[o.src0], 0)
 		case machine.ClassFMov:
-			s.wb(t+lat, pc, true, o.Dst, s.fregs[o.Src[0]], 0)
+			s.wb(t+lat, pc, true, o.dst, s.fregs[o.src0], 0)
 		case machine.ClassFConst:
-			s.wb(t+lat, pc, true, o.Dst, o.FImm, 0)
+			s.wb(t+lat, pc, true, o.dst, o.fimm, 0)
 		case machine.ClassRecv:
 			var v float64
 			if s.inQ != nil {
@@ -250,98 +386,103 @@ func (s *Sim) Step() (stalled bool, err error) {
 				v = s.InputTape[s.inPos]
 				s.inPos++
 			}
-			s.wb(t+lat, pc, true, o.Dst, v, 0)
+			s.wb(t+lat, pc, true, o.dst, v, 0)
 		case machine.ClassSend:
 			if s.outQ != nil {
-				s.outQ.push(s.fregs[o.Src[0]])
+				s.outQ.push(s.fregs[o.src0])
 			} else {
-				s.OutputTape = append(s.OutputTape, s.fregs[o.Src[0]])
+				s.OutputTape = append(s.OutputTape, s.fregs[o.src0])
 			}
 		case machine.ClassFRecipSeed:
-			s.wb(t+lat, pc, true, o.Dst, ir.RecipSeed(s.fregs[o.Src[0]]), 0)
+			s.wb(t+lat, pc, true, o.dst, ir.RecipSeed(s.fregs[o.src0]), 0)
 		case machine.ClassFRsqrtSeed:
-			s.wb(t+lat, pc, true, o.Dst, ir.RsqrtSeed(s.fregs[o.Src[0]]), 0)
+			s.wb(t+lat, pc, true, o.dst, ir.RsqrtSeed(s.fregs[o.src0]), 0)
 		case machine.ClassF2I:
-			s.wb(t+lat, pc, false, o.Dst, 0, int64(s.fregs[o.Src[0]]))
+			s.wb(t+lat, pc, false, o.dst, 0, int64(s.fregs[o.src0]))
 		case machine.ClassI2F:
-			s.wb(t+lat, pc, true, o.Dst, float64(s.iregs[o.Src[0]]), 0)
+			s.wb(t+lat, pc, true, o.dst, float64(s.iregs[o.src0]), 0)
 		case machine.ClassFCmp:
-			v := b2i(ir.Pred(o.IImm).Eval(signF(s.fregs[o.Src[0]], s.fregs[o.Src[1]])))
-			s.wb(t+lat, pc, false, o.Dst, 0, v)
+			v := b2i(ir.Pred(o.iimm).Eval(signF(s.fregs[o.src0], s.fregs[o.src1])))
+			s.wb(t+lat, pc, false, o.dst, 0, v)
 		case machine.ClassIAdd, machine.ClassAdrAdd:
-			s.wb(t+lat, pc, false, o.Dst, 0, s.iregs[o.Src[0]]+s.iregs[o.Src[1]])
+			s.wb(t+lat, pc, false, o.dst, 0, s.iregs[o.src0]+s.iregs[o.src1])
 		case machine.ClassISub:
-			s.wb(t+lat, pc, false, o.Dst, 0, s.iregs[o.Src[0]]-s.iregs[o.Src[1]])
+			s.wb(t+lat, pc, false, o.dst, 0, s.iregs[o.src0]-s.iregs[o.src1])
 		case machine.ClassIMul:
-			s.wb(t+lat, pc, false, o.Dst, 0, s.iregs[o.Src[0]]*s.iregs[o.Src[1]])
+			s.wb(t+lat, pc, false, o.dst, 0, s.iregs[o.src0]*s.iregs[o.src1])
 		case machine.ClassIMov:
-			s.wb(t+lat, pc, false, o.Dst, 0, s.iregs[o.Src[0]])
+			s.wb(t+lat, pc, false, o.dst, 0, s.iregs[o.src0])
 		case machine.ClassIConst:
-			s.wb(t+lat, pc, false, o.Dst, 0, o.IImm)
+			s.wb(t+lat, pc, false, o.dst, 0, o.iimm)
 		case machine.ClassIShr:
-			s.wb(t+lat, pc, false, o.Dst, 0, int64(uint64(s.iregs[o.Src[0]])>>uint(o.IImm)))
+			s.wb(t+lat, pc, false, o.dst, 0, int64(uint64(s.iregs[o.src0])>>uint(o.iimm)))
 		case machine.ClassIAnd:
-			s.wb(t+lat, pc, false, o.Dst, 0, s.iregs[o.Src[0]]&o.IImm)
+			s.wb(t+lat, pc, false, o.dst, 0, s.iregs[o.src0]&o.iimm)
 		case machine.ClassICmp:
-			v := b2i(ir.Pred(o.IImm).Eval(signI(s.iregs[o.Src[0]], s.iregs[o.Src[1]])))
-			s.wb(t+lat, pc, false, o.Dst, 0, v)
+			v := b2i(ir.Pred(o.iimm).Eval(signI(s.iregs[o.src0], s.iregs[o.src1])))
+			s.wb(t+lat, pc, false, o.dst, 0, v)
 		case machine.ClassISelect:
-			if s.iregs[o.Src[0]] != 0 {
-				s.selectWB(t+lat, pc, o, 1)
+			which := o.src2
+			if s.iregs[o.src0] != 0 {
+				which = o.src1
+			}
+			if o.selFloat {
+				s.wb(t+lat, pc, true, o.dst, s.fregs[which], 0)
 			} else {
-				s.selectWB(t+lat, pc, o, 2)
+				s.wb(t+lat, pc, false, o.dst, 0, s.iregs[which])
 			}
 		case machine.ClassLoad:
-			addr, err := s.memAddr(o, pc, t)
-			if err != nil {
-				return false, err
+			addr := s.iregs[o.src0] + o.disp
+			if addr < o.arrBase || addr >= o.arrEnd {
+				return false, s.boundsErr(o, pc, t, addr)
 			}
-			arr := s.Prog.Array(o.Array)
-			if arr.Kind == ir.KindFloat {
-				s.wb(t+lat, pc, true, o.Dst, s.memF[addr], 0)
+			if o.arrFloat {
+				s.wb(t+lat, pc, true, o.dst, s.memF[addr], 0)
 			} else {
-				s.wb(t+lat, pc, false, o.Dst, 0, s.memI[addr])
+				s.wb(t+lat, pc, false, o.dst, 0, s.memI[addr])
 			}
 		case machine.ClassStore:
-			addr, err := s.memAddr(o, pc, t)
-			if err != nil {
-				return false, err
+			addr := s.iregs[o.src0] + o.disp
+			if addr < o.arrBase || addr >= o.arrEnd {
+				return false, s.boundsErr(o, pc, t, addr)
 			}
-			arr := s.Prog.Array(o.Array)
-			if arr.Kind == ir.KindFloat {
-				stores = append(stores, memStore{isFloat: true, addr: addr, f: s.fregs[o.Src[1]]})
+			if o.arrFloat {
+				stores = append(stores, memStore{isFloat: true, addr: addr, f: s.fregs[o.src1]})
 			} else {
-				stores = append(stores, memStore{addr: addr, i: s.iregs[o.Src[1]]})
+				stores = append(stores, memStore{addr: addr, i: s.iregs[o.src1]})
 			}
 		default:
-			return false, fmt.Errorf("sim: @%d: cannot execute class %v", pc, o.Class)
+			return false, fmt.Errorf("sim: @%d: cannot execute class %v", pc, o.class)
 		}
 	}
-	for _, st := range stores {
+	for i := range stores {
+		st := &stores[i]
 		if st.isFloat {
 			s.memF[st.addr] = st.f
 		} else {
 			s.memI[st.addr] = st.i
 		}
 	}
-	switch in.Ctl.Kind {
+	s.storeBuf = stores[:0]
+	ctl := &s.ctl[pc]
+	switch ctl.Kind {
 	case vliw.CtlNone:
 	case vliw.CtlHalt:
 		s.halted = true
 	case vliw.CtlJump:
-		next = in.Ctl.Target
+		next = ctl.Target
 	case vliw.CtlDBNZ:
-		s.iregs[in.Ctl.Reg]--
-		if s.iregs[in.Ctl.Reg] != 0 {
-			next = in.Ctl.Target
+		s.iregs[ctl.Reg]--
+		if s.iregs[ctl.Reg] != 0 {
+			next = ctl.Target
 		}
 	case vliw.CtlJZ:
-		if s.iregs[in.Ctl.Reg] == 0 {
-			next = in.Ctl.Target
+		if s.iregs[ctl.Reg] == 0 {
+			next = ctl.Target
 		}
 	case vliw.CtlJNZ:
-		if s.iregs[in.Ctl.Reg] != 0 {
-			next = in.Ctl.Target
+		if s.iregs[ctl.Reg] != 0 {
+			next = ctl.Target
 		}
 	}
 	s.stats.Instrs++
@@ -353,64 +494,71 @@ func (s *Sim) Step() (stalled bool, err error) {
 // Stats reports the counters of the completed run.
 func (s *Sim) Stats() Stats { return s.stats }
 
-func (s *Sim) memAddr(o *vliw.SlotOp, pc int, t int64) (int64, error) {
-	arr := s.Prog.Array(o.Array)
-	if arr == nil {
-		return 0, fmt.Errorf("sim: @%d: unknown array %q", pc, o.Array)
-	}
-	idx := s.iregs[o.Src[0]] + o.Disp - int64(arr.Base)
-	if idx < 0 || idx >= int64(arr.Size) {
-		return 0, fmt.Errorf("sim: @%d cycle %d: %s[%d] out of bounds (size %d)",
-			pc, t, o.Array, idx, arr.Size)
-	}
-	return int64(arr.Base) + idx, nil
-}
-
-func (s *Sim) selectWB(due int64, pc int, o *vliw.SlotOp, which int) {
-	// The select's kind is encoded by its destination file: the code
-	// generator sets FImm to 1 for float selects.
-	if o.FImm != 0 {
-		s.wb(due, pc, true, o.Dst, s.fregs[o.Src[which]], 0)
-	} else {
-		s.wb(due, pc, false, o.Dst, 0, s.iregs[o.Src[which]])
-	}
+func (s *Sim) boundsErr(o *decOp, pc int, t int64, addr int64) error {
+	return fmt.Errorf("sim: @%d cycle %d: %s[%d] out of bounds (size %d)",
+		pc, t, o.arrName, addr-o.arrBase, o.arrEnd-o.arrBase)
 }
 
 func (s *Sim) wb(due int64, pc int, isFloat bool, reg int, f float64, i int64) {
-	s.pending[due] = append(s.pending[due], writeback{isFloat: isFloat, reg: reg, f: f, i: i, pc: pc})
+	slot := int(due % int64(len(s.ring)))
+	s.ring[slot] = append(s.ring[slot], writeback{isFloat: isFloat, reg: reg, f: f, i: i, pc: pc})
+	s.nPending++
 }
 
 func (s *Sim) applyWritebacks(t int64) error {
-	wbs, ok := s.pending[t]
-	if !ok {
+	slot := int(t % int64(len(s.ring)))
+	wbs := s.ring[slot]
+	if len(wbs) == 0 {
 		return nil
 	}
-	delete(s.pending, t)
-	seenF := map[int]int{}
-	seenI := map[int]int{}
-	for _, w := range wbs {
+	stamp := t + 1 // 0 marks "never written"
+	for k := range wbs {
+		w := &wbs[k]
 		if w.isFloat {
-			if prev, dup := seenF[w.reg]; dup {
-				return fmt.Errorf("sim: write-back conflict on f%d at cycle %d (pc %d and %d)", w.reg, t, prev, w.pc)
+			if s.lastWF[w.reg] == stamp {
+				return fmt.Errorf("sim: write-back conflict on f%d at cycle %d (pc %d and %d)",
+					w.reg, t, prevWriter(wbs[:k], true, w.reg), w.pc)
 			}
-			seenF[w.reg] = w.pc
+			s.lastWF[w.reg] = stamp
 			s.fregs[w.reg] = w.f
 		} else {
-			if prev, dup := seenI[w.reg]; dup {
-				return fmt.Errorf("sim: write-back conflict on i%d at cycle %d (pc %d and %d)", w.reg, t, prev, w.pc)
+			if s.lastWI[w.reg] == stamp {
+				return fmt.Errorf("sim: write-back conflict on i%d at cycle %d (pc %d and %d)",
+					w.reg, t, prevWriter(wbs[:k], false, w.reg), w.pc)
 			}
-			seenI[w.reg] = w.pc
+			s.lastWI[w.reg] = stamp
 			s.iregs[w.reg] = w.i
 		}
 	}
+	s.nPending -= len(wbs)
+	s.ring[slot] = wbs[:0]
 	return nil
 }
 
+// prevWriter finds the pc of the earlier write-back to reg in the slot
+// (diagnostics only; conflicts abort the run).
+func prevWriter(wbs []writeback, isFloat bool, reg int) int {
+	for k := range wbs {
+		if wbs[k].isFloat == isFloat && wbs[k].reg == reg {
+			return wbs[k].pc
+		}
+	}
+	return -1
+}
+
 func (s *Sim) state() *ir.State {
+	var nf, ni int
+	for _, a := range s.Prog.Arrays {
+		if a.Kind == ir.KindFloat {
+			nf++
+		} else {
+			ni++
+		}
+	}
 	st := &ir.State{
-		FloatArrays: map[string][]float64{},
-		IntArrays:   map[string][]int64{},
-		Scalars:     map[string]float64{},
+		FloatArrays: make(map[string][]float64, nf),
+		IntArrays:   make(map[string][]int64, ni),
+		Scalars:     make(map[string]float64, len(s.Prog.Results)),
 	}
 	for _, a := range s.Prog.Arrays {
 		if a.Kind == ir.KindFloat {
