@@ -26,7 +26,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("livermore: ")
-	verify := flag.Bool("verify", true, "differentially verify every run against the interpreter")
+	verify := flag.Bool("verify", true, "run the independent object-code verifier on every emitted binary and differentially verify every run against the interpreter")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")

@@ -1,7 +1,10 @@
 // Command w2c compiles W2-like source files for the Warp-like VLIW cell:
 // it prints the per-loop scheduling report, optionally disassembles the
 // wide-instruction binary, and optionally runs it on the cycle-accurate
-// simulator (verifying against the reference interpreter).
+// simulator.  -verify additionally proves the emitted code legal with the
+// independent checker of internal/verify (resource reservations including
+// kernel wraparound, dependence and liveness via concolic provenance) and
+// diffs the simulation against the reference interpreter.
 //
 // Usage:
 //
@@ -37,7 +40,7 @@ func main() {
 	disasm := flag.Bool("S", false, "print the VLIW disassembly")
 	format := flag.Bool("fmt", false, "pretty-print the parsed source and exit")
 	run := flag.Bool("run", false, "simulate the program and print statistics")
-	verify := flag.Bool("verify", false, "with -run: check the simulation against the interpreter")
+	verify := flag.Bool("verify", false, "with -run: run the independent object-code verifier (resources, dependences, provenance) and check the simulation against the interpreter")
 	trace := flag.Int64("trace", 0, "with -run: print an execution trace for the first N cycles")
 	flag.Parse()
 	if flag.NArg() != 1 {

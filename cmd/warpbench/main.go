@@ -44,7 +44,7 @@ func main() {
 	f41 := flag.Bool("fig41", false, "Figure 4-1: MFLOPS histogram")
 	f42 := flag.Bool("fig42", false, "Figure 4-2: speedup histogram")
 	stats := flag.Bool("stats", false, "§4.1 population statistics")
-	verify := flag.Bool("verify", false, "differentially verify every run")
+	verify := flag.Bool("verify", false, "run the independent object-code verifier on every emitted binary and differentially verify every run")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")

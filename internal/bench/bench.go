@@ -32,7 +32,11 @@ type RunResult struct {
 
 // Run compiles p in the given mode and simulates it.
 func Run(p *ir.Program, m *machine.Machine, mode codegen.Mode) (*RunResult, error) {
-	prog, rep, err := codegen.Compile(p, m, codegen.Options{Mode: mode})
+	return run(p, m, codegen.Options{Mode: mode})
+}
+
+func run(p *ir.Program, m *machine.Machine, opts codegen.Options) (*RunResult, error) {
+	prog, rep, err := codegen.Compile(p, m, opts)
 	if err != nil {
 		return nil, fmt.Errorf("bench: compile %s: %w", p.Name, err)
 	}
@@ -51,14 +55,15 @@ func Run(p *ir.Program, m *machine.Machine, mode codegen.Mode) (*RunResult, erro
 	}, nil
 }
 
-// RunVerified is Run plus a differential check against the IR
-// interpreter (and the unpipelined binary when verifyBoth).
+// RunVerified is Run with the independent emitted-code verifier
+// (internal/verify) enabled at compile time, plus a differential check
+// of the simulated final state against the IR interpreter.
 func RunVerified(p *ir.Program, m *machine.Machine, mode codegen.Mode) (*RunResult, error) {
 	want, err := ir.Run(p)
 	if err != nil {
 		return nil, fmt.Errorf("bench: interpret %s: %w", p.Name, err)
 	}
-	r, err := Run(p, m, mode)
+	r, err := run(p, m, codegen.Options{Mode: mode, VerifyEmitted: true})
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ import (
 	"softpipe/internal/machine"
 	"softpipe/internal/pipeline"
 	"softpipe/internal/schedule"
+	"softpipe/internal/verify"
 	"softpipe/internal/vliw"
 )
 
@@ -48,6 +49,15 @@ type Options struct {
 	// pass rewrites a private clone; the caller's program is never
 	// modified.
 	UnrollInnerTrip int
+	// VerifyEmitted runs the independent checker of internal/verify over
+	// the emitted object code against the *original* input program (so
+	// the internal unroll rewrite is verified too) and fails compilation
+	// on any violation.  Tests turn this on by default.
+	VerifyEmitted bool
+	// VerifyInput is the input tape (one word per receive) handed to the
+	// verifier.  Programs that receive with no tape provided get only the
+	// static checks.
+	VerifyInput []float64
 }
 
 // LoopReport records how one loop was compiled, feeding the evaluation
@@ -87,6 +97,7 @@ func Compile(p *ir.Program, m *machine.Machine, opts Options) (*vliw.Program, *R
 	if err := p.Validate(m); err != nil {
 		return nil, nil, err
 	}
+	orig := p
 	if needsUnroll(p.Body, int64(opts.UnrollInnerTrip), false) {
 		p = p.Clone()
 		unrollSmallLoops(p, int64(opts.UnrollInnerTrip))
@@ -116,7 +127,42 @@ func Compile(p *ir.Program, m *machine.Machine, opts Options) (*vliw.Program, *R
 	if err := e.prog.Validate(m); err != nil {
 		return nil, nil, err
 	}
+	if opts.VerifyEmitted {
+		var err error
+		if usesRecv(orig.Body) && len(opts.VerifyInput) == 0 {
+			// No tape to drive a concolic run: prove what can be proven
+			// statically (encoding, resources, modulo wraparound).
+			err = verify.Static(e.prog, m)
+		} else {
+			err = verify.ProgramOpts(orig, e.prog, m, verify.Options{Input: opts.VerifyInput})
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("codegen: emitted code failed verification: %w", err)
+		}
+	}
 	return e.prog, e.report, nil
+}
+
+// usesRecv reports whether any operation in the block tree receives
+// from the input channel.
+func usesRecv(b *ir.Block) bool {
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *ir.OpStmt:
+			if s.Op.Class == machine.ClassRecv {
+				return true
+			}
+		case *ir.IfStmt:
+			if usesRecv(s.Then) || usesRecv(s.Else) {
+				return true
+			}
+		case *ir.LoopStmt:
+			if usesRecv(s.Body) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 const topLevel = math.MaxInt64 // position bound for the outermost block

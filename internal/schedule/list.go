@@ -61,10 +61,34 @@ func Verify(g *depgraph.Graph, m *machine.Machine, r *Result) error {
 	return nil
 }
 
+// omega0Index holds the intra-iteration (omega = 0) edges bucketed by
+// endpoint, built once per scheduling call so the height sweep and the
+// placement loop touch only each node's own edges instead of rescanning
+// the full edge list per node (previously O(V·E)).
+type omega0Index struct {
+	// outs[v] are the omega-0 edges with From == v, self-edges included
+	// (the consumers preserve the original per-edge guards).
+	outs [][]depgraph.Edge
+	// ins[v] are the omega-0 edges with To == v, self-edges included.
+	ins [][]depgraph.Edge
+}
+
+func indexOmega0(g *depgraph.Graph, n int) *omega0Index {
+	ix := &omega0Index{outs: make([][]depgraph.Edge, n), ins: make([][]depgraph.Edge, n)}
+	for _, e := range g.Edges {
+		if e.Omega != 0 {
+			continue
+		}
+		ix.outs[e.From] = append(ix.outs[e.From], e)
+		ix.ins[e.To] = append(ix.ins[e.To], e)
+	}
+	return ix
+}
+
 // heights computes the list-scheduling priority: the critical-path height
 // of each node over intra-iteration (omega = 0) edges.  The omega-0
 // subgraph is acyclic in any legal program.
-func heights(g *depgraph.Graph, m *machine.Machine) []int {
+func heights(g *depgraph.Graph, ix *omega0Index) []int {
 	n := len(g.Nodes)
 	h := make([]int, n)
 	order, ok := topoOrder(g, n, func(e depgraph.Edge) bool { return e.Omega == 0 })
@@ -80,10 +104,7 @@ func heights(g *depgraph.Graph, m *machine.Machine) []int {
 	}
 	for i := n - 1; i >= 0; i-- {
 		v := order[i]
-		for _, e := range g.Edges {
-			if e.Omega != 0 || e.From != v {
-				continue
-			}
+		for _, e := range ix.outs[v] {
 			if c := h[e.To] + e.Delay; c > h[v] {
 				h[v] = c
 			}
@@ -140,7 +161,8 @@ func topoOrder(g *depgraph.Graph, n int, keep func(depgraph.Edge) bool) ([]int, 
 func List(g *depgraph.Graph, m *machine.Machine) (*Result, error) {
 	n := len(g.Nodes)
 	res := &Result{Time: make([]int, n)}
-	h := heights(g, m)
+	ix := indexOmega0(g, n)
+	h := heights(g, ix)
 
 	indeg := make([]int, n)
 	for _, e := range g.Edges {
@@ -165,8 +187,8 @@ func List(g *depgraph.Graph, m *machine.Machine) (*Result, error) {
 			return nil, fmt.Errorf("schedule: cycle among omega-0 edges")
 		}
 		earliest := 0
-		for _, e := range g.Edges {
-			if e.To != best || e.Omega != 0 || !scheduled[e.From] {
+		for _, e := range ix.ins[best] {
+			if !scheduled[e.From] {
 				continue
 			}
 			if t := res.Time[e.From] + e.Delay; t > earliest {
@@ -187,8 +209,8 @@ func List(g *depgraph.Graph, m *machine.Machine) (*Result, error) {
 		if end := t + Extent(g.Nodes[best]); end > res.Length {
 			res.Length = end
 		}
-		for _, e := range g.Edges {
-			if e.Omega == 0 && e.From == best && e.To != best {
+		for _, e := range ix.outs[best] {
+			if e.To != best {
 				indeg[e.To]--
 			}
 		}

@@ -1,0 +1,116 @@
+package verify
+
+import (
+	"fmt"
+
+	"softpipe/internal/machine"
+	"softpipe/internal/vliw"
+)
+
+// Mutation is one single-point perturbation of an object program, used
+// to demonstrate that the verifier rejects broken schedules rather than
+// rubber-stamping whatever the compiler emits.
+type Mutation struct {
+	// Desc says what was perturbed, for test diagnostics.
+	Desc string
+	// Apply perturbs p in place.  Apply it to a private clone.
+	Apply func(p *vliw.Program)
+}
+
+// CloneProgram deep-copies the instruction stream (the part mutations
+// touch); layout, initial data and result descriptors are shared.
+func CloneProgram(p *vliw.Program) *vliw.Program {
+	q := *p
+	q.Instrs = make([]vliw.Instr, len(p.Instrs))
+	for i := range p.Instrs {
+		in := p.Instrs[i]
+		ops := make([]vliw.SlotOp, len(in.Ops))
+		for j := range in.Ops {
+			o := in.Ops[j]
+			o.Src = append([]int(nil), o.Src...)
+			ops[j] = o
+		}
+		in.Ops = ops
+		q.Instrs[i] = in
+	}
+	return &q
+}
+
+// Mutations enumerates every single-slot/operand perturbation of p:
+// bump each source operand to the next register of its file, bump each
+// written destination, bump each memory displacement, and flip each
+// compare predicate.  Every mutation models a real scheduler or
+// allocator bug class (stale operand, live-range clobber, mis-addressed
+// access, inverted guard).
+func Mutations(p *vliw.Program) []Mutation {
+	var muts []Mutation
+	bump := func(r int, isFloat bool) int {
+		size := p.NumIRegs
+		if isFloat {
+			size = p.NumFRegs
+		}
+		if size <= 1 {
+			return r
+		}
+		return (r + 1) % size
+	}
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		for oi := range in.Ops {
+			o := &in.Ops[oi]
+			n, ok := nSrc(o.Class)
+			if !ok {
+				continue
+			}
+			for si := 0; si < n && si < len(o.Src); si++ {
+				pc, oi, si := pc, oi, si
+				isF := srcIsFloat(p, o, si)
+				if nr := bump(o.Src[si], isF); nr != o.Src[si] {
+					muts = append(muts, Mutation{
+						Desc: fmt.Sprintf("@%d slot %d (%s): src%d %d -> %d", pc, oi, o.Class, si, o.Src[si], nr),
+						Apply: func(p *vliw.Program) {
+							o := &p.Instrs[pc].Ops[oi]
+							o.Src[si] = bump(o.Src[si], isF)
+						},
+					})
+				}
+			}
+			if isF, wb := writesBack(p, o); wb {
+				pc, oi := pc, oi
+				if nr := bump(o.Dst, isF); nr != o.Dst {
+					muts = append(muts, Mutation{
+						Desc: fmt.Sprintf("@%d slot %d (%s): dst %d -> %d", pc, oi, o.Class, o.Dst, nr),
+						Apply: func(p *vliw.Program) {
+							o := &p.Instrs[pc].Ops[oi]
+							o.Dst = bump(o.Dst, isF)
+						},
+					})
+				}
+			}
+			if o.Class == machine.ClassLoad || o.Class == machine.ClassStore {
+				pc, oi := pc, oi
+				muts = append(muts, Mutation{
+					Desc: fmt.Sprintf("@%d slot %d (%s %s): disp %d -> %d", pc, oi, o.Class, o.Array, o.Disp, o.Disp+1),
+					Apply: func(p *vliw.Program) {
+						p.Instrs[pc].Ops[oi].Disp++
+					},
+				})
+			}
+			if o.Class == machine.ClassFCmp || o.Class == machine.ClassICmp {
+				pc, oi := pc, oi
+				muts = append(muts, Mutation{
+					Desc: fmt.Sprintf("@%d slot %d (%s): negate predicate", pc, oi, o.Class),
+					Apply: func(p *vliw.Program) {
+						o := &p.Instrs[pc].Ops[oi]
+						// eq<->ne, lt<->ge, le<->gt
+						neg := [...]int64{1, 0, 5, 4, 3, 2}
+						if o.IImm >= 0 && o.IImm < int64(len(neg)) {
+							o.IImm = neg[o.IImm]
+						}
+					},
+				})
+			}
+		}
+	}
+	return muts
+}

@@ -1,0 +1,63 @@
+package verify_test
+
+import (
+	"testing"
+
+	"softpipe/internal/codegen"
+	"softpipe/internal/machine"
+	"softpipe/internal/verify"
+	"softpipe/internal/workloads"
+)
+
+// TestMutationKillRate is the verifier's own acceptance test: perturb a
+// known-good pipelined schedule one slot/operand at a time and demand
+// that ≥ 95% of the perturbations are rejected (acceptance criterion).
+// The survivors are logged; a mutation can legitimately survive only
+// when it is semantics-preserving (e.g. bumping a truly dead register).
+func TestMutationKillRate(t *testing.T) {
+	m := machine.Warp()
+	// Two schedules of different character: a memory-bound parallel loop
+	// and an adder-bound accumulator recurrence.
+	kernels := []int{1, 2} // k1-hydro, k3-inner-product (index into Livermore())
+	var total, killed int
+	var survivors []string
+	for _, ki := range kernels {
+		k := workloads.Livermore()[ki]
+		p, err := k.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, _, err := codegen.Compile(p, m, codegen.Options{Mode: codegen.ModePipelined})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.Program(p, obj, m); err != nil {
+			t.Fatalf("%s: pristine schedule rejected: %v", k.Name, err)
+		}
+		muts := verify.Mutations(obj)
+		if len(muts) < 50 {
+			t.Fatalf("%s: only %d mutations enumerated; expected a real schedule", k.Name, len(muts))
+		}
+		// A broken loop counter shows up as non-termination; a tight
+		// cycle bound keeps those rejections fast.
+		opts := verify.Options{MaxCycles: 2_000_000}
+		for _, mu := range muts {
+			mut := verify.CloneProgram(obj)
+			mu.Apply(mut)
+			total++
+			if err := verify.ProgramOpts(p, mut, m, opts); err != nil {
+				killed++
+			} else {
+				survivors = append(survivors, k.Name+": "+mu.Desc)
+			}
+		}
+	}
+	rate := float64(killed) / float64(total)
+	t.Logf("mutation kill rate: %d/%d = %.1f%%", killed, total, 100*rate)
+	for _, s := range survivors {
+		t.Logf("survived: %s", s)
+	}
+	if rate < 0.95 {
+		t.Fatalf("kill rate %.1f%% below the 95%% acceptance bar", 100*rate)
+	}
+}

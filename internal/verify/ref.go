@@ -1,0 +1,264 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+)
+
+// refResult is the observable outcome of the concolic reference run:
+// every memory word, scalar result and output word paired with the term
+// recording its provenance.
+type refResult struct {
+	memT map[string][]termID
+	memF map[string][]float64
+	memI map[string][]int64
+
+	resT map[string]termID
+	resF map[string]float64
+	resI map[string]int64
+
+	outT []termID
+	outV []float64
+}
+
+// refExec executes the IR program sequentially — the semantics the
+// emitted code must reproduce — carrying a provenance term beside every
+// register and memory value.  It re-implements the operation semantics
+// of the reference interpreter rather than calling it: the point of the
+// package is a second, independent derivation.
+type refExec struct {
+	p   *ir.Program
+	itn *interner
+
+	fv []float64
+	iv []int64
+	ft []termID
+	it []termID
+
+	memF map[string][]float64
+	memI map[string][]int64
+	memT map[string][]termID
+
+	input []float64
+	inPos int
+	outV  []float64
+	outT  []termID
+
+	steps    int64
+	maxSteps int64
+}
+
+func runRef(p *ir.Program, itn *interner, input []float64, maxSteps int64) (*refResult, error) {
+	n := p.NumRegs()
+	r := &refExec{
+		p:        p,
+		itn:      itn,
+		fv:       make([]float64, n),
+		iv:       make([]int64, n),
+		ft:       make([]termID, n),
+		it:       make([]termID, n),
+		memF:     map[string][]float64{},
+		memI:     map[string][]int64{},
+		memT:     map[string][]termID{},
+		input:    input,
+		maxSteps: maxSteps,
+	}
+	zf, zi := itn.zero(true), itn.zero(false)
+	for i := range r.ft {
+		r.ft[i] = zf
+		r.it[i] = zi
+	}
+	for _, a := range p.Arrays {
+		t := make([]termID, a.Size)
+		for i := range t {
+			t[i] = itn.memInit(a.Name, int64(i))
+		}
+		r.memT[a.Name] = t
+		if a.Kind == ir.KindFloat {
+			m := make([]float64, a.Size)
+			copy(m, a.InitF)
+			r.memF[a.Name] = m
+		} else {
+			m := make([]int64, a.Size)
+			copy(m, a.InitI)
+			r.memI[a.Name] = m
+		}
+	}
+	if err := r.block(p.Body); err != nil {
+		return nil, err
+	}
+	res := &refResult{
+		memT: r.memT, memF: r.memF, memI: r.memI,
+		resT: map[string]termID{}, resF: map[string]float64{}, resI: map[string]int64{},
+		outT: r.outT, outV: r.outV,
+	}
+	for _, sr := range p.Results {
+		if p.Kind(sr.Reg) == ir.KindFloat {
+			res.resT[sr.Name] = r.ft[sr.Reg]
+			res.resF[sr.Name] = r.fv[sr.Reg]
+		} else {
+			res.resT[sr.Name] = r.it[sr.Reg]
+			res.resI[sr.Name] = r.iv[sr.Reg]
+		}
+	}
+	return res, nil
+}
+
+func (r *refExec) block(b *ir.Block) error {
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *ir.OpStmt:
+			if err := r.op(s.Op); err != nil {
+				return err
+			}
+		case *ir.IfStmt:
+			br := s.Else
+			if r.iv[s.Cond] != 0 {
+				br = s.Then
+			}
+			if err := r.block(br); err != nil {
+				return err
+			}
+		case *ir.LoopStmt:
+			n := s.CountImm
+			if s.CountReg != ir.NoReg {
+				n = r.iv[s.CountReg]
+			}
+			for i := int64(0); i < n; i++ {
+				if err := r.block(s.Body); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sign3f(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func sign3i(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func bool2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (r *refExec) op(o *ir.Op) error {
+	r.steps++
+	if r.maxSteps > 0 && r.steps > r.maxSteps {
+		return fmt.Errorf("reference step limit %d exceeded", r.maxSteps)
+	}
+	itn := r.itn
+	// setF/setI write the concrete value and its term together.  Moves
+	// and selects are term-transparent: the code generator inserts
+	// fix-up moves (MVE copy splicing) the source program does not have,
+	// so a move must carry its operand's provenance unchanged.
+	setF := func(v float64, t termID) { r.fv[o.Dst] = v; r.ft[o.Dst] = t }
+	setI := func(v int64, t termID) { r.iv[o.Dst] = v; r.it[o.Dst] = t }
+	switch o.Class {
+	case machine.ClassNop:
+	case machine.ClassFAdd:
+		setF(r.fv[o.Src[0]]+r.fv[o.Src[1]], itn.op(o.Class, 0, r.ft[o.Src[0]], r.ft[o.Src[1]]))
+	case machine.ClassFSub:
+		setF(r.fv[o.Src[0]]-r.fv[o.Src[1]], itn.op(o.Class, 0, r.ft[o.Src[0]], r.ft[o.Src[1]]))
+	case machine.ClassFMul:
+		setF(r.fv[o.Src[0]]*r.fv[o.Src[1]], itn.op(o.Class, 0, r.ft[o.Src[0]], r.ft[o.Src[1]]))
+	case machine.ClassFNeg:
+		setF(-r.fv[o.Src[0]], itn.op(o.Class, 0, r.ft[o.Src[0]]))
+	case machine.ClassFMov:
+		setF(r.fv[o.Src[0]], r.ft[o.Src[0]])
+	case machine.ClassFConst:
+		setF(o.FImm, itn.op(o.Class, math.Float64bits(o.FImm)))
+	case machine.ClassRecv:
+		if r.inPos >= len(r.input) {
+			return fmt.Errorf("reference: receive beyond end of input (op %d)", o.ID)
+		}
+		setF(r.input[r.inPos], itn.input(r.inPos))
+		r.inPos++
+	case machine.ClassSend:
+		r.outV = append(r.outV, r.fv[o.Src[0]])
+		r.outT = append(r.outT, r.ft[o.Src[0]])
+	case machine.ClassFRecipSeed:
+		setF(ir.RecipSeed(r.fv[o.Src[0]]), itn.op(o.Class, 0, r.ft[o.Src[0]]))
+	case machine.ClassFRsqrtSeed:
+		setF(ir.RsqrtSeed(r.fv[o.Src[0]]), itn.op(o.Class, 0, r.ft[o.Src[0]]))
+	case machine.ClassF2I:
+		setI(int64(r.fv[o.Src[0]]), itn.op(o.Class, 0, r.ft[o.Src[0]]))
+	case machine.ClassI2F:
+		setF(float64(r.iv[o.Src[0]]), itn.op(o.Class, 0, r.it[o.Src[0]]))
+	case machine.ClassFCmp:
+		v := bool2i(ir.Pred(o.IImm).Eval(sign3f(r.fv[o.Src[0]], r.fv[o.Src[1]])))
+		setI(v, itn.op(o.Class, uint64(o.IImm), r.ft[o.Src[0]], r.ft[o.Src[1]]))
+	case machine.ClassIAdd, machine.ClassAdrAdd:
+		setI(r.iv[o.Src[0]]+r.iv[o.Src[1]], itn.op(o.Class, 0, r.it[o.Src[0]], r.it[o.Src[1]]))
+	case machine.ClassISub:
+		setI(r.iv[o.Src[0]]-r.iv[o.Src[1]], itn.op(o.Class, 0, r.it[o.Src[0]], r.it[o.Src[1]]))
+	case machine.ClassIMul:
+		setI(r.iv[o.Src[0]]*r.iv[o.Src[1]], itn.op(o.Class, 0, r.it[o.Src[0]], r.it[o.Src[1]]))
+	case machine.ClassIMov:
+		setI(r.iv[o.Src[0]], r.it[o.Src[0]])
+	case machine.ClassIConst:
+		setI(o.IImm, itn.op(o.Class, uint64(o.IImm)))
+	case machine.ClassICmp:
+		v := bool2i(ir.Pred(o.IImm).Eval(sign3i(r.iv[o.Src[0]], r.iv[o.Src[1]])))
+		setI(v, itn.op(o.Class, uint64(o.IImm), r.it[o.Src[0]], r.it[o.Src[1]]))
+	case machine.ClassISelect:
+		which := o.Src[2]
+		if r.iv[o.Src[0]] != 0 {
+			which = o.Src[1]
+		}
+		if r.p.Kind(o.Dst) == ir.KindFloat {
+			setF(r.fv[which], r.ft[which])
+		} else {
+			setI(r.iv[which], r.it[which])
+		}
+	case machine.ClassLoad:
+		addr := r.iv[o.Src[0]] + o.Mem.Disp
+		arr := r.p.Array(o.Mem.Array)
+		if addr < 0 || addr >= int64(arr.Size) {
+			return fmt.Errorf("reference: load %s[%d] out of bounds (size %d), op %d", o.Mem.Array, addr, arr.Size, o.ID)
+		}
+		if arr.Kind == ir.KindFloat {
+			setF(r.memF[o.Mem.Array][addr], r.memT[o.Mem.Array][addr])
+		} else {
+			setI(r.memI[o.Mem.Array][addr], r.memT[o.Mem.Array][addr])
+		}
+	case machine.ClassStore:
+		addr := r.iv[o.Src[0]] + o.Mem.Disp
+		arr := r.p.Array(o.Mem.Array)
+		if addr < 0 || addr >= int64(arr.Size) {
+			return fmt.Errorf("reference: store %s[%d] out of bounds (size %d), op %d", o.Mem.Array, addr, arr.Size, o.ID)
+		}
+		if arr.Kind == ir.KindFloat {
+			r.memF[o.Mem.Array][addr] = r.fv[o.Src[1]]
+			r.memT[o.Mem.Array][addr] = r.ft[o.Src[1]]
+		} else {
+			r.memI[o.Mem.Array][addr] = r.iv[o.Src[1]]
+			r.memT[o.Mem.Array][addr] = r.it[o.Src[1]]
+		}
+	default:
+		return fmt.Errorf("reference: cannot execute class %v (op %d)", o.Class, o.ID)
+	}
+	return nil
+}

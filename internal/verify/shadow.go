@@ -1,0 +1,501 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+	"softpipe/internal/vliw"
+)
+
+// shadowResult is the observable outcome of the concolic object-code
+// run, in the same shape as refResult for term-by-term comparison.
+type shadowResult struct {
+	memT []termID
+	memF []float64
+	memI []int64
+
+	outT []termID
+	outV []float64
+
+	ft []termID
+	fv []float64
+	it []termID
+	iv []int64
+}
+
+// pendWB is one in-flight register write-back.
+type pendWB struct {
+	isFloat bool
+	reg     int
+	f       float64
+	i       int64
+	t       termID
+	pc      int
+}
+
+type pendStore struct {
+	isFloat bool
+	addr    int64
+	f       float64
+	i       int64
+	t       termID
+}
+
+// shadowExec executes the object program under the cell's published
+// timing contract (see internal/sim's package comment), independently
+// re-implemented: operands read at issue after the cycle's write-backs,
+// a result issued at t with latency L lands at t+L, loads read memory at
+// issue, stores write at issue after the instruction's loads, control
+// takes effect the next cycle.  Every register and memory word carries a
+// provenance term beside its concrete value.
+type shadowExec struct {
+	p   *vliw.Program
+	m   *machine.Machine
+	itn *interner
+
+	fv []float64
+	iv []int64
+	ft []termID
+	it []termID
+
+	memF []float64
+	memI []int64
+	memT []termID
+
+	// ring[t mod (maxLat+1)] holds write-backs landing at cycle t.
+	ring     [][]pendWB
+	nPending int
+	// wbStampF/I[r] = cycle+1 of the register's last write-back, for
+	// same-cycle collision detection (an overwrite-while-live bug that
+	// no value comparison can express).
+	wbStampF []int64
+	wbStampI []int64
+
+	input []float64
+	inPos int
+	outV  []float64
+	outT  []termID
+
+	stores []pendStore
+}
+
+func runShadow(p *vliw.Program, m *machine.Machine, itn *interner, input []float64, maxCycles int64) (*shadowResult, error) {
+	maxLat := 1
+	for c := machine.Class(0); c < machine.Class(machine.NumClasses()); c++ {
+		if d := m.Desc(c); d != nil && d.Latency > maxLat {
+			maxLat = d.Latency
+		}
+	}
+	s := &shadowExec{
+		p: p, m: m, itn: itn,
+		fv:       make([]float64, p.NumFRegs),
+		iv:       make([]int64, p.NumIRegs),
+		ft:       make([]termID, p.NumFRegs),
+		it:       make([]termID, p.NumIRegs),
+		memF:     make([]float64, p.MemWords),
+		memI:     make([]int64, p.MemWords),
+		memT:     make([]termID, p.MemWords),
+		ring:     make([][]pendWB, maxLat+1),
+		wbStampF: make([]int64, p.NumFRegs),
+		wbStampI: make([]int64, p.NumIRegs),
+		input:    input,
+	}
+	zf, zi := itn.zero(true), itn.zero(false)
+	for i := range s.ft {
+		s.ft[i] = zf
+	}
+	for i := range s.it {
+		s.it[i] = zi
+	}
+	for i := range s.memT {
+		s.memT[i] = noTerm
+	}
+	for _, a := range p.Arrays {
+		for i := 0; i < a.Size; i++ {
+			s.memT[a.Base+i] = itn.memInit(a.Name, int64(i))
+		}
+		if a.Kind == ir.KindFloat {
+			copy(s.memF[a.Base:a.Base+a.Size], p.InitF[a.Name])
+		} else {
+			copy(s.memI[a.Base:a.Base+a.Size], p.InitI[a.Name])
+		}
+	}
+
+	pc, t := 0, int64(0)
+	halted := false
+	for !halted {
+		if t >= maxCycles {
+			return nil, fmt.Errorf("shadow: exceeded %d cycles (pc=%d)", maxCycles, pc)
+		}
+		if pc < 0 || pc >= len(p.Instrs) {
+			return nil, fmt.Errorf("shadow: pc %d out of range at cycle %d", pc, t)
+		}
+		if err := s.applyWritebacks(t); err != nil {
+			return nil, err
+		}
+		next, halt, err := s.issue(pc, t)
+		if err != nil {
+			return nil, err
+		}
+		halted = halt
+		pc = next
+		t++
+	}
+	for s.nPending > 0 {
+		if err := s.applyWritebacks(t); err != nil {
+			return nil, err
+		}
+		t++
+		if t >= maxCycles+int64(maxLat)+1 {
+			return nil, fmt.Errorf("shadow: drain exceeded %d cycles", maxCycles)
+		}
+	}
+	return &shadowResult{
+		memT: s.memT, memF: s.memF, memI: s.memI,
+		outT: s.outT, outV: s.outV,
+		ft: s.ft, fv: s.fv, it: s.it, iv: s.iv,
+	}, nil
+}
+
+func (s *shadowExec) wb(due int64, pc int, isFloat bool, reg int, f float64, i int64, t termID) {
+	slot := int(due % int64(len(s.ring)))
+	s.ring[slot] = append(s.ring[slot], pendWB{isFloat: isFloat, reg: reg, f: f, i: i, t: t, pc: pc})
+	s.nPending++
+}
+
+func (s *shadowExec) applyWritebacks(t int64) error {
+	slot := int(t % int64(len(s.ring)))
+	wbs := s.ring[slot]
+	if len(wbs) == 0 {
+		return nil
+	}
+	stamp := t + 1
+	for k := range wbs {
+		w := &wbs[k]
+		if w.isFloat {
+			if s.wbStampF[w.reg] == stamp {
+				return fmt.Errorf("shadow: write-back collision on f%d at cycle %d (pc %d): two results land on one register in the same cycle", w.reg, t, w.pc)
+			}
+			s.wbStampF[w.reg] = stamp
+			s.fv[w.reg] = w.f
+			s.ft[w.reg] = w.t
+		} else {
+			if s.wbStampI[w.reg] == stamp {
+				return fmt.Errorf("shadow: write-back collision on i%d at cycle %d (pc %d): two results land on one register in the same cycle", w.reg, t, w.pc)
+			}
+			s.wbStampI[w.reg] = stamp
+			s.iv[w.reg] = w.i
+			s.it[w.reg] = w.t
+		}
+	}
+	s.nPending -= len(wbs)
+	s.ring[slot] = wbs[:0]
+	return nil
+}
+
+// issue executes all slots of instruction pc at cycle t and returns the
+// next pc.
+func (s *shadowExec) issue(pc int, t int64) (next int, halted bool, err error) {
+	in := &s.p.Instrs[pc]
+	next = pc + 1
+	stores := s.stores[:0]
+	itn := s.itn
+	for oi := range in.Ops {
+		o := &in.Ops[oi]
+		d := s.m.Desc(o.Class)
+		if d == nil {
+			return 0, false, fmt.Errorf("shadow: @%d: class %v unsupported on %s", pc, o.Class, s.m.Name)
+		}
+		lat := int64(d.Latency)
+		// reg reads bounds-checked so mutated programs fail loudly.
+		rf := func(i int) (float64, termID, error) {
+			r := o.Src[i]
+			if r < 0 || r >= len(s.fv) {
+				return 0, noTerm, fmt.Errorf("shadow: @%d: float register f%d out of range", pc, r)
+			}
+			return s.fv[r], s.ft[r], nil
+		}
+		ri := func(i int) (int64, termID, error) {
+			r := o.Src[i]
+			if r < 0 || r >= len(s.iv) {
+				return 0, noTerm, fmt.Errorf("shadow: @%d: int register i%d out of range", pc, r)
+			}
+			return s.iv[r], s.it[r], nil
+		}
+		wf := func(v float64, tm termID) error {
+			if o.Dst < 0 || o.Dst >= len(s.fv) {
+				return fmt.Errorf("shadow: @%d: float register f%d out of range", pc, o.Dst)
+			}
+			s.wb(t+lat, pc, true, o.Dst, v, 0, tm)
+			return nil
+		}
+		wi := func(v int64, tm termID) error {
+			if o.Dst < 0 || o.Dst >= len(s.iv) {
+				return fmt.Errorf("shadow: @%d: int register i%d out of range", pc, o.Dst)
+			}
+			s.wb(t+lat, pc, false, o.Dst, 0, v, tm)
+			return nil
+		}
+		fbin := func() error {
+			a, ta, err := rf(0)
+			if err != nil {
+				return err
+			}
+			b, tb, err := rf(1)
+			if err != nil {
+				return err
+			}
+			var v float64
+			switch o.Class {
+			case machine.ClassFAdd:
+				v = a + b
+			case machine.ClassFSub:
+				v = a - b
+			default:
+				v = a * b
+			}
+			return wf(v, itn.op(o.Class, 0, ta, tb))
+		}
+		ibin := func() error {
+			a, ta, err := ri(0)
+			if err != nil {
+				return err
+			}
+			b, tb, err := ri(1)
+			if err != nil {
+				return err
+			}
+			var v int64
+			switch o.Class {
+			case machine.ClassISub:
+				v = a - b
+			case machine.ClassIMul:
+				v = a * b
+			default: // IAdd, AdrAdd
+				v = a + b
+			}
+			return wi(v, itn.op(o.Class, 0, ta, tb))
+		}
+		switch o.Class {
+		case machine.ClassNop:
+		case machine.ClassFAdd, machine.ClassFSub, machine.ClassFMul:
+			err = fbin()
+		case machine.ClassFNeg:
+			var a float64
+			var ta termID
+			if a, ta, err = rf(0); err == nil {
+				err = wf(-a, itn.op(o.Class, 0, ta))
+			}
+		case machine.ClassFMov:
+			var a float64
+			var ta termID
+			if a, ta, err = rf(0); err == nil {
+				err = wf(a, ta) // term-transparent, like the reference
+			}
+		case machine.ClassFConst:
+			err = wf(o.FImm, itn.op(o.Class, math.Float64bits(o.FImm)))
+		case machine.ClassRecv:
+			if s.inPos >= len(s.input) {
+				return 0, false, fmt.Errorf("shadow: @%d: receive beyond end of input tape", pc)
+			}
+			err = wf(s.input[s.inPos], itn.input(s.inPos))
+			s.inPos++
+		case machine.ClassSend:
+			var a float64
+			var ta termID
+			if a, ta, err = rf(0); err == nil {
+				s.outV = append(s.outV, a)
+				s.outT = append(s.outT, ta)
+			}
+		case machine.ClassFRecipSeed:
+			var a float64
+			var ta termID
+			if a, ta, err = rf(0); err == nil {
+				err = wf(ir.RecipSeed(a), itn.op(o.Class, 0, ta))
+			}
+		case machine.ClassFRsqrtSeed:
+			var a float64
+			var ta termID
+			if a, ta, err = rf(0); err == nil {
+				err = wf(ir.RsqrtSeed(a), itn.op(o.Class, 0, ta))
+			}
+		case machine.ClassF2I:
+			var a float64
+			var ta termID
+			if a, ta, err = rf(0); err == nil {
+				err = wi(int64(a), itn.op(o.Class, 0, ta))
+			}
+		case machine.ClassI2F:
+			var a int64
+			var ta termID
+			if a, ta, err = ri(0); err == nil {
+				err = wf(float64(a), itn.op(o.Class, 0, ta))
+			}
+		case machine.ClassFCmp:
+			var a, b float64
+			var ta, tb termID
+			if a, ta, err = rf(0); err != nil {
+				break
+			}
+			if b, tb, err = rf(1); err != nil {
+				break
+			}
+			err = wi(bool2i(ir.Pred(o.IImm).Eval(sign3f(a, b))), itn.op(o.Class, uint64(o.IImm), ta, tb))
+		case machine.ClassIAdd, machine.ClassAdrAdd, machine.ClassISub, machine.ClassIMul:
+			err = ibin()
+		case machine.ClassIMov:
+			var a int64
+			var ta termID
+			if a, ta, err = ri(0); err == nil {
+				err = wi(a, ta) // term-transparent
+			}
+		case machine.ClassIConst:
+			err = wi(o.IImm, itn.op(o.Class, uint64(o.IImm)))
+		case machine.ClassIShr:
+			var a int64
+			var ta termID
+			if a, ta, err = ri(0); err == nil {
+				err = wi(int64(uint64(a)>>uint(o.IImm)), itn.op(o.Class, uint64(o.IImm), ta))
+			}
+		case machine.ClassIAnd:
+			var a int64
+			var ta termID
+			if a, ta, err = ri(0); err == nil {
+				err = wi(a&o.IImm, itn.op(o.Class, uint64(o.IImm), ta))
+			}
+		case machine.ClassICmp:
+			var a, b int64
+			var ta, tb termID
+			if a, ta, err = ri(0); err != nil {
+				break
+			}
+			if b, tb, err = ri(1); err != nil {
+				break
+			}
+			err = wi(bool2i(ir.Pred(o.IImm).Eval(sign3i(a, b))), itn.op(o.Class, uint64(o.IImm), ta, tb))
+		case machine.ClassISelect:
+			var c int64
+			if c, _, err = ri(0); err != nil {
+				break
+			}
+			which := 2
+			if c != 0 {
+				which = 1
+			}
+			// Select is term-transparent to the chosen operand.
+			if o.FImm != 0 {
+				var v float64
+				var tv termID
+				if v, tv, err = rf(which); err == nil {
+					err = wf(v, tv)
+				}
+			} else {
+				var v int64
+				var tv termID
+				if v, tv, err = ri(which); err == nil {
+					err = wi(v, tv)
+				}
+			}
+		case machine.ClassLoad:
+			arr := s.p.Array(o.Array)
+			if arr == nil {
+				return 0, false, fmt.Errorf("shadow: @%d: unknown array %q", pc, o.Array)
+			}
+			var a int64
+			if a, _, err = ri(0); err != nil {
+				break
+			}
+			addr := a + o.Disp
+			if addr < int64(arr.Base) || addr >= int64(arr.Base+arr.Size) {
+				return 0, false, fmt.Errorf("shadow: @%d cycle %d: load %s[%d] out of bounds (size %d)", pc, t, arr.Name, addr-int64(arr.Base), arr.Size)
+			}
+			if arr.Kind == ir.KindFloat {
+				err = wf(s.memF[addr], s.memT[addr])
+			} else {
+				err = wi(s.memI[addr], s.memT[addr])
+			}
+		case machine.ClassStore:
+			arr := s.p.Array(o.Array)
+			if arr == nil {
+				return 0, false, fmt.Errorf("shadow: @%d: unknown array %q", pc, o.Array)
+			}
+			var a int64
+			if a, _, err = ri(0); err != nil {
+				break
+			}
+			addr := a + o.Disp
+			if addr < int64(arr.Base) || addr >= int64(arr.Base+arr.Size) {
+				return 0, false, fmt.Errorf("shadow: @%d cycle %d: store %s[%d] out of bounds (size %d)", pc, t, arr.Name, addr-int64(arr.Base), arr.Size)
+			}
+			if arr.Kind == ir.KindFloat {
+				var v float64
+				var tv termID
+				if v, tv, err = rf(1); err == nil {
+					stores = append(stores, pendStore{isFloat: true, addr: addr, f: v, t: tv})
+				}
+			} else {
+				var v int64
+				var tv termID
+				if v, tv, err = ri(1); err == nil {
+					stores = append(stores, pendStore{addr: addr, i: v, t: tv})
+				}
+			}
+		default:
+			err = fmt.Errorf("shadow: @%d: cannot execute class %v", pc, o.Class)
+		}
+		if err != nil {
+			return 0, false, err
+		}
+	}
+	// Stores land after every load of the same instruction, as on the
+	// real cell.
+	for i := range stores {
+		st := &stores[i]
+		if st.isFloat {
+			s.memF[st.addr] = st.f
+		} else {
+			s.memI[st.addr] = st.i
+		}
+		s.memT[st.addr] = st.t
+	}
+	s.stores = stores[:0]
+	switch in.Ctl.Kind {
+	case vliw.CtlNone:
+	case vliw.CtlHalt:
+		halted = true
+	case vliw.CtlJump:
+		next = in.Ctl.Target
+	case vliw.CtlDBNZ:
+		r := in.Ctl.Reg
+		if r < 0 || r >= len(s.iv) {
+			return 0, false, fmt.Errorf("shadow: @%d: dbnz register i%d out of range", pc, r)
+		}
+		s.iv[r]--
+		// The counter's new value has sequencer provenance, not data
+		// provenance; ClassCJump never appears in data terms, so this
+		// can never alias a term the reference produces.
+		s.it[r] = s.itn.op(machine.ClassCJump, uint64(s.iv[r]))
+		if s.iv[r] != 0 {
+			next = in.Ctl.Target
+		}
+	case vliw.CtlJZ:
+		r := in.Ctl.Reg
+		if r < 0 || r >= len(s.iv) {
+			return 0, false, fmt.Errorf("shadow: @%d: jz register i%d out of range", pc, r)
+		}
+		if s.iv[r] == 0 {
+			next = in.Ctl.Target
+		}
+	case vliw.CtlJNZ:
+		r := in.Ctl.Reg
+		if r < 0 || r >= len(s.iv) {
+			return 0, false, fmt.Errorf("shadow: @%d: jnz register i%d out of range", pc, r)
+		}
+		if s.iv[r] != 0 {
+			next = in.Ctl.Target
+		}
+	}
+	return next, halted, nil
+}

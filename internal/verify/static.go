@@ -1,0 +1,286 @@
+package verify
+
+import (
+	"fmt"
+
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+	"softpipe/internal/vliw"
+)
+
+// nSrc gives the source-operand arity each class must carry in a slot.
+// Deliberately restated here rather than imported from the emitter: the
+// verifier is a second derivation of the encoding rules.
+func nSrc(c machine.Class) (int, bool) {
+	switch c {
+	case machine.ClassNop, machine.ClassFConst, machine.ClassIConst, machine.ClassRecv:
+		return 0, true
+	case machine.ClassFNeg, machine.ClassFMov, machine.ClassIMov, machine.ClassIShr,
+		machine.ClassIAnd, machine.ClassFRecipSeed, machine.ClassFRsqrtSeed,
+		machine.ClassF2I, machine.ClassI2F, machine.ClassSend, machine.ClassLoad:
+		return 1, true
+	case machine.ClassFAdd, machine.ClassFSub, machine.ClassFMul, machine.ClassFCmp,
+		machine.ClassIAdd, machine.ClassISub, machine.ClassIMul, machine.ClassICmp,
+		machine.ClassAdrAdd, machine.ClassStore:
+		return 2, true
+	case machine.ClassISelect:
+		return 3, true
+	}
+	return 0, false
+}
+
+// dstIsFloat resolves which register file a slot op's destination lives
+// in: the class decides, except loads (the array's kind) and selects
+// (the code generator marks float selects with FImm = 1).
+func dstIsFloat(p *vliw.Program, o *vliw.SlotOp) bool {
+	switch o.Class {
+	case machine.ClassLoad:
+		if a := p.Array(o.Array); a != nil {
+			return a.Kind == ir.KindFloat
+		}
+		return false
+	case machine.ClassISelect:
+		return o.FImm != 0
+	}
+	return o.Class.IsFloat()
+}
+
+// srcIsFloat resolves the register file of source operand i of o.
+func srcIsFloat(p *vliw.Program, o *vliw.SlotOp, i int) bool {
+	switch o.Class {
+	case machine.ClassFAdd, machine.ClassFSub, machine.ClassFMul, machine.ClassFNeg,
+		machine.ClassFMov, machine.ClassFCmp, machine.ClassSend,
+		machine.ClassFRecipSeed, machine.ClassFRsqrtSeed, machine.ClassF2I:
+		return true
+	case machine.ClassISelect:
+		if i == 0 {
+			return false // condition
+		}
+		return o.FImm != 0
+	case machine.ClassStore:
+		if i == 0 {
+			return false // address
+		}
+		if a := p.Array(o.Array); a != nil {
+			return a.Kind == ir.KindFloat
+		}
+		return false
+	}
+	// Load address, I2F operand, and all integer classes read the int file.
+	return false
+}
+
+// writesFloat reports whether o writes back a register and to which file.
+func writesBack(p *vliw.Program, o *vliw.SlotOp) (isFloat bool, ok bool) {
+	switch o.Class {
+	case machine.ClassNop, machine.ClassStore, machine.ClassSend:
+		return false, false
+	}
+	if o.Class.IsBranch() {
+		return false, false
+	}
+	return dstIsFloat(p, o), true
+}
+
+// checkStructure validates the program's static encoding against the
+// machine: supported classes, operand arity, register indices within the
+// declared files (and the declared files within the machine's), branch
+// targets and registers, array layout within data memory.
+func checkStructure(p *vliw.Program, m *machine.Machine) error {
+	if p.NumFRegs > m.FloatRegs {
+		return fmt.Errorf("verify: program declares %d float registers, machine %s has %d", p.NumFRegs, m.Name, m.FloatRegs)
+	}
+	if p.NumIRegs > m.IntRegs {
+		return fmt.Errorf("verify: program declares %d int registers, machine %s has %d", p.NumIRegs, m.Name, m.IntRegs)
+	}
+	for i := range p.Arrays {
+		a := &p.Arrays[i]
+		if a.Base < 0 || a.Size < 0 || a.Base+a.Size > p.MemWords {
+			return fmt.Errorf("verify: array %s [%d,%d) outside the %d-word data memory", a.Name, a.Base, a.Base+a.Size, p.MemWords)
+		}
+		for j := 0; j < i; j++ {
+			b := &p.Arrays[j]
+			if a.Base < b.Base+b.Size && b.Base < a.Base+a.Size {
+				return fmt.Errorf("verify: arrays %s and %s overlap in data memory", a.Name, b.Name)
+			}
+		}
+	}
+	regOK := func(isFloat bool, r int) bool {
+		if isFloat {
+			return r >= 0 && r < p.NumFRegs
+		}
+		return r >= 0 && r < p.NumIRegs
+	}
+	file := func(isFloat bool) string {
+		if isFloat {
+			return "f"
+		}
+		return "i"
+	}
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		for oi := range in.Ops {
+			o := &in.Ops[oi]
+			if m.Desc(o.Class) == nil {
+				return fmt.Errorf("verify: @%d: class %v unsupported on %s", pc, o.Class, m.Name)
+			}
+			n, ok := nSrc(o.Class)
+			if !ok {
+				return fmt.Errorf("verify: @%d: class %v is not a slot operation", pc, o.Class)
+			}
+			if len(o.Src) < n {
+				return fmt.Errorf("verify: @%d: %s needs %d operands, has %d", pc, o.Class, n, len(o.Src))
+			}
+			for i := 0; i < n; i++ {
+				f := srcIsFloat(p, o, i)
+				if !regOK(f, o.Src[i]) {
+					return fmt.Errorf("verify: @%d: %s operand %d reads %s%d outside the %s file", pc, o.Class, i, file(f), o.Src[i], file(f))
+				}
+			}
+			if f, wb := writesBack(p, o); wb {
+				if !regOK(f, o.Dst) {
+					return fmt.Errorf("verify: @%d: %s writes %s%d outside the %s file", pc, o.Class, file(f), o.Dst, file(f))
+				}
+			}
+			if o.Class == machine.ClassLoad || o.Class == machine.ClassStore {
+				a := p.Array(o.Array)
+				if a == nil {
+					return fmt.Errorf("verify: @%d: unknown array %q", pc, o.Array)
+				}
+			}
+		}
+		switch in.Ctl.Kind {
+		case vliw.CtlJump, vliw.CtlDBNZ, vliw.CtlJZ, vliw.CtlJNZ:
+			if in.Ctl.Target < 0 || in.Ctl.Target >= len(p.Instrs) {
+				return fmt.Errorf("verify: @%d: branch target %d out of range", pc, in.Ctl.Target)
+			}
+		}
+		if in.Ctl.Kind == vliw.CtlDBNZ || in.Ctl.Kind == vliw.CtlJZ || in.Ctl.Kind == vliw.CtlJNZ {
+			if !regOK(false, in.Ctl.Reg) {
+				return fmt.Errorf("verify: @%d: sequencer reads i%d outside the int file", pc, in.Ctl.Reg)
+			}
+		}
+	}
+	return nil
+}
+
+// checkResources proves no execution cycle oversubscribes a resource.
+// Usage per issue row is rebuilt from the machine's reservation tables
+// (the sequencer field counts one Branch use).  Three views cover the
+// ways reservations can collide:
+//
+//   - every row's offset-0 usage must fit (exact for machines whose
+//     tables only reserve at offset 0, like the Warp cell);
+//   - along straight-line fall-through runs, offset->0 reservations of
+//     earlier rows spill onto later rows and must still fit;
+//   - inside every cyclic region ending in a single backward branch —
+//     the kernel of a pipelined loop re-issues its rows every L cycles —
+//     usage folds modulo the region length L, which is exactly Lam's
+//     modulo resource constraint restated on object code.
+func checkResources(p *vliw.Program, m *machine.Machine) error {
+	nRes := len(m.ResourceCount)
+	maxOff := 0
+	usage := make([][]machine.ResUse, len(p.Instrs))
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		var u []machine.ResUse
+		for oi := range in.Ops {
+			d := m.Desc(in.Ops[oi].Class)
+			if d == nil {
+				return fmt.Errorf("verify: @%d: class %v unsupported on %s", pc, in.Ops[oi].Class, m.Name)
+			}
+			for _, r := range d.Reservation {
+				u = append(u, r)
+				if r.Offset > maxOff {
+					maxOff = r.Offset
+				}
+			}
+		}
+		if in.Ctl.Kind != vliw.CtlNone && int(machine.ResBranch) < nRes {
+			u = append(u, machine.ResUse{Resource: machine.ResBranch})
+		}
+		usage[pc] = u
+	}
+
+	check := func(row []int, pc int, where string) error {
+		for r := 0; r < nRes; r++ {
+			if row[r] > m.ResourceCount[r] {
+				return fmt.Errorf("verify: @%d: resource %v oversubscribed (%d > %d)%s: %s",
+					pc, machine.Resource(r), row[r], m.ResourceCount[r], where, p.Instrs[pc].String())
+			}
+		}
+		return nil
+	}
+
+	// Straight-line view: rows execute on consecutive cycles until an
+	// unconditional transfer, so an offset-f reservation at row q lands
+	// on row q+f of the same run.  (With maxOff == 0 this is the plain
+	// per-row check.)
+	window := make([][]int, maxOff+1)
+	for i := range window {
+		window[i] = make([]int, nRes)
+	}
+	reset := func() {
+		for i := range window {
+			for r := range window[i] {
+				window[i][r] = 0
+			}
+		}
+	}
+	for pc := range p.Instrs {
+		cur := window[pc%(maxOff+1)]
+		for _, u := range usage[pc] {
+			if int(u.Resource) < nRes && u.Offset <= maxOff {
+				window[(pc+u.Offset)%(maxOff+1)][u.Resource]++
+			}
+		}
+		if err := check(cur, pc, ""); err != nil {
+			return err
+		}
+		for r := range cur {
+			cur[r] = 0
+		}
+		if k := p.Instrs[pc].Ctl.Kind; k == vliw.CtlJump || k == vliw.CtlHalt {
+			reset()
+		}
+	}
+
+	// Modulo view: a region [T..pc] closed by its only backward branch
+	// re-issues with period L = pc-T+1, so all reservations fold mod L.
+	for pc := range p.Instrs {
+		ctl := p.Instrs[pc].Ctl
+		if !(ctl.Kind == vliw.CtlJump || ctl.Kind == vliw.CtlDBNZ || ctl.Kind == vliw.CtlJZ || ctl.Kind == vliw.CtlJNZ) || ctl.Target > pc {
+			continue
+		}
+		T := ctl.Target
+		L := pc - T + 1
+		nested := false
+		for q := T; q < pc; q++ {
+			k := p.Instrs[q].Ctl.Kind
+			if (k == vliw.CtlJump || k == vliw.CtlDBNZ || k == vliw.CtlJZ || k == vliw.CtlJNZ) && p.Instrs[q].Ctl.Target <= q {
+				nested = true // outer loop around inner kernels: rows are not all co-resident
+				break
+			}
+		}
+		if nested {
+			continue
+		}
+		rows := make([][]int, L)
+		for i := range rows {
+			rows[i] = make([]int, nRes)
+		}
+		for q := T; q <= pc; q++ {
+			for _, u := range usage[q] {
+				if int(u.Resource) < nRes {
+					rows[(q-T+u.Offset)%L][u.Resource]++
+				}
+			}
+		}
+		for i := range rows {
+			if err := check(rows[i], T+i, fmt.Sprintf(" in cyclic region [%d..%d] mod %d", T, pc, L)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+// Package verify is an independent, from-scratch checker for emitted
+// VLIW object code.  It takes the compiler's *input* (the IR program)
+// and its *output* (the final vliw.Program) and proves, without
+// consulting any scheduler bookkeeping, that the emitted code is a legal
+// realization of the source semantics on the target machine:
+//
+//  1. no instruction row oversubscribes the machine's reservation
+//     tables, including modulo wraparound inside every cyclic region
+//     (the kernel rows of a pipelined loop re-issue every II cycles);
+//  2. every dependence the sequential semantics implies — register and
+//     memory flow/anti/output, at any iteration distance — is respected
+//     across kernel wraparound, prolog and epilog, because the emitted
+//     code must reproduce the reference's value *provenance*, not just
+//     its values;
+//  3. no register is overwritten while live (a clobbered live range
+//     changes the provenance term some consumer observes, and same-cycle
+//     write-back collisions are rejected outright), and prolog/epilog
+//     register flows splice correctly into surrounding code;
+//  4. the kernel unrolled by the MVE factor is dataflow-equivalent to
+//     the same number of sequential source iterations.
+//
+// Properties 2–4 are established concolically: both the IR program and
+// the object program execute on shadow machines that carry, next to
+// every concrete value, a hash-consed symbolic term recording how the
+// value was computed (operation class, immediate bits, operand terms,
+// and leaves for initial memory, power-on register state and the input
+// tape).  The final memory image, scalar results and output tape must
+// match term-for-term.  Because terms encode provenance, a schedule bug
+// whose wrong value happens to coincide with the right one — a stale
+// register reread, a load slipped above the store it depends on — still
+// changes the term and is caught; plain value-differential testing
+// cannot see through such coincidences.
+package verify
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"softpipe/internal/machine"
+)
+
+// termID names one interned term.  Equal IDs mean structurally equal
+// terms; the comparison step reduces to integer equality.
+type termID int32
+
+const noTerm termID = -1
+
+type termKind uint8
+
+const (
+	// tkOp is a computation: Class applied to the argument terms with
+	// the immediate bits in imm.
+	tkOp termKind = iota
+	// tkZero is the power-on register value (both the interpreter and
+	// the cell zero their register files; imm distinguishes the float
+	// and int files).
+	tkZero
+	// tkMemInit is the pre-execution content of one memory word:
+	// aux = array name, imm = element index.
+	tkMemInit
+	// tkInput is one word of the input tape: imm = tape position.
+	tkInput
+)
+
+// termNode is the interned representation.  It is a comparable struct so
+// hash-consing is a plain map lookup.
+type termNode struct {
+	kind       termKind
+	class      machine.Class
+	imm        uint64
+	aux        string
+	a0, a1, a2 termID
+	nargs      uint8
+}
+
+// interner hash-conses terms.  One interner is shared by the reference
+// and shadow executions of a verification run, so equal provenance means
+// equal termID on both sides.
+type interner struct {
+	nodes []termNode
+	index map[termNode]termID
+}
+
+func newInterner() *interner {
+	return &interner{index: make(map[termNode]termID, 1024)}
+}
+
+func (in *interner) mk(n termNode) termID {
+	if id, ok := in.index[n]; ok {
+		return id
+	}
+	id := termID(len(in.nodes))
+	in.nodes = append(in.nodes, n)
+	in.index[n] = id
+	return id
+}
+
+// op interns a computation node.
+func (in *interner) op(class machine.Class, imm uint64, args ...termID) termID {
+	n := termNode{kind: tkOp, class: class, imm: imm, a0: noTerm, a1: noTerm, a2: noTerm, nargs: uint8(len(args))}
+	if len(args) > 0 {
+		n.a0 = args[0]
+	}
+	if len(args) > 1 {
+		n.a1 = args[1]
+	}
+	if len(args) > 2 {
+		n.a2 = args[2]
+	}
+	return in.mk(n)
+}
+
+// zero returns the power-on register leaf for one register file.
+func (in *interner) zero(float bool) termID {
+	imm := uint64(0)
+	if float {
+		imm = 1
+	}
+	return in.mk(termNode{kind: tkZero, imm: imm, a0: noTerm, a1: noTerm, a2: noTerm})
+}
+
+// memInit returns the leaf for the initial content of array[idx].
+func (in *interner) memInit(array string, idx int64) termID {
+	return in.mk(termNode{kind: tkMemInit, aux: array, imm: uint64(idx), a0: noTerm, a1: noTerm, a2: noTerm})
+}
+
+// input returns the leaf for input-tape word pos.
+func (in *interner) input(pos int) termID {
+	return in.mk(termNode{kind: tkInput, imm: uint64(pos), a0: noTerm, a1: noTerm, a2: noTerm})
+}
+
+// render pretty-prints a term to bounded depth for diagnostics.
+func (in *interner) render(id termID, depth int) string {
+	if id == noTerm {
+		return "<none>"
+	}
+	n := &in.nodes[id]
+	switch n.kind {
+	case tkZero:
+		if n.imm != 0 {
+			return "zeroF"
+		}
+		return "zeroI"
+	case tkMemInit:
+		return fmt.Sprintf("init(%s[%d])", n.aux, int64(n.imm))
+	case tkInput:
+		return fmt.Sprintf("input[%d]", int64(n.imm))
+	}
+	var b strings.Builder
+	b.WriteString(n.class.String())
+	switch n.class {
+	case machine.ClassFConst:
+		fmt.Fprintf(&b, " %g", math.Float64frombits(n.imm))
+	case machine.ClassIConst, machine.ClassFCmp, machine.ClassICmp, machine.ClassIShr, machine.ClassIAnd:
+		fmt.Fprintf(&b, " %d", int64(n.imm))
+	}
+	if n.nargs > 0 {
+		b.WriteByte('(')
+		for i, a := range []termID{n.a0, n.a1, n.a2}[:n.nargs] {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if depth <= 0 {
+				fmt.Fprintf(&b, "t%d", a)
+			} else {
+				b.WriteString(in.render(a, depth-1))
+			}
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}

@@ -10,11 +10,13 @@ import (
 // RandomProgram generates a deterministic random structured program for
 // differential testing of the whole compiler: the same seed always
 // yields the same program, and every generated program is valid,
-// in-bounds, and interpreter-executable.  The shapes deliberately cover
-// what the synthetic suite does not: nested loops with small constant
-// trip counts (the unrolling pass's target), conditionals nested inside
-// inner loops, stores that alias loads across iterations, and degenerate
-// trip counts (0 and 1).
+// in-bounds, and interpreter-executable.  The seed (mod 4) selects one
+// of four shape families, which together cover what the synthetic suite
+// does not: nested loops with small constant trip counts (the unrolling
+// pass's target), conditionals nested inside inner loops and two deep,
+// loop-carried recurrences at register and memory distance ≥ 2 (omega ≥
+// 2 dependence edges), stores that alias loads across the MVE rename
+// window, and degenerate trip counts (0 and 1).
 func RandomProgram(seed int64) *ir.Program {
 	rng := rand.New(rand.NewSource(seed))
 	b := ir.NewBuilder(fmt.Sprintf("fuzz%d", seed))
@@ -29,13 +31,122 @@ func RandomProgram(seed int64) *ir.Program {
 	g := &fuzzGen{rng: rng, b: b, names: names}
 	g.consts = []ir.VReg{b.FConst(1.25), b.FConst(-0.5), b.FConst(0.75)}
 
-	outerTrips := []int64{0, 1, 2, 7, 33, 64}
-	nLoops := 1 + rng.Intn(2)
-	for li := 0; li < nLoops; li++ {
-		trip := outerTrips[rng.Intn(len(outerTrips))]
-		g.loop(trip, 0)
+	// (seed%4+4)%4 keeps the dispatch total for the negative seeds the
+	// native fuzzing engine likes to produce.
+	switch (seed%4 + 4) % 4 {
+	case 1:
+		g.recurrence()
+	case 2:
+		g.nestedCond()
+	case 3:
+		g.aliasing()
+	default:
+		outerTrips := []int64{0, 1, 2, 7, 33, 64}
+		nLoops := 1 + rng.Intn(2)
+		for li := 0; li < nLoops; li++ {
+			trip := outerTrips[rng.Intn(len(outerTrips))]
+			g.loop(trip, 0)
+		}
 	}
 	return b.P
+}
+
+// recurrence emits a loop whose dependence graph carries omega ≥ 2
+// edges both through registers (a two-register ping-pong, so the value
+// read was produced two iterations ago) and through memory (a store
+// feeding a load dist ∈ {2,3} iterations later).  These edges bound
+// RecMII and are exactly what kernel wraparound must respect.
+func (g *fuzzGen) recurrence() {
+	b, rng := g.b, g.rng
+	trips := []int64{2, 3, 17, 40, 64}
+	trip := trips[rng.Intn(len(trips))]
+	r1 := b.FMov(g.consts[0])
+	r2 := b.FMov(g.consts[1])
+	dist := int64(2 + rng.Intn(2))
+	b.ForN(trip, func(l *ir.LoopCtx) {
+		p := l.Pointer(0, 1)
+		x := b.Load("a", p, ir.Aff(l.ID, 1, 0))
+		t := b.FAdd(r1, x) // r1 holds the value from two iterations ago
+		b.FAssign(r1, r2)
+		b.FAssign(r2, t)
+		st := l.Pointer(0, 1)
+		b.StoreAt("c", st, dist, t, ir.Aff(l.ID, 1, dist))
+		ld := l.Pointer(0, 1)
+		y := b.Load("c", ld, ir.Aff(l.ID, 1, 0)) // written dist iterations earlier
+		b.FAddTo(r2, r2, b.FMul(y, g.consts[2]))
+	})
+	b.Result("rec1", r1)
+	b.Result("rec2", r2)
+}
+
+// nestedCond emits conditionals nested two deep inside the loop, with
+// independent work in every arm — the hierarchical reduction path taken
+// twice recursively.  Each arm works on its own copy of the value pool
+// (see loop() for why).
+func (g *fuzzGen) nestedCond() {
+	b, rng := g.b, g.rng
+	trips := []int64{1, 7, 33, 64}
+	trip := trips[rng.Intn(len(trips))]
+	acc := b.FMov(g.consts[0])
+	b.ForN(trip, func(l *ir.LoopCtx) {
+		vals := append([]ir.VReg(nil), g.consts...)
+		vals = append(vals, g.load(l, vals), g.load(l, vals))
+		g.arith(&vals, acc)
+		outer := b.FCmp(ir.PredGT, vals[rng.Intn(len(vals))], g.consts[1])
+		b.If(outer, func() {
+			av := append([]ir.VReg(nil), vals...)
+			g.arith(&av, acc)
+			inner := b.FCmp(ir.PredLT, av[rng.Intn(len(av))], g.consts[2])
+			b.If(inner, func() {
+				iv := append([]ir.VReg(nil), av...)
+				g.arith(&iv, acc)
+				g.store(l, iv)
+			}, func() {
+				iv := append([]ir.VReg(nil), av...)
+				g.arith(&iv, acc)
+			})
+		}, func() {
+			av := append([]ir.VReg(nil), vals...)
+			inner := b.FCmp(ir.PredGE, av[rng.Intn(len(av))], g.consts[0])
+			b.If(inner, func() {
+				iv := append([]ir.VReg(nil), av...)
+				g.arith(&iv, acc)
+				g.store(l, iv)
+			}, func() {
+				iv := append([]ir.VReg(nil), av...)
+				g.arith(&iv, acc)
+			})
+		})
+		g.store(l, vals)
+	})
+	b.Result("acc0", acc)
+}
+
+// aliasing emits stores that alias loads across iterations within the
+// MVE rename window: an anti-dependence (a[i+k] read, overwritten k
+// iterations later), a distance-1 flow (a[i+1] written, read next
+// iteration), and a distance-1 output dependence (a[i+1] rewritten as
+// a[i]).  A schedule that reorders these across the kernel's renamed
+// copies changes the provenance the verifier compares.
+func (g *fuzzGen) aliasing() {
+	b, rng := g.b, g.rng
+	trips := []int64{7, 33, 64}
+	trip := trips[rng.Intn(len(trips))]
+	acc := b.FMov(g.consts[0])
+	k := int64(1 + rng.Intn(4))
+	b.ForN(trip, func(l *ir.LoopCtx) {
+		pk := l.Pointer(k, 1)
+		ahead := b.Load("a", pk, ir.Aff(l.ID, 1, k))
+		p0 := l.Pointer(0, 1)
+		cur := b.Load("a", p0, ir.Aff(l.ID, 1, 0))
+		v := b.FAdd(b.FMul(ahead, g.consts[2]), cur)
+		st := l.Pointer(0, 1)
+		b.Store("a", st, v, ir.Aff(l.ID, 1, 0))
+		st1 := l.Pointer(1, 1)
+		b.Store("a", st1, b.FMul(v, g.consts[1]), ir.Aff(l.ID, 1, 1))
+		b.FAddTo(acc, acc, v)
+	})
+	b.Result("alias", acc)
 }
 
 type fuzzGen struct {

@@ -11,12 +11,56 @@ import (
 	"softpipe/internal/sim"
 )
 
+// fuzzConfigs are the compilation configurations every fuzz seed runs
+// through.  VerifyEmitted wires the independent object-code verifier
+// (internal/verify) into each compilation: a schedule that survives it
+// has proven resource legality and value provenance, not just lucky
+// final values.
+var fuzzConfigs = []struct {
+	name string
+	opts codegen.Options
+}{
+	{"unpipelined", codegen.Options{Mode: codegen.ModeUnpipelined, VerifyEmitted: true}},
+	{"pipelined", codegen.Options{Mode: codegen.ModePipelined, VerifyEmitted: true}},
+	{"unrolled", codegen.Options{Mode: codegen.ModePipelined, UnrollInnerTrip: 5, VerifyEmitted: true}},
+	{"no-hier", codegen.Options{Mode: codegen.ModePipelined, DisableHier: true, VerifyEmitted: true}},
+}
+
+// differentialSeed generates the seed's program, runs it through every
+// configuration, and demands bit-exact agreement with the IR
+// interpreter.  Shared by the table-driven test and the native fuzz
+// target below.
+func differentialSeed(t testing.TB, seed int64) {
+	m := machine.Warp()
+	p := RandomProgram(seed)
+	want, err := ir.Run(p)
+	if err != nil {
+		t.Fatalf("seed %d: interp: %v", seed, err)
+	}
+	for _, cfg := range fuzzConfigs {
+		prog, _, err := codegen.Compile(p, m, cfg.opts)
+		if err != nil {
+			t.Errorf("seed %d %s: compile: %v", seed, cfg.name, err)
+			continue
+		}
+		got, _, err := sim.Run(prog, m)
+		if err != nil {
+			t.Errorf("seed %d %s: sim: %v", seed, cfg.name, err)
+			continue
+		}
+		if d := want.Diff(got); d != "" {
+			t.Errorf("seed %d %s: diverges from interpreter: %s", seed, cfg.name, d)
+		}
+	}
+}
+
 // TestFuzzDifferential runs randomly generated structured programs
 // through every compilation configuration and demands bit-exact
 // agreement with the IR interpreter.  The generator covers shapes the
 // hand-written suites do not reach: nested constant-trip loops under
-// unrolling, conditionals feeding accumulators, aliasing stores with
-// mixed strides, and zero-trip loops.
+// unrolling, conditionals nested two deep, loop-carried recurrences
+// with omega ≥ 2, aliasing stores across the MVE rename window, and
+// zero-trip loops.
 //
 // Seeds run as parallel subtests.  Each job derives its program from its
 // own seed index alone — never from shared RNG state — so the corpus is
@@ -26,45 +70,31 @@ import (
 // treats its input as read-only, and racing four compilations of one
 // *ir.Program under -race is precisely the contract being tested.
 func TestFuzzDifferential(t *testing.T) {
-	m := machine.Warp()
-	configs := []struct {
-		name string
-		opts codegen.Options
-	}{
-		{"unpipelined", codegen.Options{Mode: codegen.ModeUnpipelined}},
-		{"pipelined", codegen.Options{Mode: codegen.ModePipelined}},
-		{"unrolled", codegen.Options{Mode: codegen.ModePipelined, UnrollInnerTrip: 5}},
-		{"no-hier", codegen.Options{Mode: codegen.ModePipelined, DisableHier: true}},
-	}
 	seeds := 150
 	if testing.Short() {
 		seeds = 10
 	}
 	for seed := int64(0); seed < int64(seeds); seed++ {
+		seed := seed
 		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
 			t.Parallel()
-			p := RandomProgram(seed)
-			want, err := ir.Run(p)
-			if err != nil {
-				t.Fatalf("seed %d: interp: %v", seed, err)
-			}
-			for _, cfg := range configs {
-				prog, _, err := codegen.Compile(p, m, cfg.opts)
-				if err != nil {
-					t.Errorf("seed %d %s: compile: %v", seed, cfg.name, err)
-					continue
-				}
-				got, _, err := sim.Run(prog, m)
-				if err != nil {
-					t.Errorf("seed %d %s: sim: %v", seed, cfg.name, err)
-					continue
-				}
-				if d := want.Diff(got); d != "" {
-					t.Errorf("seed %d %s: diverges from interpreter: %s", seed, cfg.name, d)
-				}
-			}
+			differentialSeed(t, seed)
 		})
 	}
+}
+
+// FuzzDifferential is the native fuzzing entry over the seed-indexed
+// generator: `go test -fuzz=FuzzDifferential ./internal/workloads/`
+// explores the seed space beyond the fixed table above.  The checked-in
+// corpus under testdata/fuzz covers each shape family; in plain `go
+// test` runs the target replays that corpus.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		differentialSeed(t, seed)
+	})
 }
 
 // TestFuzzDeterministic: the generator must be a pure function of the

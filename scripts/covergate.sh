@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# covergate.sh: run the full test suite with a coverage profile and fail
+# if any gated package falls below the floor.
+#
+#   scripts/covergate.sh [profile-out]
+#
+# Gated packages (75% statement coverage each): the scheduler, the code
+# generator, and the independent object-code verifier — the three layers
+# whose regressions silently corrupt emitted code.
+set -euo pipefail
+
+profile="${1:-coverage.out}"
+floor=75.0
+gated=(
+  softpipe/internal/schedule
+  softpipe/internal/codegen
+  softpipe/internal/verify
+)
+
+summary="$(mktemp)"
+trap 'rm -f "$summary"' EXIT
+
+go test -coverprofile="$profile" -covermode=atomic ./... | tee "$summary"
+
+fail=0
+for pkg in "${gated[@]}"; do
+  pct="$(awk -v pkg="$pkg" '$1 == "ok" && $2 == pkg {
+    for (i = 3; i <= NF; i++) if ($i ~ /^[0-9.]+%$/) { sub(/%$/, "", $i); print $i; exit }
+  }' "$summary")"
+  if [ -z "$pct" ]; then
+    echo "covergate: no coverage line for $pkg" >&2
+    fail=1
+    continue
+  fi
+  if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+    echo "covergate: $pkg at ${pct}% is below the ${floor}% floor" >&2
+    fail=1
+  else
+    echo "covergate: $pkg at ${pct}% (floor ${floor}%)"
+  fi
+done
+exit "$fail"

@@ -28,6 +28,7 @@ import (
 	"softpipe/internal/machine"
 	"softpipe/internal/pipeline"
 	"softpipe/internal/sim"
+	"softpipe/internal/verify"
 	"softpipe/internal/vliw"
 )
 
@@ -99,6 +100,12 @@ type Options struct {
 	// loops of at most that many iterations so the enclosing loop is
 	// modulo scheduled directly (outer-loop software pipelining).
 	UnrollInnerTrip int
+	// VerifyEmitted runs the independent object-code checker
+	// (internal/verify) on the emitted binary as part of compilation:
+	// resource legality including kernel wraparound, plus a concolic
+	// proof that the pipelined code reproduces the sequential program's
+	// value provenance.  Compilation fails on any violation.
+	VerifyEmitted bool
 }
 
 func (o Options) lower() codegen.Options {
@@ -111,6 +118,7 @@ func (o Options) lower() codegen.Options {
 		DisableHier:          o.DisableHier,
 		DisableLoopReduction: o.DisableLoopReduction,
 		UnrollInnerTrip:      o.UnrollInnerTrip,
+		VerifyEmitted:        o.VerifyEmitted,
 		Pipeline: pipeline.Options{
 			Policy:       o.Policy,
 			DisableMVE:   o.DisableMVE,
@@ -194,9 +202,15 @@ func (o *Object) Trace(w io.Writer, cycles int64) error {
 	return err
 }
 
-// Verify runs the object program and checks the final state against the
-// reference IR interpreter, returning the result on success.
+// Verify checks the binary with the independent object-code verifier
+// (resource legality including kernel wraparound, concolic provenance
+// equivalence with the source program), then runs it and checks the
+// final state against the reference IR interpreter, returning the
+// result on success.
 func (o *Object) Verify() (*Result, error) {
+	if err := verify.Program(o.source, o.Binary, o.Machine); err != nil {
+		return nil, err
+	}
 	want, err := ir.Run(o.source)
 	if err != nil {
 		return nil, fmt.Errorf("softpipe: interpreter: %w", err)
