@@ -376,7 +376,7 @@ func closureGraph() *depgraph.Graph {
 	m := machine.Warp()
 	nodes := make([]*depgraph.Node, len(ops))
 	for i, op := range ops {
-		nodes[i] = depgraph.NodeFromOp(m, op)
+		nodes[i] = depgraph.MustNodeFromOp(m, op)
 	}
 	return depgraph.Build(nodes, loop.ID)
 }

@@ -5,10 +5,14 @@
 //
 // Usage:
 //
-//	livermore [-verify] [-parallel N] [-cpuprofile f] [-memprofile f]
+//	livermore [-verify] [-parallel N] [-explain] [-trace out.json]
+//	          [-cpuprofile f] [-memprofile f]
 //
 // -parallel sizes the compile/simulate worker pool (0 = GOMAXPROCS,
-// 1 = sequential); the table is identical either way.
+// 1 = sequential); the table is identical either way.  -explain appends
+// the per-loop II-search explain report under the table; -trace writes
+// a Chrome trace_event JSON of all compile/simulate phases (one trace
+// sink per worker, merged at the end).
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 
 	"softpipe/internal/bench"
 	"softpipe/internal/machine"
+	"softpipe/internal/trace"
 )
 
 func main() {
@@ -28,6 +33,8 @@ func main() {
 	log.SetPrefix("livermore: ")
 	verify := flag.Bool("verify", true, "run the independent object-code verifier on every emitted binary and differentially verify every run against the interpreter")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	explain := flag.Bool("explain", false, "print the II-search explain report for every loop of every kernel")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the compile/simulate phases to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -57,9 +64,29 @@ func main() {
 	}
 
 	m := machine.Warp()
-	rows, err := bench.Table42(m, *verify, *parallel)
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New("livermore")
+	}
+	rows, err := bench.Table42With(m, bench.Table42Opts{
+		Verify:  *verify,
+		Workers: *parallel,
+		Explain: *explain,
+		Tracer:  tracer,
+	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "livermore: wrote trace to %s\n", *traceOut)
 	}
 	fmt.Println("Table 4-2: Livermore loops on one cell (reproduction)")
 	fmt.Printf("machine: %s\n\n", m)
@@ -82,6 +109,18 @@ func main() {
 	fmt.Print(bench.FormatTable(
 		[]string{"Kernel", "Name", "MFLOPS", "Eff(LB)", "Speedup", "Pipelined", "Character"},
 		out))
+	if *explain {
+		fmt.Println("\nII-search explain reports (-explain)")
+		for _, r := range rows {
+			for _, lr := range r.Report.Loops {
+				if lr.Explain == nil {
+					continue
+				}
+				fmt.Printf("kernel %d (%s), loop %d (trip %d):\n", r.KernelID, r.Name, lr.LoopID, lr.TripCount)
+				fmt.Print(lr.Explain.Format())
+			}
+		}
+	}
 	fmt.Println("\nPaper anchors: recurrences (3,5,11) pinned at their dependence cycles;")
 	fmt.Println("parallel kernels (1,7,9,12) near the resource bound; kernel 22 (EXP) not")
 	fmt.Println("pipelined; efficiency column is the MII/achieved-II lower bound of §4.2.")

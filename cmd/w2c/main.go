@@ -8,7 +8,14 @@
 //
 // Usage:
 //
-//	w2c [-machine warp|scalar|wideN] [-baseline] [-S] [-run] [-verify] file.w2
+//	w2c [-machine warp|scalar|wideN] [-baseline] [-S] [-run] [-verify]
+//	    [-explain] [-trace out.json] [-exectrace N] file.w2
+//
+// -explain prints the II-search explain report per loop: why every
+// candidate initiation interval below the accepted one failed (the
+// failing op and whether a resource or a dependence bound blocked it).
+// -trace writes a Chrome trace_event JSON of the compile (and -run /
+// -verify) phases, viewable in chrome://tracing or Perfetto.
 package main
 
 import (
@@ -41,7 +48,9 @@ func main() {
 	format := flag.Bool("fmt", false, "pretty-print the parsed source and exit")
 	run := flag.Bool("run", false, "simulate the program and print statistics")
 	verify := flag.Bool("verify", false, "with -run: run the independent object-code verifier (resources, dependences, provenance) and check the simulation against the interpreter")
-	trace := flag.Int64("trace", 0, "with -run: print an execution trace for the first N cycles")
+	exectrace := flag.Int64("exectrace", 0, "with -run: print an execution trace for the first N cycles")
+	explain := flag.Bool("explain", false, "print the II-search explain report for every loop")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the compile/run phases to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: w2c [flags] file.w2")
@@ -63,6 +72,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var tracer *softpipe.Tracer
+	if *traceOut != "" {
+		tracer = softpipe.NewTracer(flag.Arg(0))
+		defer writeTrace(tracer, *traceOut)
+	}
 	obj, err := softpipe.CompileSource(string(src), m, softpipe.Options{
 		Baseline:             *baseline,
 		DisableMVE:           *noMVE,
@@ -70,6 +84,8 @@ func main() {
 		DisableLoopReduction: *noLoopRed,
 		BinarySearch:         *binSearch,
 		UnrollInnerTrip:      *unrollInner,
+		Explain:              *explain,
+		Tracer:               tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -89,6 +105,9 @@ func main() {
 			}
 		}
 		fmt.Printf("; loop %d (trip %d): %s\n", lr.LoopID, lr.TripCount, status)
+		if *explain && lr.Explain != nil {
+			fmt.Print(lr.Explain.Format())
+		}
 		if *kernel && lr.Kernel != "" {
 			fmt.Print(lr.Kernel)
 		}
@@ -127,8 +146,8 @@ func main() {
 		return
 	}
 	if *run || *verify {
-		if *trace > 0 {
-			if err := obj.Trace(os.Stdout, *trace); err != nil {
+		if *exectrace > 0 {
+			if err := obj.Trace(os.Stdout, *exectrace); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -150,6 +169,19 @@ func main() {
 			fmt.Printf("; %s = %v\n", name, res.State.Scalars[name])
 		}
 	}
+}
+
+// writeTrace dumps the collected spans as Chrome trace_event JSON.
+func writeTrace(t *softpipe.Tracer, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := t.WriteJSON(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "w2c: wrote trace to %s\n", path)
 }
 
 func pickMachine(name string) (*softpipe.Machine, error) {

@@ -34,6 +34,7 @@ import (
 	"softpipe/internal/ir"
 	"softpipe/internal/machine"
 	"softpipe/internal/sim"
+	"softpipe/internal/trace"
 	"softpipe/internal/vliw"
 )
 
@@ -49,6 +50,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchjson := flag.String("benchjson", "", "benchmark the harness itself and write the baseline JSON to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the suite's compile/simulate phases to this file")
 	flag.Parse()
 	all := !*t41 && !*f41 && !*f42 && !*stats
 
@@ -88,10 +90,25 @@ func main() {
 	var suite []bench.SuiteResult
 	needSuite := all || *f41 || *f42 || *stats
 	if needSuite {
+		var tracer *trace.Tracer
+		if *traceOut != "" {
+			tracer = trace.New("warpbench-suite")
+		}
 		var err error
-		suite, err = bench.RunSuite(m, *verify, *parallel)
+		suite, err = bench.RunSuiteTraced(m, *verify, *parallel, tracer)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if tracer != nil {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tracer.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "warpbench: wrote trace to %s\n", *traceOut)
 		}
 	}
 
@@ -188,6 +205,12 @@ type HarnessBaseline struct {
 	SimNsPerCycle     float64 `json:"sim_ns_per_cycle"`
 	SimCyclesPerSec   float64 `json:"sim_cycles_per_sec"`
 	SimAllocsPerCycle float64 `json:"sim_allocs_per_cycle"`
+
+	// PhaseMS is the per-phase wall-clock of one traced sequential suite
+	// pass (milliseconds summed over all programs), keyed by span name
+	// (lang.compile, depgraph.analyze, schedule.search, codegen.emit,
+	// sim.run, ...).
+	PhaseMS map[string]float64 `json:"phase_ms"`
 }
 
 func writeBenchJSON(m *machine.Machine, path string) error {
@@ -242,6 +265,13 @@ func writeBenchJSON(m *machine.Machine, path string) error {
 	b.SimNsPerCycle = nsPerCycle
 	b.SimCyclesPerSec = 1e9 / nsPerCycle
 	b.SimAllocsPerCycle = allocs
+
+	// One traced sequential pass prices the phases themselves.
+	tracer := trace.New("warpbench-benchjson")
+	if _, err := bench.RunSuiteTraced(m, false, 1, tracer); err != nil {
+		return err
+	}
+	b.PhaseMS = tracer.PhaseTotals()
 
 	out, err := json.MarshalIndent(&b, "", "  ")
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"softpipe/internal/ir"
 	"softpipe/internal/machine"
 	"softpipe/internal/sim"
+	"softpipe/internal/trace"
 	"softpipe/internal/workloads"
 )
 
@@ -36,11 +37,15 @@ func Run(p *ir.Program, m *machine.Machine, mode codegen.Mode) (*RunResult, erro
 }
 
 func run(p *ir.Program, m *machine.Machine, opts codegen.Options) (*RunResult, error) {
+	sp := opts.Tracer.Begin("compile")
 	prog, rep, err := codegen.Compile(p, m, opts)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("bench: compile %s: %w", p.Name, err)
 	}
+	sp = opts.Tracer.Begin("sim.run")
 	st, stats, err := sim.Run(prog, m)
+	sp.Arg("cycles", stats.Cycles).End()
 	if err != nil {
 		return nil, fmt.Errorf("bench: simulate %s: %w", p.Name, err)
 	}
@@ -59,11 +64,15 @@ func run(p *ir.Program, m *machine.Machine, opts codegen.Options) (*RunResult, e
 // (internal/verify) enabled at compile time, plus a differential check
 // of the simulated final state against the IR interpreter.
 func RunVerified(p *ir.Program, m *machine.Machine, mode codegen.Mode) (*RunResult, error) {
+	return runVerified(p, m, codegen.Options{Mode: mode, VerifyEmitted: true})
+}
+
+func runVerified(p *ir.Program, m *machine.Machine, opts codegen.Options) (*RunResult, error) {
 	want, err := ir.Run(p)
 	if err != nil {
 		return nil, fmt.Errorf("bench: interpret %s: %w", p.Name, err)
 	}
-	r, err := run(p, m, codegen.Options{Mode: mode, VerifyEmitted: true})
+	r, err := run(p, m, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -87,6 +96,23 @@ type Table42Row struct {
 	Speedup   float64
 	Pipelined bool // any loop pipelined
 	Note      string
+	// Report is the pipelined compilation's per-loop report (with
+	// explain data when Table42Opts.Explain was set).
+	Report *codegen.Report
+}
+
+// Table42Opts tunes a Table 4-2 run beyond the mode flags.
+type Table42Opts struct {
+	// Verify enables the independent object-code verifier plus the
+	// differential interpreter check on every run.
+	Verify bool
+	// Workers sizes the pool (≤ 0 means GOMAXPROCS).
+	Workers int
+	// Explain records the II-search explain report per loop.
+	Explain bool
+	// Tracer receives per-phase spans (one sink per pool worker, merged
+	// at the end); nil traces nothing.
+	Tracer *trace.Tracer
 }
 
 // Table42 reproduces Table 4-2 on machine m (one cell).  Kernels
@@ -94,10 +120,15 @@ type Table42Row struct {
 // GOMAXPROCS); results land in kernel order regardless of the pool size,
 // so parallel and sequential runs are byte-identical.
 func Table42(m *machine.Machine, verify bool, workers int) ([]Table42Row, error) {
+	return Table42With(m, Table42Opts{Verify: verify, Workers: workers})
+}
+
+// Table42With is Table42 with explain/trace instrumentation.
+func Table42With(m *machine.Machine, o Table42Opts) ([]Table42Row, error) {
 	kernels := workloads.Livermore()
 	rows := make([]Table42Row, len(kernels))
-	err := ForEach(context.Background(), len(kernels), workers, func(i int) error {
-		row, err := runKernel42(kernels[i], m, verify)
+	err := ForEachTraced(context.Background(), len(kernels), o.Workers, o.Tracer, func(i int, t *trace.Tracer) error {
+		row, err := runKernel42(kernels[i], m, o, t)
 		if err != nil {
 			return err
 		}
@@ -110,16 +141,18 @@ func Table42(m *machine.Machine, verify bool, workers int) ([]Table42Row, error)
 	return rows, nil
 }
 
-func runKernel42(k *workloads.Kernel, m *machine.Machine, verify bool) (*Table42Row, error) {
+func runKernel42(k *workloads.Kernel, m *machine.Machine, o Table42Opts, t *trace.Tracer) (*Table42Row, error) {
 	p, err := k.Build()
 	if err != nil {
 		return nil, err
 	}
-	runner := Run
-	if verify {
-		runner = RunVerified
+	runner := run
+	if o.Verify {
+		runner = runVerified
 	}
-	pipe, err := runner(p, m, codegen.ModePipelined)
+	job := t.Begin("kernel." + k.Name)
+	defer job.End()
+	pipe, err := runner(p, m, codegen.Options{Mode: codegen.ModePipelined, VerifyEmitted: o.Verify, Explain: o.Explain, Tracer: t})
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +160,7 @@ func runKernel42(k *workloads.Kernel, m *machine.Machine, verify bool) (*Table42
 	if err != nil {
 		return nil, err
 	}
-	base, err := runner(p2, m, codegen.ModeUnpipelined)
+	base, err := runner(p2, m, codegen.Options{Mode: codegen.ModeUnpipelined, VerifyEmitted: o.Verify, Tracer: t})
 	if err != nil {
 		return nil, err
 	}
@@ -138,6 +171,7 @@ func runKernel42(k *workloads.Kernel, m *machine.Machine, verify bool) (*Table42
 		Efficiency: WeightedEfficiency(pipe.Report),
 		Speedup:    float64(base.Cycles) / float64(pipe.Cycles),
 		Note:       k.Note,
+		Report:     pipe.Report,
 	}
 	for _, lr := range pipe.Report.Loops {
 		if lr.Pipelined {
@@ -276,19 +310,28 @@ type SuiteResult struct {
 // baseline share sp.Prog), fanned out over `workers` goroutines (≤ 0
 // means GOMAXPROCS); result order is the suite order either way.
 func RunSuite(m *machine.Machine, verify bool, workers int) ([]SuiteResult, error) {
-	runner := Run
-	if verify {
-		runner = RunVerified
-	}
+	return RunSuiteTraced(m, verify, workers, nil)
+}
+
+// RunSuiteTraced is RunSuite recording per-phase spans into tr (one
+// trace sink per pool worker, merged at the end); nil tr traces nothing.
+func RunSuiteTraced(m *machine.Machine, verify bool, workers int, tr *trace.Tracer) ([]SuiteResult, error) {
 	progs := workloads.Suite()
 	out := make([]SuiteResult, len(progs))
-	err := ForEach(context.Background(), len(progs), workers, func(i int) error {
+	err := ForEachTraced(context.Background(), len(progs), workers, tr, func(i int, t *trace.Tracer) error {
 		sp := progs[i]
-		pipe, err := runner(sp.Prog, m, codegen.ModePipelined)
+		runner := run
+		if verify {
+			runner = runVerified
+		}
+		job := t.Begin("suite." + sp.Name)
+		pipe, err := runner(sp.Prog, m, codegen.Options{Mode: codegen.ModePipelined, VerifyEmitted: verify, Tracer: t})
 		if err != nil {
+			job.End()
 			return err
 		}
-		base, err := runner(sp.Prog, m, codegen.ModeUnpipelined)
+		base, err := runner(sp.Prog, m, codegen.Options{Mode: codegen.ModeUnpipelined, VerifyEmitted: verify, Tracer: t})
+		job.End()
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"softpipe/internal/trace"
 )
 
 // ForEach runs fn(0) … fn(n-1) on a bounded pool of worker goroutines
@@ -20,6 +22,38 @@ import (
 // current job and undispatched jobs never start.  A canceled parent ctx
 // stops dispatch the same way and its error is returned.
 func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return forEachWorker(ctx, n, workers, func(_, i int) error { return fn(i) })
+}
+
+// ForEachTraced is ForEach with per-worker trace sinks: each worker
+// goroutine records into its own child of tr (one sink per worker, no
+// cross-worker interleaving within a sink) and the children are merged
+// back into tr after the pool drains.  A nil tr degenerates to ForEach
+// with nil tracers handed to fn.
+func ForEachTraced(ctx context.Context, n, workers int, tr *trace.Tracer, fn func(i int, t *trace.Tracer) error) error {
+	if tr == nil {
+		return forEachWorker(ctx, n, workers, func(_, i int) error { return fn(i, nil) })
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n > 0 && workers > n {
+		workers = n
+	}
+	sinks := make([]*trace.Tracer, workers)
+	for w := range sinks {
+		sinks[w] = tr.Child("worker")
+	}
+	err := forEachWorker(ctx, n, workers, func(w, i int) error {
+		return fn(i, sinks[w])
+	})
+	tr.Merge(sinks...)
+	return err
+}
+
+// forEachWorker is the shared pool: fn receives the worker index (stable
+// per goroutine) alongside the job index.
+func forEachWorker(ctx context.Context, n, workers int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -41,14 +75,14 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(w, i); err != nil {
 					mu.Lock()
 					if firstIdx == -1 || i < firstIdx {
 						firstErr, firstIdx = err, i
@@ -57,7 +91,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 					cancel()
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+
+	"softpipe/internal/trace"
 )
 
 func TestForEachRunsEveryJobOnce(t *testing.T) {
@@ -101,5 +103,54 @@ func TestForEachHonorsParentContext(t *testing.T) {
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestForEachTracedMergesWorkerSinks checks the parallel-tracing
+// protocol: every job's span lands in the root tracer after the pool
+// drains, each worker records into its own sink (spans from one worker
+// share a thread id distinct from the root's), and a nil tracer
+// degrades to plain ForEach with nil sinks handed to fn.
+func TestForEachTracedMergesWorkerSinks(t *testing.T) {
+	const n = 37
+	tr := trace.New("pool")
+	err := ForEachTraced(context.Background(), n, 4, tr, func(i int, wt *trace.Tracer) error {
+		if wt == nil {
+			return fmt.Errorf("job %d got a nil sink under an enabled tracer", i)
+		}
+		wt.Begin(fmt.Sprintf("job-%d", i)).End()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Events()
+	if len(evs) != n {
+		t.Fatalf("root has %d events after merge, want %d", len(evs), n)
+	}
+	seen := map[string]bool{}
+	for _, e := range evs {
+		seen[e.Name] = true
+		if e.TID == 0 {
+			t.Errorf("span %s carries the root thread id; worker sinks must be distinct", e.Name)
+		}
+	}
+	if len(seen) != n {
+		t.Errorf("got %d distinct jobs, want %d", len(seen), n)
+	}
+
+	var sawNil atomic.Int32
+	err = ForEachTraced(context.Background(), 5, 2, nil, func(i int, wt *trace.Tracer) error {
+		if wt == nil {
+			sawNil.Add(1)
+		}
+		wt.Begin("noop").End() // nil-safe
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawNil.Load() != 5 {
+		t.Errorf("nil tracer: %d jobs saw a nil sink, want 5", sawNil.Load())
 	}
 }

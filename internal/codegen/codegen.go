@@ -15,6 +15,7 @@ import (
 	"softpipe/internal/machine"
 	"softpipe/internal/pipeline"
 	"softpipe/internal/schedule"
+	"softpipe/internal/trace"
 	"softpipe/internal/verify"
 	"softpipe/internal/vliw"
 )
@@ -58,6 +59,12 @@ type Options struct {
 	// verifier.  Programs that receive with no tape provided get only the
 	// static checks.
 	VerifyInput []float64
+	// Explain records a per-candidate II-search failure report for each
+	// pipelining attempt (LoopReport.Explain).
+	Explain bool
+	// Tracer receives per-phase spans and counters for the whole compile;
+	// nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // LoopReport records how one loop was compiled, feeding the evaluation
@@ -81,6 +88,11 @@ type LoopReport struct {
 	// row per II offset, as in the paper's Figure 2-2); empty when the
 	// loop was not pipelined.
 	Kernel string
+	// Explain is the II-search explain report for this loop's pipelining
+	// attempt; nil unless Options.Explain was set.  For loops that never
+	// reached the search (analysis or profitability failures) only
+	// Explain.PreFailure is populated.
+	Explain *schedule.Explain
 }
 
 // Report aggregates compilation statistics.
@@ -94,14 +106,23 @@ type Report struct {
 // pass, the one rewriting transformation, works on a private clone), so
 // the same program may be compiled from many goroutines concurrently.
 func Compile(p *ir.Program, m *machine.Machine, opts Options) (*vliw.Program, *Report, error) {
-	if err := p.Validate(m); err != nil {
+	sp := opts.Tracer.Begin("codegen.validate")
+	err := p.Validate(m)
+	sp.End()
+	if err != nil {
 		return nil, nil, err
 	}
 	orig := p
 	if needsUnroll(p.Body, int64(opts.UnrollInnerTrip), false) {
+		sp := opts.Tracer.Begin("codegen.unroll")
 		p = p.Clone()
-		unrollSmallLoops(p, int64(opts.UnrollInnerTrip))
+		err := unrollSmallLoops(p, int64(opts.UnrollInnerTrip))
+		sp.End()
+		if err != nil {
+			return nil, nil, err
+		}
 	}
+	emitSp := opts.Tracer.Begin("codegen.emit")
 	e := newEmitter(p, m, opts)
 	e.layoutMemory()
 	e.prepass()
@@ -110,6 +131,7 @@ func Compile(p *ir.Program, m *machine.Machine, opts Options) (*vliw.Program, *R
 	e.emitResults()
 	e.append(vliw.Instr{Ctl: vliw.Ctl{Kind: vliw.CtlHalt}})
 	e.flushPends()
+	emitSp.Arg("instrs", int64(len(e.out))).End()
 	if e.err != nil {
 		return nil, nil, e.err
 	}
@@ -128,14 +150,16 @@ func Compile(p *ir.Program, m *machine.Machine, opts Options) (*vliw.Program, *R
 		return nil, nil, err
 	}
 	if opts.VerifyEmitted {
+		sp := opts.Tracer.Begin("verify")
 		var err error
 		if usesRecv(orig.Body) && len(opts.VerifyInput) == 0 {
 			// No tape to drive a concolic run: prove what can be proven
 			// statically (encoding, resources, modulo wraparound).
 			err = verify.Static(e.prog, m)
 		} else {
-			err = verify.ProgramOpts(orig, e.prog, m, verify.Options{Input: opts.VerifyInput})
+			err = verify.ProgramOpts(orig, e.prog, m, verify.Options{Input: opts.VerifyInput, Tracer: opts.Tracer})
 		}
+		sp.End()
 		if err != nil {
 			return nil, nil, fmt.Errorf("codegen: emitted code failed verification: %w", err)
 		}
@@ -549,7 +573,12 @@ func (e *emitter) emitBlock(b *ir.Block, boundPos int) {
 func (e *emitter) emitBasicBlock(ops []*ir.Op) {
 	nodes := make([]*depgraph.Node, len(ops))
 	for i, op := range ops {
-		nodes[i] = depgraph.NodeFromOp(e.m, op)
+		n, err := depgraph.NodeFromOp(e.m, op)
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		nodes[i] = n
 	}
 	g := depgraph.Build(nodes, -1)
 	r, err := schedule.List(g, e.m)

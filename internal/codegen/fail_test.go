@@ -1,0 +1,70 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+)
+
+// TestCloneStmtAtUnknownKindErrors checks the regression for the unroll
+// panic: a statement kind the cloner does not handle (a LoopStmt reaches
+// it only if the unrollability guard is ever broken, a new kind if one
+// is added) comes back as an error instead of a panic mid-rewrite.
+func TestCloneStmtAtUnknownKindErrors(t *testing.T) {
+	p := ir.NewProgram("t")
+	got, err := cloneStmtAt(p, &ir.LoopStmt{ID: 7}, 7, 0)
+	if err == nil {
+		t.Fatalf("cloneStmtAt cloned an unhandled kind: %T", got)
+	}
+	if !strings.Contains(err.Error(), "cannot unroll") || !strings.Contains(err.Error(), "loop 7") {
+		t.Errorf("error %q does not name the failure and the loop", err)
+	}
+}
+
+// TestCloneStmtAtErrorPropagatesThroughIf checks that the error surfaces
+// through the recursive conditional arms rather than being dropped.
+func TestCloneStmtAtErrorPropagatesThroughIf(t *testing.T) {
+	p := ir.NewProgram("t")
+	bad := &ir.IfStmt{
+		Then: &ir.Block{Stmts: []ir.Stmt{&ir.LoopStmt{ID: 3}}},
+		Else: &ir.Block{},
+	}
+	if _, err := cloneStmtAt(p, bad, 3, 1); err == nil {
+		t.Fatal("error from the Then arm was dropped")
+	}
+	bad = &ir.IfStmt{
+		Then: &ir.Block{},
+		Else: &ir.Block{Stmts: []ir.Stmt{&ir.LoopStmt{ID: 3}}},
+	}
+	if _, err := cloneStmtAt(p, bad, 3, 1); err == nil {
+		t.Fatal("error from the Else arm was dropped")
+	}
+}
+
+// TestCompileMissingResourceNoPanic checks the end-to-end hardening: a
+// machine stripped of a functional unit the program needs makes Compile
+// return an error — through the pipelined and the locally compacted
+// paths — rather than dividing by zero or spinning in slot search.
+func TestCompileMissingResourceNoPanic(t *testing.T) {
+	b := ir.NewBuilder("scale")
+	b.Array("x", ir.KindFloat, 16)
+	b.Array("y", ir.KindFloat, 16)
+	av := b.FConst(2.0)
+	b.ForN(16, func(l *ir.LoopCtx) {
+		p := l.Pointer(0, 1)
+		q := l.Pointer(0, 1)
+		v := b.Load("x", p, ir.Aff(l.ID, 1, 0))
+		b.Store("y", q, b.FMul(av, v), ir.Aff(l.ID, 1, 0))
+	})
+	m := machine.Warp()
+	m.Name = "warp-no-fmul"
+	counts := append([]int(nil), m.ResourceCount...)
+	counts[machine.ResFMul] = 0
+	m.ResourceCount = counts
+
+	if _, _, err := Compile(b.P, m, Options{}); err == nil {
+		t.Fatal("Compile succeeded on a machine with no multiplier")
+	}
+}

@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"errors"
 	"fmt"
 
 	"softpipe/internal/depgraph"
@@ -184,6 +185,9 @@ func (e *emitter) planBodyOpts(l *ir.LoopStmt, powerOfTwo, keepMarginal bool, re
 	nodes, err := hier.BuildNodes(e.irp, e.m, l.ID, l.Body)
 	if err != nil {
 		rep.Reason = err.Error()
+		if e.opts.Explain {
+			rep.Explain = &schedule.Explain{PreFailure: err.Error()}
+		}
 		return nil, nil, false
 	}
 	if e.opts.DisableHier {
@@ -212,15 +216,29 @@ func (e *emitter) planBodyOpts(l *ir.LoopStmt, powerOfTwo, keepMarginal bool, re
 	plOpts.CopyBudgetF = e.m.FloatRegs - baseF
 	plOpts.CopyBudgetI = e.m.IntRegs - baseI - 6 // counters and count math
 	plOpts.RegKind = func(r ir.VReg) ir.Kind { return e.irp.Kind(r) }
+	plOpts.Explain = e.opts.Explain
+	plOpts.Tracer = e.opts.Tracer
 	plan, err := pipeline.PlanLoop(nodes, l.ID, e.m, plOpts)
 	if err != nil {
 		rep.Reason = err.Error()
+		if e.opts.Explain {
+			// A failed II search carries its per-candidate report; any
+			// earlier failure (analysis, profitability guards, missing
+			// resources) becomes a PreFailure line.
+			var ie *schedule.InfeasibleError
+			if errors.As(err, &ie) && ie.Explain != nil {
+				rep.Explain = ie.Explain
+			} else {
+				rep.Explain = &schedule.Explain{PreFailure: err.Error()}
+			}
+		}
 		return nil, nil, false
 	}
 	rep.MII = plan.MII
 	rep.ResMII = plan.ResMII
 	rep.RecMII = plan.RecMII
 	rep.HasRecur = plan.HasRecurrence
+	rep.Explain = plan.Explain
 	cf, ci := plan.TotalCopyRegs(e.irp)
 	peakF, peakI := e.regsNeeded(baseRegs, cf, ci+6)
 	if peakF > e.m.FloatRegs || peakI > e.m.IntRegs {
@@ -416,7 +434,12 @@ func (e *emitter) emitCompactCounted(l *ir.LoopStmt, ops []*ir.Op, n int64, rep 
 func (e *emitter) emitCompactBody(l *ir.LoopStmt, ops []*ir.Op, counter int, rep *LoopReport) {
 	nodes := make([]*depgraph.Node, len(ops))
 	for i, op := range ops {
-		nodes[i] = depgraph.NodeFromOp(e.m, op)
+		n, err := depgraph.NodeFromOp(e.m, op)
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		nodes[i] = n
 	}
 	g := depgraph.BuildIndep(nodes, l.ID, l.Independent)
 	r, err := schedule.List(g, e.m)

@@ -66,7 +66,11 @@ func (e *emitter) reduceLoop(l *ir.LoopStmt) (*depgraph.Node, string) {
 		if !straight {
 			return nil, "inner loop needs a remainder but has control constructs"
 		}
-		g := depgraph.BuildIndep(bodyNodesFor(e.m, ops), l.ID, l.Independent)
+		bn, err := bodyNodesFor(e.m, ops)
+		if err != nil {
+			return nil, err.Error()
+		}
+		g := depgraph.BuildIndep(bn, l.ID, l.Independent)
 		lr, err := schedule.List(g, e.m)
 		if err != nil {
 			return nil, err.Error()
@@ -142,12 +146,16 @@ func (e *emitter) reduceLoop(l *ir.LoopStmt) (*depgraph.Node, string) {
 	return node, ""
 }
 
-func bodyNodesFor(m *machine.Machine, ops []*ir.Op) []*depgraph.Node {
+func bodyNodesFor(m *machine.Machine, ops []*ir.Op) ([]*depgraph.Node, error) {
 	nodes := make([]*depgraph.Node, len(ops))
 	for i, op := range ops {
-		nodes[i] = depgraph.NodeFromOp(m, op)
+		n, err := depgraph.NodeFromOp(m, op)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = n
 	}
-	return nodes
+	return nodes, nil
 }
 
 // rowsReservation derives the reduced node's reservation table: exact
@@ -388,7 +396,11 @@ func (e *emitter) tryOverlapped(l *ir.LoopStmt, rep *LoopReport) bool {
 	for _, s := range l.Body.Stmts {
 		switch s := s.(type) {
 		case *ir.OpStmt:
-			nodes = append(nodes, depgraph.NodeFromOp(e.m, s.Op))
+			nd, err := depgraph.NodeFromOp(e.m, s.Op)
+			if err != nil {
+				return rollback(err.Error())
+			}
+			nodes = append(nodes, nd)
 		case *ir.LoopStmt:
 			nd, reason := e.reduceLoop(s)
 			if reason != "" {

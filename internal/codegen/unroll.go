@@ -1,6 +1,10 @@
 package codegen
 
-import "softpipe/internal/ir"
+import (
+	"fmt"
+
+	"softpipe/internal/ir"
+)
 
 // Inner-loop full unrolling: §3.2 taken to its limit.  Loop reduction
 // schedules an inner loop as an opaque node inside its parent, which
@@ -30,8 +34,8 @@ const forceUnrollCap = 64
 // body.  Loops carrying the `unroll` directive expand regardless of
 // maxTrip or nesting; loops marked NoPipeline are left alone.
 // Compile only calls this on a program it owns (see needsUnroll).
-func unrollSmallLoops(p *ir.Program, maxTrip int64) {
-	unrollInBlock(p, p.Body, maxTrip, false)
+func unrollSmallLoops(p *ir.Program, maxTrip int64) error {
+	return unrollInBlock(p, p.Body, maxTrip, false)
 }
 
 // needsUnroll reports whether unrollSmallLoops would change the block
@@ -58,20 +62,30 @@ func needsUnroll(b *ir.Block, maxTrip int64, inLoop bool) bool {
 	return false
 }
 
-func unrollInBlock(p *ir.Program, b *ir.Block, maxTrip int64, inLoop bool) {
+func unrollInBlock(p *ir.Program, b *ir.Block, maxTrip int64, inLoop bool) error {
 	var out []ir.Stmt
 	for _, s := range b.Stmts {
 		switch s := s.(type) {
 		case *ir.IfStmt:
-			unrollInBlock(p, s.Then, maxTrip, inLoop)
-			unrollInBlock(p, s.Else, maxTrip, inLoop)
+			if err := unrollInBlock(p, s.Then, maxTrip, inLoop); err != nil {
+				return err
+			}
+			if err := unrollInBlock(p, s.Else, maxTrip, inLoop); err != nil {
+				return err
+			}
 			out = append(out, s)
 		case *ir.LoopStmt:
-			unrollInBlock(p, s.Body, maxTrip, true)
+			if err := unrollInBlock(p, s.Body, maxTrip, true); err != nil {
+				return err
+			}
 			if unrollable(s, maxTrip, inLoop) {
 				for k := int64(0); k < s.CountImm; k++ {
 					for _, bs := range s.Body.Stmts {
-						out = append(out, cloneStmtAt(p, bs, s.ID, k))
+						c, err := cloneStmtAt(p, bs, s.ID, k)
+						if err != nil {
+							return err
+						}
+						out = append(out, c)
 					}
 				}
 			} else {
@@ -82,6 +96,7 @@ func unrollInBlock(p *ir.Program, b *ir.Block, maxTrip int64, inLoop bool) {
 		}
 	}
 	b.Stmts = out
+	return nil
 }
 
 // unrollable reports whether the loop is a compile-time-counted loop
@@ -115,22 +130,32 @@ func hasLoop(b *ir.Block) bool {
 // cloneStmtAt deep-copies one statement for unrolled copy k of loop
 // loopID, giving every op a fresh ID and folding the loop's affine
 // coefficient into the address constant: Coef[loopID]·j at j = k.
-func cloneStmtAt(p *ir.Program, s ir.Stmt, loopID int, k int64) ir.Stmt {
+func cloneStmtAt(p *ir.Program, s ir.Stmt, loopID int, k int64) (ir.Stmt, error) {
 	switch s := s.(type) {
 	case *ir.OpStmt:
-		return &ir.OpStmt{Op: cloneOpAt(p, s.Op, loopID, k)}
+		return &ir.OpStmt{Op: cloneOpAt(p, s.Op, loopID, k)}, nil
 	case *ir.IfStmt:
 		c := &ir.IfStmt{Cond: s.Cond, Then: &ir.Block{}, Else: &ir.Block{}}
 		for _, t := range s.Then.Stmts {
-			c.Then.Stmts = append(c.Then.Stmts, cloneStmtAt(p, t, loopID, k))
+			ct, err := cloneStmtAt(p, t, loopID, k)
+			if err != nil {
+				return nil, err
+			}
+			c.Then.Stmts = append(c.Then.Stmts, ct)
 		}
 		for _, e := range s.Else.Stmts {
-			c.Else.Stmts = append(c.Else.Stmts, cloneStmtAt(p, e, loopID, k))
+			ce, err := cloneStmtAt(p, e, loopID, k)
+			if err != nil {
+				return nil, err
+			}
+			c.Else.Stmts = append(c.Else.Stmts, ce)
 		}
-		return c
+		return c, nil
 	default:
-		// unrollable rejected bodies containing loops.
-		panic("codegen: unreachable statement kind in unroll")
+		// unrollable rejects bodies containing loops, so only a new,
+		// unhandled statement kind lands here; fail the compile rather
+		// than panicking mid-rewrite.
+		return nil, fmt.Errorf("codegen: cannot unroll statement of kind %T in loop %d", s, loopID)
 	}
 }
 

@@ -32,7 +32,7 @@ func bodyNodes(t *testing.T, p *ir.Program, m *machine.Machine) ([]*Node, int) {
 	}
 	nodes := make([]*Node, len(ops))
 	for i, op := range ops {
-		nodes[i] = NodeFromOp(m, op)
+		nodes[i] = MustNodeFromOp(m, op)
 	}
 	return nodes, loop.ID
 }
@@ -237,8 +237,8 @@ func TestZeroDistanceCycleRejected(t *testing.T) {
 	o2 := p.NewOp(machine.ClassFAdd)
 	o2.Dst = y
 	o2.Src = []ir.VReg{x, x}
-	n1 := NodeFromOp(m, o1)
-	n2 := NodeFromOp(m, o2)
+	n1 := MustNodeFromOp(m, o1)
+	n2 := MustNodeFromOp(m, o2)
 	g := &Graph{Nodes: []*Node{n1, n2}}
 	n1.Index, n2.Index = 0, 1
 	g.Edges = []Edge{
@@ -264,7 +264,7 @@ func TestClosureMatchesOracle(t *testing.T) {
 			r := p.NewReg(ir.KindFloat)
 			op.Dst = r
 			op.Src = []ir.VReg{r, r}
-			nd := NodeFromOp(m, op)
+			nd := MustNodeFromOp(m, op)
 			nd.Index = i
 			g.Nodes = append(g.Nodes, nd)
 		}

@@ -97,11 +97,13 @@ func (n *Node) WriteOf(r ir.VReg) (RegWrite, bool) {
 	return RegWrite{}, false
 }
 
-// NodeFromOp builds the scheduling node of a single operation on machine m.
-func NodeFromOp(m *machine.Machine, op *ir.Op) *Node {
+// NodeFromOp builds the scheduling node of a single operation on machine
+// m.  It fails when the machine has no descriptor for the op's class
+// (a narrow machine variant), rather than panicking mid-compile.
+func NodeFromOp(m *machine.Machine, op *ir.Op) (*Node, error) {
 	d := m.Desc(op.Class)
 	if d == nil {
-		panic(fmt.Sprintf("depgraph: class %v unsupported on %s", op.Class, m.Name))
+		return nil, fmt.Errorf("depgraph: class %v (%s) unsupported on machine %s", op.Class, op, m.Name)
 	}
 	n := &Node{
 		Op:          op,
@@ -138,6 +140,16 @@ func NodeFromOp(m *machine.Machine, op *ir.Op) *Node {
 		n.Mems = append(n.Mems, MemAcc{Array: "\x00qin", Store: true})
 	case machine.ClassSend:
 		n.Mems = append(n.Mems, MemAcc{Array: "\x00qout", Store: true})
+	}
+	return n, nil
+}
+
+// MustNodeFromOp is NodeFromOp for callers that know the class is
+// supported (tests and synthetic graphs); it panics on error.
+func MustNodeFromOp(m *machine.Machine, op *ir.Op) *Node {
+	n, err := NodeFromOp(m, op)
+	if err != nil {
+		panic(err)
 	}
 	return n
 }

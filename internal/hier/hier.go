@@ -59,7 +59,11 @@ func BuildNodes(p *ir.Program, m *machine.Machine, loopID int, b *ir.Block) ([]*
 	for _, s := range b.Stmts {
 		switch s := s.(type) {
 		case *ir.OpStmt:
-			nodes = append(nodes, depgraph.NodeFromOp(m, s.Op))
+			n, err := depgraph.NodeFromOp(m, s.Op)
+			if err != nil {
+				return nil, err
+			}
+			nodes = append(nodes, n)
 		case *ir.IfStmt:
 			n, err := ReduceIf(p, m, loopID, s)
 			if err != nil {

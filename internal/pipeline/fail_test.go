@@ -1,0 +1,57 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"softpipe/internal/depgraph"
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+)
+
+// TestPlanLoopMissingResource checks the regression for the
+// resource-MII division by zero: pipelining a loop whose ops reserve a
+// resource the target machine has zero units of fails with a structured
+// *depgraph.MissingResourceError instead of panicking, both on the
+// body's own reservations (FMul) and on the pipeliner's implicit
+// loop-back branch reservation (Branch).
+func TestPlanLoopMissingResource(t *testing.T) {
+	full := machine.Warp()
+	b := ir.NewBuilder("scale")
+	b.Array("x", ir.KindFloat, 64)
+	b.Array("y", ir.KindFloat, 64)
+	av := b.FConst(2.0)
+	b.ForN(64, func(l *ir.LoopCtx) {
+		p := l.Pointer(0, 1)
+		q := l.Pointer(0, 1)
+		v := b.Load("x", p, ir.Aff(l.ID, 1, 0))
+		b.Store("y", q, b.FMul(av, v), ir.Aff(l.ID, 1, 0))
+	})
+	nodes, loopID := innerNodes(t, b.P, full)
+
+	for _, tc := range []struct {
+		name string
+		res  machine.Resource
+	}{
+		{"body reservation", machine.ResFMul},
+		{"implicit branch reservation", machine.ResBranch},
+	} {
+		m := machine.Warp()
+		m.Name = "warp-degraded"
+		counts := append([]int(nil), m.ResourceCount...)
+		counts[tc.res] = 0
+		m.ResourceCount = counts
+
+		_, err := PlanLoop(nodes, loopID, m, Options{})
+		if err == nil {
+			t.Fatalf("%s: PlanLoop accepted a machine with 0 %v units", tc.name, tc.res)
+		}
+		var mre *depgraph.MissingResourceError
+		if !errors.As(err, &mre) {
+			t.Fatalf("%s: error %T (%v) is not a *depgraph.MissingResourceError", tc.name, err, err)
+		}
+		if mre.Resource != tc.res {
+			t.Errorf("%s: missing resource = %v, want %v", tc.name, mre.Resource, tc.res)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"softpipe/internal/ir"
 	"softpipe/internal/machine"
 	"softpipe/internal/schedule"
+	"softpipe/internal/trace"
 )
 
 // Policy selects how modulo variable expansion trades registers for code
@@ -75,6 +76,12 @@ type Options struct {
 	// because pipelining cannot pay for its code growth (Lam §4.2,
 	// kernels 16 and 20).
 	KeepMarginal bool
+	// Explain asks the II search to record a per-candidate failure report
+	// (Plan.Explain / schedule.InfeasibleError.Explain).
+	Explain bool
+	// Tracer receives per-phase spans and counters; nil disables tracing
+	// at zero cost.
+	Tracer *trace.Tracer
 }
 
 // Plan is a complete pipelining decision for one loop.
@@ -108,6 +115,8 @@ type Plan struct {
 	Fixups []ir.VReg
 
 	SchedStats *schedule.Stats
+	// Explain is the II-search explain report; nil unless Options.Explain.
+	Explain *schedule.Explain
 }
 
 // CopyIndex returns which register copy iteration class `class` (the
@@ -186,14 +195,30 @@ func PlanLoop(nodes []*depgraph.Node, loopID int, m *machine.Machine, opts Optio
 func planWith(nodes []*depgraph.Node, full *depgraph.Graph, expanded map[ir.VReg]bool, m *machine.Machine, opts Options) (*Plan, error) {
 	g := full.Filter(expanded)
 
+	sp := opts.Tracer.Begin("depgraph.analyze")
 	a, err := depgraph.Analyze(g, m)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sccs := 0
+	for ci := range a.SCC.Components {
+		if !a.SCC.IsTrivial(g, ci) {
+			sccs++
+		}
+	}
+	sp.Arg("nodes", int64(len(g.Nodes))).Arg("edges", int64(len(g.Edges))).Arg("sccs", int64(sccs)).End()
+	opts.Tracer.Count("depgraph.nodes", int64(len(g.Nodes)))
+	opts.Tracer.Count("depgraph.edges", int64(len(g.Edges)))
+	opts.Tracer.Count("depgraph.sccs", int64(sccs))
 	// The loop-back branch occupies one sequencer slot of every steady-
 	// state window; fold it into the resource bound so MetLower reflects
 	// the true floor.
-	if v := depgraph.ResourceMIIExtra(g, m, []machine.ResUse{{Resource: machine.ResBranch}}); v > a.ResMII {
+	v, err := depgraph.ResourceMIIExtra(g, m, []machine.ResUse{{Resource: machine.ResBranch}})
+	if err != nil {
+		return nil, err
+	}
+	if v > a.ResMII {
 		a.ResMII = v
 		if v > a.MII {
 			a.MII = v
@@ -245,6 +270,7 @@ func planWith(nodes []*depgraph.Node, full *depgraph.Graph, expanded map[ir.VReg
 	// One searcher serves every construct-window retry: the SCC closures
 	// and scheduling scratch carry over, only the floor MinII moves.
 	searcher := schedule.NewSearcher(a, m)
+	search := opts.Tracer.Begin("schedule.search")
 	for {
 		res, st, err = searcher.Search(schedule.Options{
 			MaxII:          maxII,
@@ -252,8 +278,14 @@ func planWith(nodes []*depgraph.Node, full *depgraph.Graph, expanded map[ir.VReg
 			BinarySearch:   opts.BinarySearch,
 			ReserveBranch:  true,
 			BranchResource: machine.ResBranch,
+			Explain:        opts.Explain,
 		})
+		if st != nil {
+			opts.Tracer.Count("schedule.attempts", int64(st.Attempts))
+			opts.Tracer.Count("schedule.backtracks", int64(st.Backtracks))
+		}
 		if err != nil {
+			search.End()
 			return nil, err
 		}
 		if verr := schedule.Verify(g, m, res); verr != nil {
@@ -274,10 +306,12 @@ func planWith(nodes []*depgraph.Node, full *depgraph.Graph, expanded map[ir.VReg
 			break
 		}
 		if res.II+1 > maxII {
+			search.End()
 			return nil, fmt.Errorf("pipeline: cannot fit construct windows within any II ≤ %d", maxII)
 		}
 		minII = res.II + 1
 	}
+	search.Arg("ii", int64(res.II)).End()
 
 	p := &Plan{
 		Nodes:         nodes,
@@ -294,6 +328,7 @@ func planWith(nodes []*depgraph.Node, full *depgraph.Graph, expanded map[ir.VReg
 		Q:             map[ir.VReg]int{},
 		Lifetime:      map[ir.VReg]int{},
 		SchedStats:    st,
+		Explain:       res.Explain,
 	}
 	for _, t := range res.Time {
 		if t > p.MaxIssue {
@@ -305,6 +340,7 @@ func planWith(nodes []*depgraph.Node, full *depgraph.Graph, expanded map[ir.VReg
 	if err := p.expand(opts); err != nil {
 		return nil, err
 	}
+	opts.Tracer.Count("mve.unroll", int64(p.Unroll))
 	return p, nil
 }
 

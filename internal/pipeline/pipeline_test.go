@@ -25,7 +25,7 @@ func innerNodes(t *testing.T, p *ir.Program, m *machine.Machine) ([]*depgraph.No
 	ops, _ := loop.Body.Ops()
 	nodes := make([]*depgraph.Node, len(ops))
 	for i, op := range ops {
-		nodes[i] = depgraph.NodeFromOp(m, op)
+		nodes[i] = depgraph.MustNodeFromOp(m, op)
 	}
 	return nodes, loop.ID
 }

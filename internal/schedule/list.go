@@ -18,6 +18,10 @@ type Result struct {
 	// Length is one past the last issue-or-reservation cycle of any
 	// node (the compacted length of one iteration).
 	Length int
+	// Explain is the II-search explain report (why each candidate II
+	// below the accepted one failed); nil unless the search ran with
+	// Options.Explain.
+	Explain *Explain
 }
 
 // Span returns the number of pipeline stages: ceil((max σ + 1) / II).

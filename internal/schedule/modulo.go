@@ -26,6 +26,11 @@ type Options struct {
 	// BranchResource identifies the sequencer resource when
 	// ReserveBranch is set.
 	BranchResource machine.Resource
+	// Explain records, for every candidate II, which op failed placement
+	// and the binding constraint (resource conflict or dependence bound);
+	// the report lands in Result.Explain (or InfeasibleError.Explain on
+	// total failure).  Off by default: the search then records nothing.
+	Explain bool
 }
 
 // DefaultMaxII returns a search bound large enough that any legal loop
@@ -49,7 +54,10 @@ type Stats struct {
 	MII      int
 	Achieved int
 	Attempts int // number of candidate IIs tried
-	MetLower bool
+	// Backtracks counts failed placement probes: slots the list scheduler
+	// scanned and rejected before finding a fit (or giving up).
+	Backtracks int
+	MetLower   bool
 }
 
 // compEdge is an intra-component omega-0 edge in member-index space.
@@ -78,9 +86,12 @@ type compData struct {
 
 	dense  []int // closure instantiated at the current candidate II
 	lo, hi []int // precedence-constrained ranges
-	times  []int // issue time per member
-	sched  []bool
-	deg    []int
+	// loFrom/hiFrom track which already-placed member imposed each bound
+	// (-1 = unset), so the explain report can name the constraining node.
+	loFrom, hiFrom []int
+	times          []int // issue time per member
+	sched          []bool
+	deg            []int
 }
 
 // Searcher runs the iterative search of Lam §2.2 for one analyzed loop.
@@ -111,6 +122,13 @@ type Searcher struct {
 	placed  []bool
 	condTab *ModTable
 	compTab *ModTable
+
+	// exp is the accumulating explain report; nil unless a Search ran
+	// with Options.Explain (it then persists across construct-window
+	// retries on the same Searcher).
+	exp *Explain
+	// retries counts failed placement probes of the current Search call.
+	retries int
 }
 
 // NewSearcher prepares a reusable searcher for the analyzed loop.
@@ -151,6 +169,8 @@ func NewSearcher(a *depgraph.Analysis, m *machine.Machine) *Searcher {
 		cd.zero = a.Closures[ci].ZeroMatrix(nil)
 		cd.lo = make([]int, k)
 		cd.hi = make([]int, k)
+		cd.loFrom = make([]int, k)
+		cd.hiFrom = make([]int, k)
 		cd.times = make([]int, k)
 		cd.sched = make([]bool, k)
 		cd.deg = make([]int, k)
@@ -207,8 +227,25 @@ func (sr *Searcher) Search(opts Options) (*Result, *Stats, error) {
 		floor = opts.MinII
 	}
 	st := &Stats{MII: floor}
+	sr.retries = 0
+	if maxII < floor {
+		// An explicit MaxII below the search floor is a caller
+		// misconfiguration, not infeasibility: fail loudly and
+		// distinguishably instead of reporting an empty range as "no
+		// feasible initiation interval".
+		return nil, st, fmt.Errorf("schedule: Options.MaxII %d is below the search floor %d (MII %d): %w",
+			maxII, floor, sr.a.MII, ErrMaxIIBelowMII)
+	}
+	if opts.Explain && sr.exp == nil {
+		sr.exp = &Explain{ResMII: sr.a.ResMII, RecMII: sr.a.RecMII}
+	}
+	if sr.exp != nil {
+		sr.exp.MII = floor
+		sr.exp.MaxII = maxII
+	}
 	if opts.BinarySearch {
 		r, err := sr.searchBinary(opts, floor, maxII, st)
+		st.Backtracks = sr.retries
 		return r, st, err
 	}
 	for s := floor; s <= maxII; s++ {
@@ -216,10 +253,16 @@ func (sr *Searcher) Search(opts Options) (*Result, *Stats, error) {
 		if r := sr.attempt(opts, s); r != nil {
 			st.Achieved = s
 			st.MetLower = s == st.MII
+			st.Backtracks = sr.retries
+			if sr.exp != nil {
+				sr.exp.Achieved = s
+				r.Explain = sr.exp
+			}
 			return r, st, nil
 		}
 	}
-	return nil, st, fmt.Errorf("schedule: no feasible initiation interval in [%d, %d]", st.MII, maxII)
+	st.Backtracks = sr.retries
+	return nil, st, &InfeasibleError{MII: st.MII, MaxII: maxII, Explain: sr.exp}
 }
 
 // Modulo finds the smallest feasible initiation interval ≥ the MII using
@@ -244,10 +287,14 @@ func (sr *Searcher) searchBinary(opts Options, floor, maxII int, st *Stats) (*Re
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("schedule: no feasible initiation interval in [%d, %d] (binary)", floor, maxII)
+		return nil, &InfeasibleError{MII: floor, MaxII: maxII, Binary: true, Explain: sr.exp}
 	}
 	st.Achieved = bestII
 	st.MetLower = bestII == st.MII
+	if sr.exp != nil {
+		sr.exp.Achieved = bestII
+		best.Explain = sr.exp
+	}
 	return best, nil
 }
 
@@ -357,7 +404,9 @@ func (sr *Searcher) attempt(opts Options, s int) *Result {
 	}
 	sr.order, sr.ready = order, ready
 	if len(order) != nc {
-		return nil // should not happen: condensation is acyclic
+		// Should not happen: condensation is acyclic.
+		sr.record(failAttempt(s, -1, -1, "", false, Cause{Kind: CauseMalformed, LoFrom: -1, HiFrom: -1}))
+		return nil
 	}
 	for i := nc - 1; i >= 0; i-- {
 		v := order[i]
@@ -388,6 +437,7 @@ func (sr *Searcher) attempt(opts Options, s int) *Result {
 			}
 		}
 		if best == -1 {
+			sr.record(failAttempt(s, -1, -1, "", false, Cause{Kind: CauseMalformed, LoFrom: -1, HiFrom: -1}))
 			return nil
 		}
 		earliest := 0
@@ -400,7 +450,20 @@ func (sr *Searcher) attempt(opts Options, s int) *Result {
 			}
 		}
 		t, ok := findSlot(tab, sr.vres[best], earliest, s)
+		if ok {
+			sr.retries += t - earliest
+		} else {
+			sr.retries += s
+		}
 		if !ok {
+			if sr.exp != nil {
+				members := a.SCC.Components[best]
+				cause := Cause{Kind: CauseResource, WinLo: earliest, WinHi: earliest + s - 1, LoFrom: -1, HiFrom: -1}
+				if rr, row, blocked := tab.Conflict(sr.vres[best], earliest); blocked {
+					cause.Resource, cause.Row = rr, row
+				}
+				sr.record(failAttempt(s, members[0], best, g.Nodes[members[0]].String(), len(members) > 1, cause))
+			}
 			return nil
 		}
 		tab.Place(sr.vres[best], t)
@@ -414,6 +477,7 @@ func (sr *Searcher) attempt(opts Options, s int) *Result {
 	}
 
 	// 4. Recover per-node times.
+	sr.record(Attempt{II: s, OK: true, Node: -1, Comp: -1})
 	res := &Result{II: s, Time: make([]int, n)}
 	for ci, comp := range a.SCC.Components {
 		for _, v := range comp {
@@ -455,6 +519,8 @@ func (sr *Searcher) scheduleComponent(ci int, comp []int, s int) bool {
 	for i := 0; i < k; i++ {
 		cd.lo[i] = -inf
 		cd.hi[i] = inf
+		cd.loFrom[i] = -1
+		cd.hiFrom[i] = -1
 		cd.sched[i] = false
 	}
 	tab := sr.compTab
@@ -471,10 +537,25 @@ func (sr *Searcher) scheduleComponent(ci int, comp []int, s int) bool {
 			}
 		}
 		if best == -1 {
-			return false // omega-0 cycle; rejected earlier by Analyze
+			// Omega-0 cycle; rejected earlier by Analyze.
+			sr.record(failAttempt(s, -1, ci, "", false, Cause{Kind: CauseMalformed, LoFrom: -1, HiFrom: -1}))
+			return false
 		}
 		l, u := cd.lo[best], cd.hi[best]
 		if l > u {
+			if sr.exp != nil {
+				v := comp[best]
+				cause := Cause{Kind: CauseDependence, Lo: l, Hi: u, LoFrom: -1, HiFrom: -1}
+				if f := cd.loFrom[best]; f >= 0 {
+					cause.LoFrom = comp[f]
+					cause.LoEdge = directEdge(g, comp[f], v)
+				}
+				if f := cd.hiFrom[best]; f >= 0 {
+					cause.HiFrom = comp[f]
+					cause.HiEdge = directEdge(g, v, comp[f])
+				}
+				sr.record(failAttempt(s, v, ci, g.Nodes[v].String(), false, cause))
+			}
 			return false
 		}
 		// Anchor the scan at the intra-iteration lower bound so that a
@@ -510,8 +591,17 @@ func (sr *Searcher) scheduleComponent(ci int, comp []int, s int) bool {
 				placedAt = t
 				break
 			}
+			sr.retries++
 		}
 		if placedAt == -1 {
+			if sr.exp != nil {
+				v := comp[best]
+				cause := Cause{Kind: CauseResource, WinLo: start, WinHi: limit, LoFrom: -1, HiFrom: -1}
+				if rr, row, blocked := tab.Conflict(g.Nodes[v].Reservation, start); blocked {
+					cause.Resource, cause.Row = rr, row
+				}
+				sr.record(failAttempt(s, v, ci, g.Nodes[v].String(), false, cause))
+			}
 			return false
 		}
 		tab.Place(g.Nodes[comp[best]].Reservation, placedAt)
@@ -532,11 +622,13 @@ func (sr *Searcher) scheduleComponent(ci int, comp []int, s int) bool {
 			if d := row[j]; d != depgraph.NegInf {
 				if t := placedAt + d; t > cd.lo[j] {
 					cd.lo[j] = t
+					cd.loFrom[j] = best
 				}
 			}
 			if d := cd.dense[j*k+best]; d != depgraph.NegInf {
 				if t := placedAt - d; t < cd.hi[j] {
 					cd.hi[j] = t
+					cd.hiFrom[j] = best
 				}
 			}
 		}

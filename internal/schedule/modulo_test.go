@@ -31,7 +31,7 @@ func innerLoopNodes(t *testing.T, p *ir.Program, m *machine.Machine) ([]*depgrap
 	}
 	nodes := make([]*depgraph.Node, len(ops))
 	for i, op := range ops {
-		nodes[i] = depgraph.NodeFromOp(m, op)
+		nodes[i] = depgraph.MustNodeFromOp(m, op)
 	}
 	return nodes, loop.ID
 }

@@ -80,6 +80,29 @@ func (t *ModTable) Fits(res []machine.ResUse, time int) bool {
 	return ok
 }
 
+// Conflict reports the first over-capacity (resource, row) pair that
+// blocks placing the reservation pattern at time; ok is false when the
+// pattern actually fits.  It is the diagnostic dual of Fits, used by the
+// II-search explain report to name the binding resource.
+func (t *ModTable) Conflict(res []machine.ResUse, time int) (r machine.Resource, row int, ok bool) {
+	placed := 0
+	for _, u := range res {
+		rw := t.row(time + u.Offset)
+		at := rw*t.nres + int(u.Resource)
+		t.use[at]++
+		placed++
+		if t.use[at] > t.cap[u.Resource] {
+			r, row, ok = u.Resource, rw, true
+			break
+		}
+	}
+	for i := 0; i < placed; i++ {
+		u := res[i]
+		t.use[t.row(time+u.Offset)*t.nres+int(u.Resource)]--
+	}
+	return r, row, ok
+}
+
 // Place commits the reservation pattern at time.
 func (t *ModTable) Place(res []machine.ResUse, time int) {
 	for _, u := range res {

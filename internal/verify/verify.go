@@ -6,6 +6,7 @@ import (
 
 	"softpipe/internal/ir"
 	"softpipe/internal/machine"
+	"softpipe/internal/trace"
 	"softpipe/internal/vliw"
 )
 
@@ -20,6 +21,9 @@ type Options struct {
 	MaxSteps int64
 	// Input is the program's input tape (one word per Recv).
 	Input []float64
+	// Tracer receives per-stage spans and the interned-term counter; nil
+	// disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 const renderDepth = 3
@@ -60,15 +64,23 @@ func ProgramOpts(src *ir.Program, obj *vliw.Program, m *machine.Machine, opts Op
 	// One interner is shared by both executions: identical provenance
 	// interns to the identical termID, so comparison is ID equality.
 	itn := newInterner()
+	sp := opts.Tracer.Begin("verify.ref")
 	ref, err := runRef(src, itn, opts.Input, opts.MaxSteps)
+	sp.End()
 	if err != nil {
 		return fmt.Errorf("verify: reference execution failed: %w", err)
 	}
+	sp = opts.Tracer.Begin("verify.shadow")
 	sh, err := runShadow(obj, m, itn, opts.Input, opts.MaxCycles)
+	sp.End()
 	if err != nil {
 		return fmt.Errorf("verify: object execution failed: %w", err)
 	}
-	return compare(src, obj, itn, ref, sh)
+	opts.Tracer.Count("verify.terms", int64(len(itn.nodes)))
+	sp = opts.Tracer.Begin("verify.compare")
+	err = compare(src, obj, itn, ref, sh)
+	sp.End()
+	return err
 }
 
 func compare(src *ir.Program, obj *vliw.Program, itn *interner, ref *refResult, sh *shadowResult) error {

@@ -1,0 +1,98 @@
+// Command tracecheck validates a Chrome trace_event JSON file produced
+// by the -trace flag of w2c, livermore, or warpbench (CI runs it on a
+// fresh trace to keep the format loadable by chrome://tracing and
+// Perfetto).  It checks the envelope and every event:
+//
+//   - the document is a JSON object with a traceEvents array
+//   - every event has a name and a phase in {X, C, M}
+//   - complete events (X) carry non-negative ts and dur
+//   - counter events (C) carry non-negative ts and at least one arg
+//   - at least one metadata record names the process
+//
+// Usage: tracecheck trace.json [trace2.json ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+type event struct {
+	Name string                     `json:"name"`
+	Ph   string                     `json:"ph"`
+	TS   *int64                     `json:"ts"`
+	Dur  *int64                     `json:"dur"`
+	PID  *int64                     `json:"pid"`
+	TID  *int64                     `json:"tid"`
+	Args map[string]json.RawMessage `json:"args"`
+}
+
+type document struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: tracecheck trace.json [more.json ...]")
+	}
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+	}
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not a trace_event JSON object: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("missing traceEvents array")
+	}
+	spans, counters, metas := 0, 0, 0
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("event %d has no name", i)
+		}
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.TS == nil || *e.TS < 0 {
+				return fmt.Errorf("event %d (%s): X event needs ts >= 0", i, e.Name)
+			}
+			if e.Dur == nil || *e.Dur < 0 {
+				return fmt.Errorf("event %d (%s): X event needs dur >= 0", i, e.Name)
+			}
+		case "C":
+			counters++
+			if e.TS == nil || *e.TS < 0 {
+				return fmt.Errorf("event %d (%s): C event needs ts >= 0", i, e.Name)
+			}
+			if len(e.Args) == 0 {
+				return fmt.Errorf("event %d (%s): C event needs a sampled value in args", i, e.Name)
+			}
+		case "M":
+			metas++
+			if e.Dur != nil {
+				return fmt.Errorf("event %d (%s): M event must not carry dur", i, e.Name)
+			}
+		default:
+			return fmt.Errorf("event %d (%s): unsupported phase %q", i, e.Name, e.Ph)
+		}
+	}
+	if metas == 0 {
+		return fmt.Errorf("no metadata record (process_name) present")
+	}
+	fmt.Printf("tracecheck: %s ok: %d spans, %d counter samples, %d metadata records\n",
+		path, spans, counters, metas)
+	return nil
+}

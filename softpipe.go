@@ -27,7 +27,9 @@ import (
 	"softpipe/internal/lang"
 	"softpipe/internal/machine"
 	"softpipe/internal/pipeline"
+	"softpipe/internal/schedule"
 	"softpipe/internal/sim"
+	"softpipe/internal/trace"
 	"softpipe/internal/verify"
 	"softpipe/internal/vliw"
 )
@@ -106,7 +108,26 @@ type Options struct {
 	// proof that the pipelined code reproduces the sequential program's
 	// value provenance.  Compilation fails on any violation.
 	VerifyEmitted bool
+	// Explain records, for every pipelining attempt, why each candidate
+	// initiation interval below the accepted one failed (which op, which
+	// resource or dependence edge); the report lands in
+	// LoopInfo.Explain.  See also the -explain flag of cmd/w2c.
+	Explain bool
+	// Tracer, when non-nil, receives hierarchical spans and counters for
+	// every compilation phase (Chrome trace_event export via
+	// Tracer.WriteJSON).  A nil tracer costs nothing.
+	Tracer *Tracer
 }
+
+// Tracer collects hierarchical spans and counters across the compile /
+// simulate / verify pipeline; nil is a valid, free, disabled tracer.
+type Tracer = trace.Tracer
+
+// NewTracer returns an enabled tracer named after the workload.
+func NewTracer(name string) *Tracer { return trace.New(name) }
+
+// ExplainReport is the per-loop II-search explain report.
+type ExplainReport = schedule.Explain
 
 func (o Options) lower() codegen.Options {
 	mode := codegen.ModePipelined
@@ -119,6 +140,8 @@ func (o Options) lower() codegen.Options {
 		DisableLoopReduction: o.DisableLoopReduction,
 		UnrollInnerTrip:      o.UnrollInnerTrip,
 		VerifyEmitted:        o.VerifyEmitted,
+		Explain:              o.Explain,
+		Tracer:               o.Tracer,
 		Pipeline: pipeline.Options{
 			Policy:       o.Policy,
 			DisableMVE:   o.DisableMVE,
@@ -140,6 +163,7 @@ type Object struct {
 	Report  *Report
 	Machine *Machine
 	source  *Program
+	tracer  *Tracer // from Options.Tracer; spans Run/Verify phases
 }
 
 // ParseSource compiles W2-like source text to IR.  Array inputs are
@@ -148,7 +172,9 @@ func ParseSource(src string) (*Program, error) { return lang.Compile(src) }
 
 // CompileSource parses and compiles W2-like source for machine m.
 func CompileSource(src string, m *Machine, opts Options) (*Object, error) {
+	sp := opts.Tracer.Begin("lang.compile")
 	p, err := lang.Compile(src)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -157,11 +183,13 @@ func CompileSource(src string, m *Machine, opts Options) (*Object, error) {
 
 // Compile lowers an IR program to VLIW code for machine m.
 func Compile(p *Program, m *Machine, opts Options) (*Object, error) {
+	sp := opts.Tracer.Begin("compile")
 	bin, rep, err := codegen.Compile(p, m, opts.lower())
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return &Object{Binary: bin, Report: rep, Machine: m, source: p}, nil
+	return &Object{Binary: bin, Report: rep, Machine: m, source: p, tracer: opts.Tracer}, nil
 }
 
 // Disassemble renders the wide-instruction program.
@@ -178,7 +206,9 @@ type Result struct {
 
 // Run executes the object program on its machine's cycle-accurate model.
 func (o *Object) Run() (*Result, error) {
+	sp := o.tracer.Begin("sim.run")
 	st, stats, err := sim.Run(o.Binary, o.Machine)
+	sp.Arg("cycles", stats.Cycles).End()
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +238,10 @@ func (o *Object) Trace(w io.Writer, cycles int64) error {
 // final state against the reference IR interpreter, returning the
 // result on success.
 func (o *Object) Verify() (*Result, error) {
-	if err := verify.Program(o.source, o.Binary, o.Machine); err != nil {
+	sp := o.tracer.Begin("verify")
+	err := verify.ProgramOpts(o.source, o.Binary, o.Machine, verify.Options{Tracer: o.tracer})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	want, err := ir.Run(o.source)
