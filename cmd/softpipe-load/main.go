@@ -1,0 +1,457 @@
+// softpipe-load replays compile/run workloads against a running softpiped
+// and reports latency percentiles, cache hit rate, and error rate to a
+// JSON file (BENCH_service.json by default).
+//
+//	softpipe-load [-addr http://127.0.0.1:8575] [-duration 10s] [-rps 50]
+//	              [-concurrency 8] [-workload mixed] [-run-frac 0.25]
+//	              [-fuzz-n 16] [-seed 1] [-out BENCH_service.json] [-smoke]
+//
+// Workloads: "livermore" (the paper's Table 4-2 kernels), "systolic"
+// (per-cell matmul programs, compile-only), "fuzz" (deterministic random
+// W2 sources), or "mixed" (all three).  -rps 0 runs closed-loop: each of
+// the -concurrency workers fires its next request as soon as the previous
+// one answers.
+//
+// -smoke first runs deterministic end-to-end assertions against the
+// daemon — 100% hit rate on repeated sources after warmup, exactly one
+// compile for N concurrent identical requests, a 1ms-deadline compile
+// answering 504 rather than hanging, bit-identical artifacts for hit vs
+// miss, /healthz OK and /metrics parseable — and exits non-zero if any
+// fail.  The replay then runs as usual; CI asserts its error count is 0.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"softpipe/internal/service"
+	"softpipe/internal/workloads"
+)
+
+type corpusEntry struct {
+	Name   string `json:"name"`
+	source string
+	// runnable entries may be sent to /run; programs using send/receive
+	// (the systolic cells) are compile-only.
+	runnable bool
+}
+
+func buildCorpus(workload string, seed int64, fuzzN int) ([]corpusEntry, error) {
+	var corpus []corpusEntry
+	add := func(kind string) {
+		switch kind {
+		case "livermore":
+			for _, k := range workloads.Livermore() {
+				corpus = append(corpus, corpusEntry{Name: k.Name, source: k.Source, runnable: true})
+			}
+		case "systolic":
+			for _, nw := range [][2]int{{4, 2}, {6, 3}, {8, 4}} {
+				corpus = append(corpus, corpusEntry{
+					Name:   fmt.Sprintf("systolic-n%d-w%d", nw[0], nw[1]),
+					source: workloads.SystolicMatmulSource(nw[0], nw[1]),
+				})
+			}
+		case "fuzz":
+			for i := 0; i < fuzzN; i++ {
+				corpus = append(corpus, corpusEntry{
+					Name:     fmt.Sprintf("fuzz-%d", seed+int64(i)),
+					source:   workloads.RandomSource(seed + int64(i)),
+					runnable: true,
+				})
+			}
+		}
+	}
+	switch workload {
+	case "livermore", "systolic", "fuzz":
+		add(workload)
+	case "mixed":
+		add("livermore")
+		add("systolic")
+		add("fuzz")
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want livermore, systolic, fuzz, or mixed)", workload)
+	}
+	return corpus, nil
+}
+
+// client wraps the HTTP plumbing shared by smoke and replay.
+type client struct {
+	addr string
+	http *http.Client
+}
+
+func (c *client) post(path string, body any, out any) (int, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http.Post(c.addr+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("undecodable response %q: %w", data, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func (c *client) get(path string, out any) (int, error) {
+	resp, err := c.http.Get(c.addr + path)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("undecodable response %q: %w", data, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// latencyDigest summarizes a sorted latency sample.
+type latencyDigest struct {
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+func digest(ms []float64) latencyDigest {
+	var d latencyDigest
+	if len(ms) == 0 {
+		return d
+	}
+	sort.Float64s(ms)
+	var sum float64
+	for _, v := range ms {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		i := int(p*float64(len(ms))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return ms[i]
+	}
+	d.MeanMS = sum / float64(len(ms))
+	d.P50MS = q(0.50)
+	d.P95MS = q(0.95)
+	d.P99MS = q(0.99)
+	d.MaxMS = ms[len(ms)-1]
+	return d
+}
+
+// report is what lands in BENCH_service.json.
+type report struct {
+	Config struct {
+		Addr        string  `json:"addr"`
+		Workload    string  `json:"workload"`
+		CorpusSize  int     `json:"corpus_size"`
+		DurationS   float64 `json:"duration_s"`
+		TargetRPS   float64 `json:"target_rps"` // 0 = closed loop
+		Concurrency int     `json:"concurrency"`
+		RunFrac     float64 `json:"run_frac"`
+		Seed        int64   `json:"seed"`
+	} `json:"config"`
+	Smoke  *smokeReport `json:"smoke,omitempty"`
+	Replay struct {
+		Requests    int64         `json:"requests"`
+		Errors      int64         `json:"errors"`
+		ErrorRate   float64       `json:"error_rate"`
+		Hits        int64         `json:"hits"`
+		HitRate     float64       `json:"hit_rate"`
+		AchievedRPS float64       `json:"achieved_rps"`
+		Latency     latencyDigest `json:"latency_ms"`
+	} `json:"replay"`
+	ServerMetrics *service.Metrics `json:"server_metrics,omitempty"`
+}
+
+type smokeReport struct {
+	Passed               bool   `json:"passed"`
+	WarmHitRate          float64 `json:"warm_hit_rate"`
+	SingleflightComputes int64  `json:"singleflight_computes"`
+	TimeoutStatus        int    `json:"timeout_status"`
+	Failures             []string `json:"failures,omitempty"`
+}
+
+// runSmoke drives the deterministic end-to-end assertions.
+func runSmoke(c *client, corpus []corpusEntry, seed int64) *smokeReport {
+	rep := &smokeReport{Passed: true}
+	failf := func(format string, args ...any) {
+		rep.Passed = false
+		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+	}
+
+	// 1. Warmup: compile every corpus entry cold; record artifact digests.
+	sha := map[string]string{}
+	for _, e := range corpus {
+		var resp service.CompileResponse
+		code, err := c.post("/compile", service.CompileRequest{Source: e.source}, &resp)
+		if err != nil || code != http.StatusOK {
+			failf("warmup compile %s: code=%d err=%v", e.Name, code, err)
+			continue
+		}
+		sha[e.Name] = resp.ObjectSHA256
+	}
+
+	// 2. Every repeated request must be a hit with a bit-identical
+	// artifact.
+	var warm, warmHits int64
+	for _, e := range corpus {
+		var resp service.CompileResponse
+		code, err := c.post("/compile", service.CompileRequest{Source: e.source}, &resp)
+		if err != nil || code != http.StatusOK {
+			failf("warm compile %s: code=%d err=%v", e.Name, code, err)
+			continue
+		}
+		warm++
+		if resp.Cached {
+			warmHits++
+		} else {
+			failf("warm compile %s missed the cache", e.Name)
+		}
+		if resp.ObjectSHA256 != sha[e.Name] {
+			failf("warm compile %s: artifact digest changed (hit not bit-identical to miss)", e.Name)
+		}
+	}
+	if warm > 0 {
+		rep.WarmHitRate = float64(warmHits) / float64(warm)
+	}
+
+	// 3. Singleflight: N concurrent requests for a source nobody has
+	// compiled must run exactly one compile.
+	var before service.Metrics
+	if code, err := c.get("/metrics", &before); err != nil || code != http.StatusOK {
+		failf("metrics before singleflight: code=%d err=%v", code, err)
+	}
+	unique := workloads.RandomSource(seed + 1_000_000)
+	const n = 32
+	var wg sync.WaitGroup
+	var okCount atomic.Int64
+	shas := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp service.CompileResponse
+			code, err := c.post("/compile", service.CompileRequest{Source: unique}, &resp)
+			if err == nil && code == http.StatusOK {
+				okCount.Add(1)
+				shas[i] = resp.ObjectSHA256
+			}
+		}(i)
+	}
+	wg.Wait()
+	if okCount.Load() != n {
+		failf("singleflight: %d/%d concurrent identical requests succeeded", okCount.Load(), n)
+	}
+	for i := 1; i < n; i++ {
+		if shas[i] != shas[0] {
+			failf("singleflight: divergent artifact digests across concurrent requests")
+			break
+		}
+	}
+	var after service.Metrics
+	if code, err := c.get("/metrics", &after); err != nil || code != http.StatusOK {
+		failf("metrics after singleflight: code=%d err=%v", code, err)
+	}
+	rep.SingleflightComputes = after.Cache.Computes - before.Cache.Computes
+	if rep.SingleflightComputes != 1 {
+		failf("singleflight: %d concurrent identical requests ran %d compiles, want 1", n, rep.SingleflightComputes)
+	}
+
+	// 4. A 1ms deadline on a heavy compile returns a timeout, not a hang.
+	var terr struct {
+		Error   string `json:"error"`
+		Timeout bool   `json:"timeout"`
+	}
+	t0 := time.Now()
+	code, err := c.post("/compile", service.CompileRequest{Source: workloads.HeavySource(40), TimeoutMS: 1}, &terr)
+	rep.TimeoutStatus = code
+	if err != nil || code != http.StatusGatewayTimeout || !terr.Timeout {
+		failf("deadline: code=%d timeout=%v err=%v", code, terr.Timeout, err)
+	}
+	if waited := time.Since(t0); waited > 10*time.Second {
+		failf("deadline: 1ms-deadline request took %v", waited)
+	}
+
+	// 5. /run by source, then by key.
+	var run service.RunResponse
+	if code, err := c.post("/run", service.RunRequest{Source: workloads.RandomSource(seed)}, &run); err != nil || code != http.StatusOK {
+		failf("run by source: code=%d err=%v", code, err)
+	} else if run.Cycles == 0 {
+		failf("run by source: zero cycles")
+	} else {
+		var byKey service.RunResponse
+		if code, err := c.post("/run", service.RunRequest{Key: run.Key}, &byKey); err != nil || code != http.StatusOK || !byKey.Cached {
+			failf("run by key: code=%d cached=%v err=%v", code, byKey.Cached, err)
+		}
+	}
+	return rep
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8575", "softpiped base URL")
+	duration := flag.Duration("duration", 10*time.Second, "replay length")
+	rps := flag.Float64("rps", 50, "target request rate (0 = closed loop)")
+	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
+	workload := flag.String("workload", "mixed", "livermore, systolic, fuzz, or mixed")
+	runFrac := flag.Float64("run-frac", 0.25, "fraction of replay requests sent to /run")
+	fuzzN := flag.Int("fuzz-n", 16, "number of fuzz sources")
+	seed := flag.Int64("seed", 1, "fuzz seed")
+	out := flag.String("out", "BENCH_service.json", "report file")
+	smoke := flag.Bool("smoke", false, "run deterministic end-to-end assertions first; exit non-zero on failure")
+	flag.Parse()
+
+	corpus, err := buildCorpus(*workload, *seed, *fuzzN)
+	if err != nil {
+		log.Fatalf("softpipe-load: %v", err)
+	}
+	c := &client{addr: *addr, http: &http.Client{Timeout: 2 * time.Minute}}
+
+	var health map[string]any
+	if code, err := c.get("/healthz", &health); err != nil || code != http.StatusOK {
+		log.Fatalf("softpipe-load: daemon not healthy at %s: code=%d err=%v", *addr, code, err)
+	}
+
+	var rep report
+	rep.Config.Addr = *addr
+	rep.Config.Workload = *workload
+	rep.Config.CorpusSize = len(corpus)
+	rep.Config.DurationS = duration.Seconds()
+	rep.Config.TargetRPS = *rps
+	rep.Config.Concurrency = *concurrency
+	rep.Config.RunFrac = *runFrac
+	rep.Config.Seed = *seed
+
+	if *smoke {
+		rep.Smoke = runSmoke(c, corpus, *seed)
+		for _, f := range rep.Smoke.Failures {
+			log.Printf("softpipe-load: SMOKE FAIL: %s", f)
+		}
+		if rep.Smoke.Passed {
+			log.Printf("softpipe-load: smoke passed (warm hit rate %.0f%%, singleflight computes %d)",
+				rep.Smoke.WarmHitRate*100, rep.Smoke.SingleflightComputes)
+		}
+	}
+
+	// Replay: `concurrency` workers draw request indices from a shared
+	// counter.  With -rps > 0 the draw is paced open-loop by a ticker;
+	// with -rps 0 each worker runs closed-loop.
+	var (
+		next     atomic.Int64
+		requests atomic.Int64
+		errors   atomic.Int64
+		hits     atomic.Int64
+		mu       sync.Mutex
+		lats     []float64
+	)
+	deadline := time.Now().Add(*duration)
+	var tick <-chan time.Time
+	if *rps > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / *rps))
+		defer t.Stop()
+		tick = t.C
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if tick != nil {
+					select {
+					case <-tick:
+					case <-time.After(time.Until(deadline)):
+						return
+					}
+				}
+				i := next.Add(1)
+				e := corpus[int(i)%len(corpus)]
+				toRun := e.runnable && *runFrac > 0 && float64(int(i)%100)/100 < *runFrac
+				t0 := time.Now()
+				var code int
+				var err error
+				var cached bool
+				if toRun {
+					var resp service.RunResponse
+					code, err = c.post("/run", service.RunRequest{Source: e.source}, &resp)
+					cached = resp.Cached
+				} else {
+					var resp service.CompileResponse
+					code, err = c.post("/compile", service.CompileRequest{Source: e.source}, &resp)
+					cached = resp.Cached
+				}
+				lat := float64(time.Since(t0).Microseconds()) / 1e3
+				requests.Add(1)
+				if err != nil || code != http.StatusOK {
+					if errors.Add(1) <= 10 {
+						log.Printf("softpipe-load: request failed: %s %s: code=%d err=%v", map[bool]string{true: "/run", false: "/compile"}[toRun], e.Name, code, err)
+					}
+				} else if cached {
+					hits.Add(1)
+				}
+				mu.Lock()
+				lats = append(lats, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep.Replay.Requests = requests.Load()
+	rep.Replay.Errors = errors.Load()
+	rep.Replay.Hits = hits.Load()
+	if rep.Replay.Requests > 0 {
+		rep.Replay.ErrorRate = float64(rep.Replay.Errors) / float64(rep.Replay.Requests)
+		rep.Replay.HitRate = float64(rep.Replay.Hits) / float64(rep.Replay.Requests)
+		rep.Replay.AchievedRPS = float64(rep.Replay.Requests) / elapsed
+	}
+	rep.Replay.Latency = digest(lats)
+
+	var m service.Metrics
+	if code, err := c.get("/metrics", &m); err == nil && code == http.StatusOK {
+		rep.ServerMetrics = &m
+	} else {
+		log.Printf("softpipe-load: could not fetch final metrics: code=%d err=%v", code, err)
+	}
+
+	raw, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatalf("softpipe-load: %v", err)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		log.Fatalf("softpipe-load: %v", err)
+	}
+	log.Printf("softpipe-load: %d requests, %d errors, hit rate %.0f%%, p50 %.1fms p95 %.1fms p99 %.1fms → %s",
+		rep.Replay.Requests, rep.Replay.Errors, rep.Replay.HitRate*100,
+		rep.Replay.Latency.P50MS, rep.Replay.Latency.P95MS, rep.Replay.Latency.P99MS, *out)
+	if rep.Smoke != nil && !rep.Smoke.Passed {
+		os.Exit(1)
+	}
+}

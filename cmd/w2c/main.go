@@ -9,7 +9,7 @@
 // Usage:
 //
 //	w2c [-machine warp|scalar|wideN] [-baseline] [-S] [-run] [-verify]
-//	    [-explain] [-trace out.json] [-exectrace N] file.w2
+//	    [-explain] [-trace out.json] [-exectrace N] [-timeout d] file.w2
 //
 // -explain prints the II-search explain report per loop: why every
 // candidate initiation interval below the accepted one failed (the
@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -51,6 +52,7 @@ func main() {
 	exectrace := flag.Int64("exectrace", 0, "with -run: print an execution trace for the first N cycles")
 	explain := flag.Bool("explain", false, "print the II-search explain report for every loop")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the compile/run phases to this file")
+	timeout := flag.Duration("timeout", 0, "abort compilation after this long (the II search stops between candidate intervals); 0 means no limit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: w2c [flags] file.w2")
@@ -77,7 +79,14 @@ func main() {
 		tracer = softpipe.NewTracer(flag.Arg(0))
 		defer writeTrace(tracer, *traceOut)
 	}
+	var ctx context.Context
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+	}
 	obj, err := softpipe.CompileSource(string(src), m, softpipe.Options{
+		Ctx:                  ctx,
 		Baseline:             *baseline,
 		DisableMVE:           *noMVE,
 		DisableHier:          *noHier,

@@ -1,0 +1,54 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// diskTier stores one file per key under a directory, written atomically
+// (temp file + rename) so a crashed or concurrent writer can never leave
+// a torn entry visible.  Reads are revalidated by the owning Cache before
+// use, so even a corrupted file only costs a recompile.
+type diskTier struct {
+	dir string
+}
+
+func newDiskTier(dir string) (*diskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: disk tier: %w", err)
+	}
+	return &diskTier{dir: dir}, nil
+}
+
+func (d *diskTier) path(key Key) string {
+	return filepath.Join(d.dir, key.String())
+}
+
+func (d *diskTier) get(key Key) ([]byte, bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func (d *diskTier) put(key Key, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, d.path(key))
+}
+
+func (d *diskTier) remove(key Key) { os.Remove(d.path(key)) }

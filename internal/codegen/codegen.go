@@ -7,6 +7,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -35,6 +36,11 @@ const (
 
 // Options tunes compilation.
 type Options struct {
+	// Ctx, when non-nil, bounds the compile: it is checked before each
+	// loop is planned and threaded into the II search, so a canceled or
+	// deadlined request aborts between candidate initiation intervals
+	// instead of running to MaxII.
+	Ctx      context.Context
 	Mode     Mode
 	Pipeline pipeline.Options
 	// DisableHier turns off hierarchical reduction: loops containing
@@ -73,6 +79,10 @@ type LoopReport struct {
 	LoopID    int
 	TripCount int64
 	BodyOps   int
+	// Flops counts the floating-point operations of one body iteration
+	// (machine flop weights); a pipelined loop's steady-state rate is
+	// Flops·ClockMHz/II MFLOPS, which the serving layer reports per loop.
+	Flops     int
 	Pipelined bool
 	Reason    string // why the loop was not pipelined
 	MII       int

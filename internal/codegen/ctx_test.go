@@ -1,0 +1,62 @@
+package codegen
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+)
+
+func ctxProgram() *ir.Program {
+	b := ir.NewBuilder("ctxprog")
+	b.Array("a", ir.KindFloat, 64)
+	b.Array("c", ir.KindFloat, 64)
+	cst := b.FConst(2.0)
+	b.ForN(64, func(l *ir.LoopCtx) {
+		p := l.Pointer(0, 1)
+		v := b.Load("a", p, ir.Aff(l.ID, 1, 0))
+		s := l.Pointer(0, 1)
+		b.Store("c", s, b.FAdd(v, cst), ir.Aff(l.ID, 1, 0))
+	})
+	return b.P
+}
+
+func TestCompileAbortsOnCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Compile(ctxProgram(), machine.Warp(), Options{Ctx: ctx})
+	if err == nil {
+		t.Fatal("compile with a canceled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestCompileHonorsLiveContext(t *testing.T) {
+	prog, rep, err := Compile(ctxProgram(), machine.Warp(), Options{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Instrs) == 0 || len(rep.Loops) != 1 {
+		t.Fatalf("unexpected compile result: %d instrs, %d loops", len(prog.Instrs), len(rep.Loops))
+	}
+	if !rep.Loops[0].Pipelined {
+		t.Fatal("loop did not pipeline under a live context")
+	}
+	if rep.Loops[0].Flops != 1 {
+		t.Fatalf("loop Flops = %d, want 1 (one fadd per iteration)", rep.Loops[0].Flops)
+	}
+}
+
+func TestCompileDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, _, err := Compile(ctxProgram(), machine.Warp(), Options{Ctx: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}

@@ -18,6 +18,12 @@ import (
 // ("when we run out of registers, we then resort to simple techniques
 // that serialize the execution of loop iterations", Lam §2.3).
 func (e *emitter) emitLoop(l *ir.LoopStmt) {
+	if e.opts.Ctx != nil {
+		if err := e.opts.Ctx.Err(); err != nil {
+			e.fail(fmt.Errorf("codegen: compile aborted before loop %d: %w", l.ID, err))
+			return
+		}
+	}
 	ops, straight := l.Body.Ops()
 	static := l.CountReg == ir.NoReg
 	rep := LoopReport{LoopID: l.ID, BodyOps: len(ops), TripCount: -1}
@@ -25,6 +31,7 @@ func (e *emitter) emitLoop(l *ir.LoopStmt) {
 		rep.TripCount = l.CountImm
 	}
 	rep.HasCond = blockHasCond(l.Body)
+	rep.Flops = blockFlops(l.Body, e.m)
 
 	_ = ops
 	_ = straight
@@ -61,6 +68,36 @@ func blockHasInnerLoop(b *ir.Block) bool {
 		}
 	}
 	return false
+}
+
+// blockFlops counts the floating-point operations one execution of the
+// block performs, by machine flop weight.  Conditionals count their
+// heavier arm (a peak-rate bound); nested loops multiply by their static
+// trip count when known.
+func blockFlops(b *ir.Block, m *machine.Machine) int {
+	total := 0
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *ir.OpStmt:
+			if d := m.Desc(s.Op.Class); d != nil {
+				total += d.Flops
+			}
+		case *ir.IfStmt:
+			th, el := blockFlops(s.Then, m), blockFlops(s.Else, m)
+			if el > th {
+				th = el
+			}
+			total += th
+		case *ir.LoopStmt:
+			inner := blockFlops(s.Body, m)
+			if s.CountReg == ir.NoReg && s.CountImm > 0 {
+				total += inner * int(s.CountImm)
+			} else {
+				total += inner
+			}
+		}
+	}
+	return total
 }
 
 func blockHasCond(b *ir.Block) bool {
@@ -199,6 +236,7 @@ func (e *emitter) planBodyOpts(l *ir.LoopStmt, powerOfTwo, keepMarginal bool, re
 		}
 	}
 	plOpts := e.opts.Pipeline
+	plOpts.Ctx = e.opts.Ctx
 	plOpts.LiveOut = e.liveOutOf(l)
 	plOpts.IndependentMem = l.Independent
 	plOpts.PowerOfTwoUnroll = powerOfTwo

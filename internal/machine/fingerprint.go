@@ -1,0 +1,62 @@
+package machine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Fingerprint returns a stable hex digest of everything the scheduler and
+// simulator observe about the machine: resource counts, per-class
+// latencies, flop weights and reservation tables, register-file sizes,
+// clock and cell count.  Two machines with the same fingerprint produce
+// bit-identical schedules and object code for any program, so the digest
+// is a sound cache key component (internal/cache keys compiles by it).
+//
+// The digest is independent of representation order: reservation-table
+// entries are sorted before hashing, since a table is a set of
+// (resource, offset) pairs and permuting it does not change the machine.
+// The Name field is deliberately excluded — renaming a configuration does
+// not invalidate compiles.
+func (m *Machine) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wInt(int64(len(m.ResourceCount)))
+	for _, n := range m.ResourceCount {
+		wInt(int64(n))
+	}
+	wInt(int64(len(m.Ops)))
+	for c, d := range m.Ops {
+		if d == nil {
+			continue
+		}
+		wInt(int64(c))
+		wInt(int64(d.Latency))
+		wInt(int64(d.Flops))
+		res := append([]ResUse(nil), d.Reservation...)
+		sort.Slice(res, func(i, j int) bool {
+			if res[i].Resource != res[j].Resource {
+				return res[i].Resource < res[j].Resource
+			}
+			return res[i].Offset < res[j].Offset
+		})
+		wInt(int64(len(res)))
+		for _, u := range res {
+			wInt(int64(u.Resource))
+			wInt(int64(u.Offset))
+		}
+	}
+	wInt(int64(m.FloatRegs))
+	wInt(int64(m.IntRegs))
+	wInt(int64(m.Cells))
+	// ClockMHz only scales reported MFLOPS, but reports are part of the
+	// cached artifact, so it is part of the identity.
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(m.ClockMHz*1e6)))
+	h.Write(buf[:])
+	return hex.EncodeToString(h.Sum(nil))
+}

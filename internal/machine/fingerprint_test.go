@@ -1,0 +1,84 @@
+package machine
+
+import "testing"
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := Warp(), Warp()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("two identical Warp() machines fingerprint differently")
+	}
+	if got := a.Fingerprint(); got != a.Fingerprint() {
+		t.Fatal("fingerprint is not deterministic across calls")
+	}
+}
+
+func TestFingerprintReservationOrderIndependent(t *testing.T) {
+	a, b := Warp(), Warp()
+	// Give a class a multi-entry reservation table and permute it.
+	multi := []ResUse{{Resource: ResFAdd, Offset: 0}, {Resource: ResALU, Offset: 1}, {Resource: ResMemRd, Offset: 2}}
+	rev := []ResUse{multi[2], multi[1], multi[0]}
+	da := *a.Ops[ClassFAdd]
+	da.Reservation = multi
+	a.Ops[ClassFAdd] = &da
+	db := *b.Ops[ClassFAdd]
+	db.Reservation = rev
+	b.Ops[ClassFAdd] = &db
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("permuting a reservation table changed the fingerprint")
+	}
+}
+
+func TestFingerprintNameIndependent(t *testing.T) {
+	a, b := Warp(), Warp()
+	b.Name = "renamed"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("renaming the machine changed the fingerprint")
+	}
+}
+
+func TestFingerprintSensitive(t *testing.T) {
+	base := Warp().Fingerprint()
+	// Any latency change must change the digest.
+	for c := Class(0); c < Class(NumClasses()); c++ {
+		m := Warp()
+		if m.Ops[c] == nil {
+			continue
+		}
+		d := *m.Ops[c]
+		d.Latency++
+		m.Ops[c] = &d
+		if m.Fingerprint() == base {
+			t.Fatalf("raising %v latency did not change the fingerprint", c)
+		}
+	}
+	mutants := []func(m *Machine){
+		func(m *Machine) { m.ResourceCount[ResFAdd]++ },
+		func(m *Machine) { m.FloatRegs-- },
+		func(m *Machine) { m.IntRegs++ },
+		func(m *Machine) { m.Cells = 3 },
+		func(m *Machine) {
+			d := *m.Ops[ClassLoad]
+			d.Reservation = append([]ResUse(nil), d.Reservation...)
+			d.Reservation[0].Offset++
+			m.Ops[ClassLoad] = &d
+		},
+		func(m *Machine) {
+			d := *m.Ops[ClassFMul]
+			d.Flops = 2
+			m.Ops[ClassFMul] = &d
+		},
+	}
+	for i, mut := range mutants {
+		m := Warp()
+		mut(m)
+		if m.Fingerprint() == base {
+			t.Fatalf("mutant %d did not change the fingerprint", i)
+		}
+	}
+	if Warp().Fingerprint() == Scalar().Fingerprint() {
+		t.Fatal("Warp and Scalar fingerprint identically")
+	}
+	if Warp().Fingerprint() == Wide(2).Fingerprint() {
+		t.Fatal("Warp and Wide(2) fingerprint identically")
+	}
+}

@@ -6,6 +6,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,6 +36,11 @@ const (
 
 // Options tunes planning.
 type Options struct {
+	// Ctx, when non-nil, bounds the whole plan: the II search checks it
+	// between candidate intervals and the copy-budget retry loop checks
+	// it between reschedules, so a deadlined compile request aborts
+	// instead of running to MaxII.
+	Ctx          context.Context
 	Policy       Policy
 	BinarySearch bool // ablation: FPS-style binary search for the II
 	DisableMVE   bool // ablation: never remove expandable-register edges
@@ -156,6 +162,11 @@ func PlanLoop(nodes []*depgraph.Node, loopID int, m *machine.Machine, opts Optio
 		}
 	}
 	for {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pipeline: plan aborted: %w", err)
+			}
+		}
 		p, err := planWith(nodes, full, expanded, m, opts)
 		if err != nil {
 			return nil, err
@@ -273,6 +284,7 @@ func planWith(nodes []*depgraph.Node, full *depgraph.Graph, expanded map[ir.VReg
 	search := opts.Tracer.Begin("schedule.search")
 	for {
 		res, st, err = searcher.Search(schedule.Options{
+			Ctx:            opts.Ctx,
 			MaxII:          maxII,
 			MinII:          minII,
 			BinarySearch:   opts.BinarySearch,

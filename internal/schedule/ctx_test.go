@@ -1,0 +1,72 @@
+package schedule
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+)
+
+// ctxLoop builds a small scheduled loop for the cancellation tests.
+func ctxLoopAnalysis(t *testing.T) (*ir.Program, *machine.Machine) {
+	t.Helper()
+	m := machine.Warp()
+	b := ir.NewBuilder("ctxloop")
+	b.Array("a", ir.KindFloat, 64)
+	b.Array("c", ir.KindFloat, 64)
+	cst := b.FConst(1.5)
+	b.ForN(64, func(l *ir.LoopCtx) {
+		p := l.Pointer(0, 1)
+		v := b.Load("a", p, ir.Aff(l.ID, 1, 0))
+		s := l.Pointer(0, 1)
+		b.Store("c", s, b.FMul(v, cst), ir.Aff(l.ID, 1, 0))
+	})
+	return b.P, m
+}
+
+func TestSearchAbortsOnCanceledContext(t *testing.T) {
+	p, m := ctxLoopAnalysis(t)
+	a := analyze(t, p, m, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, st, err := Modulo(a, m, Options{Ctx: ctx})
+	if err == nil {
+		t.Fatal("search with a canceled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if st.Attempts != 0 {
+		t.Fatalf("canceled search still made %d attempts", st.Attempts)
+	}
+}
+
+func TestBinarySearchAbortsOnCanceledContext(t *testing.T) {
+	p, m := ctxLoopAnalysis(t)
+	a := analyze(t, p, m, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Modulo(a, m, Options{Ctx: ctx, BinarySearch: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("binary search error %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestSearchSucceedsUnderLiveContext(t *testing.T) {
+	p, m := ctxLoopAnalysis(t)
+	a := analyze(t, p, m, true)
+	r, _, err := Modulo(a, m, Options{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same result as the context-free search.
+	r2, _, err := Modulo(a, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.II != r2.II {
+		t.Fatalf("context-bearing search achieved II %d, context-free %d", r.II, r2.II)
+	}
+}

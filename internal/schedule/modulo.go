@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 
 	"softpipe/internal/depgraph"
@@ -9,6 +10,11 @@ import (
 
 // Options tunes the modulo scheduler.
 type Options struct {
+	// Ctx, when non-nil, is checked between candidate initiation
+	// intervals: a canceled or deadlined context aborts the search with
+	// an error wrapping ctx.Err() instead of running to MaxII.  The
+	// serving layer threads per-request deadlines through here.
+	Ctx context.Context
 	// MaxII bounds the iterative search; 0 means DefaultMaxII.
 	MaxII int
 	// MinII raises the search floor above the natural MII (used by the
@@ -249,6 +255,10 @@ func (sr *Searcher) Search(opts Options) (*Result, *Stats, error) {
 		return r, st, err
 	}
 	for s := floor; s <= maxII; s++ {
+		if err := ctxErr(opts.Ctx, s); err != nil {
+			st.Backtracks = sr.retries
+			return nil, st, err
+		}
 		st.Attempts++
 		if r := sr.attempt(opts, s); r != nil {
 			st.Achieved = s
@@ -278,6 +288,9 @@ func (sr *Searcher) searchBinary(opts Options, floor, maxII int, st *Stats) (*Re
 	bestII := -1
 	for lo <= hi {
 		mid := (lo + hi) / 2
+		if err := ctxErr(opts.Ctx, mid); err != nil {
+			return nil, err
+		}
 		st.Attempts++
 		if r := sr.attempt(opts, mid); r != nil {
 			best, bestII = r, mid
@@ -296,6 +309,18 @@ func (sr *Searcher) searchBinary(opts Options, floor, maxII int, st *Stats) (*Re
 		best.Explain = sr.exp
 	}
 	return best, nil
+}
+
+// ctxErr reports a canceled or deadlined search context as an error
+// naming the candidate interval the search was about to try.
+func ctxErr(ctx context.Context, candidate int) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("schedule: II search aborted before candidate %d: %w", candidate, err)
+	}
+	return nil
 }
 
 // attempt tries to build a schedule with initiation interval s; nil means

@@ -1,0 +1,344 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"softpipe"
+	"softpipe/internal/cache"
+	"softpipe/internal/lang"
+	"softpipe/internal/machine"
+	"softpipe/internal/verify"
+	"softpipe/internal/vliw"
+)
+
+const maxRequestBytes = 4 << 20
+
+// CompileOptions is the request-visible subset of softpipe.Options.  Every
+// field participates in the cache key (see optionsKey), so two requests
+// differing in any of them never share an artifact.
+type CompileOptions struct {
+	Baseline             bool `json:"baseline,omitempty"`
+	DisableMVE           bool `json:"disable_mve,omitempty"`
+	DisableHier          bool `json:"disable_hier,omitempty"`
+	DisableLoopReduction bool `json:"disable_loop_reduction,omitempty"`
+	BinarySearch         bool `json:"binary_search,omitempty"`
+	// PolicyLCM selects lcm(qᵢ) modulo-variable-expansion unrolling
+	// instead of the default min-unroll policy.
+	PolicyLCM       bool `json:"policy_lcm,omitempty"`
+	UnrollInnerTrip int  `json:"unroll_inner_trip,omitempty"`
+	// Verify runs the independent object-code verifier as part of the
+	// compile; a verified artifact is cached like any other.
+	Verify bool `json:"verify,omitempty"`
+}
+
+// optionsKey renders the options as a stable string for cache keying.
+// Field order is fixed; adding a field here is a cache-invalidating
+// change by construction.
+func (o CompileOptions) optionsKey() string {
+	b := func(v bool) byte {
+		if v {
+			return '1'
+		}
+		return '0'
+	}
+	return fmt.Sprintf("v1:base=%c;mve=%c;hier=%c;lred=%c;bin=%c;lcm=%c;unroll=%d;verify=%c",
+		b(o.Baseline), b(o.DisableMVE), b(o.DisableHier), b(o.DisableLoopReduction),
+		b(o.BinarySearch), b(o.PolicyLCM), o.UnrollInnerTrip, b(o.Verify))
+}
+
+func (o CompileOptions) lower(ctx context.Context) softpipe.Options {
+	opts := softpipe.Options{
+		Ctx:                  ctx,
+		Baseline:             o.Baseline,
+		DisableMVE:           o.DisableMVE,
+		DisableHier:          o.DisableHier,
+		DisableLoopReduction: o.DisableLoopReduction,
+		BinarySearch:         o.BinarySearch,
+		UnrollInnerTrip:      o.UnrollInnerTrip,
+		VerifyEmitted:        o.Verify,
+		Explain:              true, // explain text is part of the artifact
+	}
+	if o.PolicyLCM {
+		opts.Policy = softpipe.LCMUnroll
+	}
+	return opts
+}
+
+// CompileRequest is the body of POST /compile.
+type CompileRequest struct {
+	// Source is W2 program text.  It is canonicalized (parse +
+	// pretty-print) before keying, so formatting differences do not
+	// fragment the cache.
+	Source string `json:"source"`
+	// Machine names the target: "warp" (default), "scalar", or "wideN"
+	// for N ≥ 2 (e.g. "wide4").
+	Machine string         `json:"machine,omitempty"`
+	Options CompileOptions `json:"options,omitempty"`
+	// TimeoutMS bounds the compile; the deadline is threaded through the
+	// II search, so a blown deadline returns 504 instead of hanging.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace requests the compile-phase Chrome trace (trace_event JSON) in
+	// the response.  Traces are per-request and never cached, so a cache
+	// hit returns no trace.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// LoopStats is the per-loop slice of the compile report the service
+// returns, including the steady-state rate estimate the paper's tables
+// are built from.
+type LoopStats struct {
+	LoopID    int    `json:"loop_id"`
+	TripCount int64  `json:"trip_count"`
+	Pipelined bool   `json:"pipelined"`
+	Reason    string `json:"reason,omitempty"`
+	MII       int    `json:"mii"`
+	ResMII    int    `json:"res_mii"`
+	RecMII    int    `json:"rec_mii"`
+	II        int    `json:"ii"`
+	MetLower  bool   `json:"met_lower"`
+	Unroll    int    `json:"unroll,omitempty"`
+	Stages    int    `json:"stages,omitempty"`
+	Flops     int    `json:"flops"`
+	// EstMFLOPS is the steady-state kernel rate Flops·ClockMHz/II; zero
+	// for unpipelined loops.
+	EstMFLOPS float64 `json:"est_mflops"`
+	// Explain is the II-search explain report (schedule.Explain.Format):
+	// for each candidate interval below the accepted one, which operation
+	// and which resource or dependence edge killed it.
+	Explain string `json:"explain,omitempty"`
+}
+
+// CompileResponse is the body of a successful POST /compile.
+type CompileResponse struct {
+	// Key is the content address of the artifact (hex SHA-256); POST /run
+	// accepts it in place of source.
+	Key string `json:"key"`
+	// Cached reports whether this request was served without running the
+	// compiler (in-memory hit, revalidated disk hit, or coalesced onto a
+	// concurrent identical compile).
+	Cached bool `json:"cached"`
+	// ObjectSHA256 is the digest of the serialized artifact — cold and
+	// warm responses for the same key carry the same digest, which the
+	// load harness asserts.
+	ObjectSHA256 string      `json:"object_sha256"`
+	Machine      string      `json:"machine"`
+	Instrs       int         `json:"instrs"`
+	FRegs        int         `json:"fregs"`
+	IRegs        int         `json:"iregs"`
+	Loops        []LoopStats `json:"loops"`
+	ElapsedMS    float64     `json:"elapsed_ms"`
+	// TraceJSON is the Chrome trace of this compile when Trace was set
+	// and the request actually compiled.
+	TraceJSON json.RawMessage `json:"trace,omitempty"`
+}
+
+// artifact is the cached value: everything /run needs to simulate without
+// recompiling, as deterministic JSON (encoding/json sorts map keys, so
+// vliw.Program's init maps serialize stably and hits are bit-identical to
+// the miss that populated them).
+type artifact struct {
+	// MachineName and MachineFP pin the target this artifact was compiled
+	// for; the disk-tier validator rejects entries whose recomputed
+	// fingerprint disagrees (e.g. a machine model edit across restarts).
+	MachineName string        `json:"machine"`
+	MachineFP   string        `json:"machine_fp"`
+	Binary      *vliw.Program `json:"binary"`
+	FRegs       int           `json:"fregs"`
+	IRegs       int           `json:"iregs"`
+	Loops       []LoopStats   `json:"loops"`
+}
+
+// resolveMachine maps a request's machine name to a model.
+func resolveMachine(name string) (*machine.Machine, string, error) {
+	switch {
+	case name == "" || name == "warp":
+		return machine.Warp(), "warp", nil
+	case name == "scalar":
+		return machine.Scalar(), "scalar", nil
+	case strings.HasPrefix(name, "wide"):
+		n, err := strconv.Atoi(name[len("wide"):])
+		if err != nil || n < 2 || n > 64 {
+			return nil, "", fmt.Errorf("unknown machine %q (want warp, scalar, or wideN with 2 ≤ N ≤ 64)", name)
+		}
+		return machine.Wide(n), name, nil
+	default:
+		return nil, "", fmt.Errorf("unknown machine %q (want warp, scalar, or wideN)", name)
+	}
+}
+
+// validateArtifact is the disk-tier revalidator: decode, re-resolve the
+// machine, check the fingerprint still matches, and re-run the static
+// object-code checks (resource legality including kernel wraparound) from
+// internal/verify.  A stale or corrupted disk entry is deleted and costs
+// one recompile, never a wrong answer.
+func validateArtifact(_ cache.Key, data []byte) error {
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return fmt.Errorf("undecodable artifact: %w", err)
+	}
+	if a.Binary == nil {
+		return errors.New("artifact has no binary")
+	}
+	m, _, err := resolveMachine(a.MachineName)
+	if err != nil {
+		return err
+	}
+	if fp := m.Fingerprint(); fp != a.MachineFP {
+		return fmt.Errorf("machine %q fingerprint changed (%s != %s)", a.MachineName, fp[:12], a.MachineFP[:12])
+	}
+	return verify.Static(a.Binary, m)
+}
+
+// canonicalSource parses and pretty-prints W2 text, so the cache key
+// depends on program structure, not whitespace.
+func canonicalSource(src string) (string, error) {
+	ast, err := lang.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return lang.Format(ast), nil
+}
+
+// compileArtifact runs the compiler and serializes the outcome.
+func compileArtifact(ctx context.Context, canon, machineName string, m *machine.Machine, opts CompileOptions, tracer *softpipe.Tracer) ([]byte, error) {
+	sopts := opts.lower(ctx)
+	sopts.Tracer = tracer
+	obj, err := softpipe.CompileSource(canon, m, sopts)
+	if err != nil {
+		return nil, err
+	}
+	a := artifact{
+		MachineName: machineName,
+		MachineFP:   m.Fingerprint(),
+		Binary:      obj.Binary,
+		FRegs:       obj.Report.FRegsUsed,
+		IRegs:       obj.Report.IRegsUsed,
+	}
+	for _, lr := range obj.Report.Loops {
+		ls := LoopStats{
+			LoopID:    lr.LoopID,
+			TripCount: lr.TripCount,
+			Pipelined: lr.Pipelined,
+			Reason:    lr.Reason,
+			MII:       lr.MII,
+			ResMII:    lr.ResMII,
+			RecMII:    lr.RecMII,
+			II:        lr.II,
+			MetLower:  lr.MetLower,
+			Unroll:    lr.Unroll,
+			Stages:    lr.Stages,
+			Flops:     lr.Flops,
+		}
+		if lr.Pipelined && lr.II > 0 {
+			ls.EstMFLOPS = float64(lr.Flops) * m.ClockMHz / float64(lr.II)
+		}
+		if lr.Explain != nil {
+			ls.Explain = lr.Explain.Format()
+		}
+		a.Loops = append(a.Loops, ls)
+	}
+	return json.Marshal(a)
+}
+
+// compileCached canonicalizes, keys, and compiles through the cache.
+func (s *Server) compileCached(ctx context.Context, src, machineName string, opts CompileOptions, tracer *softpipe.Tracer) (key cache.Key, data []byte, hit bool, err error) {
+	canon, err := canonicalSource(src)
+	if err != nil {
+		return key, nil, false, &requestError{http.StatusUnprocessableEntity, err}
+	}
+	m, mname, err := resolveMachine(machineName)
+	if err != nil {
+		return key, nil, false, &requestError{http.StatusBadRequest, err}
+	}
+	key = cache.KeyOf(canon, m.Fingerprint(), opts.optionsKey())
+	data, hit, err = s.cache.GetOrCompute(ctx, key, func() ([]byte, error) {
+		return compileArtifact(ctx, canon, mname, m, opts, tracer)
+	})
+	if err != nil {
+		return key, nil, false, classifyCompileErr(err)
+	}
+	return key, data, hit, nil
+}
+
+// requestError pairs an HTTP status with the underlying cause.
+type requestError struct {
+	status int
+	err    error
+}
+
+func (e *requestError) Error() string { return e.err.Error() }
+func (e *requestError) Unwrap() error { return e.err }
+
+// classifyCompileErr maps compiler failures to HTTP statuses: deadline →
+// 504, everything else (parse, validation, infeasible schedule, verifier
+// rejection) → 422.
+func classifyCompileErr(err error) *requestError {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return &requestError{http.StatusGatewayTimeout, err}
+	}
+	return &requestError{http.StatusUnprocessableEntity, err}
+}
+
+func (s *Server) writeRequestError(w http.ResponseWriter, err error) {
+	var re *requestError
+	if errors.As(err, &re) {
+		s.fail(w, re.status, re.err)
+		return
+	}
+	s.fail(w, http.StatusInternalServerError, err)
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	var req CompileRequest
+	if err := decodeJSON(r, &req, maxRequestBytes); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+
+	var tracer *softpipe.Tracer
+	if req.Trace {
+		tracer = softpipe.NewTracer("compile")
+	}
+	key, data, hit, err := s.compileCached(ctx, req.Source, req.Machine, req.Options, tracer)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		s.fail(w, http.StatusInternalServerError, fmt.Errorf("corrupt cached artifact: %w", err))
+		return
+	}
+	sum := sha256.Sum256(data)
+	resp := CompileResponse{
+		Key:          key.String(),
+		Cached:       hit,
+		ObjectSHA256: hex.EncodeToString(sum[:]),
+		Machine:      a.MachineName,
+		Instrs:       len(a.Binary.Instrs),
+		FRegs:        a.FRegs,
+		IRegs:        a.IRegs,
+		Loops:        a.Loops,
+		ElapsedMS:    float64(time.Since(t0).Microseconds()) / 1e3,
+	}
+	if tracer != nil && !hit {
+		var buf bytes.Buffer
+		if err := tracer.WriteJSON(&buf); err == nil {
+			resp.TraceJSON = json.RawMessage(buf.Bytes())
+		}
+	}
+	s.reply(w, http.StatusOK, resp)
+}

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"softpipe/internal/cache"
+	"softpipe/internal/sim"
+)
+
+// RunRequest is the body of POST /run.  Provide either Source (compiled
+// through the same cache as /compile) or Key (the content address a
+// previous /compile returned; 404 if it has left the cache).
+type RunRequest struct {
+	Source  string         `json:"source,omitempty"`
+	Key     string         `json:"key,omitempty"`
+	Machine string         `json:"machine,omitempty"`
+	Options CompileOptions `json:"options,omitempty"`
+	// Cells > 1 runs the program on a homogeneous linear array of that
+	// many cells, with Input preloaded on the first cell's channel.
+	Cells int       `json:"cells,omitempty"`
+	Input []float64 `json:"input,omitempty"`
+	// TimeoutMS bounds compile + simulation together.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// JSONFloat is a float64 that survives JSON round-trips even when
+// non-finite: NaN and ±Inf (which encoding/json rejects outright) marshal
+// as the strings "NaN", "Inf", "-Inf".  Simulated programs legitimately
+// produce them (a Planckian kernel on zero-filled inputs divides 0/0),
+// and a run that computed NaN must still answer 200 with the state it
+// computed.
+type JSONFloat float64
+
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
+	var v float64
+	if err := json.Unmarshal(b, &v); err == nil {
+		*f = JSONFloat(v)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("bad float %s", b)
+	}
+	switch s {
+	case "NaN":
+		*f = JSONFloat(math.NaN())
+	case "Inf":
+		*f = JSONFloat(math.Inf(1))
+	case "-Inf":
+		*f = JSONFloat(math.Inf(-1))
+	default:
+		return fmt.Errorf("bad float %q", s)
+	}
+	return nil
+}
+
+func toJSONFloats(vs []float64) []JSONFloat {
+	if vs == nil {
+		return nil
+	}
+	out := make([]JSONFloat, len(vs))
+	for i, v := range vs {
+		out[i] = JSONFloat(v)
+	}
+	return out
+}
+
+func toJSONScalars(m map[string]float64) map[string]JSONFloat {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]JSONFloat, len(m))
+	for k, v := range m {
+		out[k] = JSONFloat(v)
+	}
+	return out
+}
+
+// RunResponse is the body of a successful POST /run.
+type RunResponse struct {
+	Key    string  `json:"key"`
+	Cached bool    `json:"cached"`
+	Cycles int64   `json:"cycles"`
+	Flops  int64   `json:"flops"`
+	MFLOPS float64 `json:"mflops"`
+	// Scalars is the program's observable scalar state; Output is the
+	// stream the last cell sent to the host (array runs only).
+	Scalars   map[string]JSONFloat `json:"scalars,omitempty"`
+	Output    []JSONFloat          `json:"output,omitempty"`
+	ElapsedMS float64              `json:"elapsed_ms"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	var req RunRequest
+	if err := decodeJSON(r, &req, maxRequestBytes); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+
+	key, data, hit, err := s.artifactFor(ctx, &req)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		s.fail(w, http.StatusInternalServerError, fmt.Errorf("corrupt cached artifact: %w", err))
+		return
+	}
+	m, _, err := resolveMachine(a.MachineName)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	resp := RunResponse{Key: key.String(), Cached: hit}
+	if req.Cells > 1 {
+		arr := sim.NewHomogeneousArray(a.Binary, m, req.Cells, req.Input)
+		arr.Ctx = ctx
+		out, last, err := arr.Run()
+		if err != nil {
+			s.writeRequestError(w, classifyRunErr(err))
+			return
+		}
+		st := arr.Stats()
+		resp.Cycles, resp.Flops = st.Cycles, st.Flops
+		resp.MFLOPS = st.MFLOPS(m, 1)
+		resp.Output = toJSONFloats(out)
+		if last != nil {
+			resp.Scalars = toJSONScalars(last.Scalars)
+		}
+	} else {
+		cell := sim.New(a.Binary, m)
+		cell.Ctx = ctx
+		state, err := cell.Run()
+		if err != nil {
+			s.writeRequestError(w, classifyRunErr(err))
+			return
+		}
+		st := cell.Stats()
+		resp.Cycles, resp.Flops = st.Cycles, st.Flops
+		resp.MFLOPS = st.MFLOPS(m, 1)
+		if state != nil {
+			resp.Scalars = toJSONScalars(state.Scalars)
+		}
+	}
+	resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1e3
+	s.reply(w, http.StatusOK, resp)
+}
+
+// artifactFor obtains the compiled artifact for a run request: by content
+// address when Key is set, otherwise by compiling Source through the
+// cache.
+func (s *Server) artifactFor(ctx context.Context, req *RunRequest) (cache.Key, []byte, bool, error) {
+	if req.Key != "" {
+		key, err := cache.ParseKey(req.Key)
+		if err != nil {
+			return key, nil, false, &requestError{http.StatusBadRequest, err}
+		}
+		data, ok := s.cache.Get(key)
+		if !ok {
+			return key, nil, false, &requestError{http.StatusNotFound, fmt.Errorf("no cached artifact for key %s", req.Key)}
+		}
+		return key, data, true, nil
+	}
+	if req.Source == "" {
+		var key cache.Key
+		return key, nil, false, &requestError{http.StatusBadRequest, errors.New("run request needs source or key")}
+	}
+	return s.compileCached(ctx, req.Source, req.Machine, req.Options, nil)
+}
+
+// classifyRunErr maps simulator failures: deadline → 504, deadlock or
+// runtime fault → 422.
+func classifyRunErr(err error) *requestError {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return &requestError{http.StatusGatewayTimeout, err}
+	}
+	return &requestError{http.StatusUnprocessableEntity, err}
+}

@@ -1,0 +1,238 @@
+// Package service exposes the softpipe compiler as an HTTP daemon:
+// compile-as-a-service over the content-addressed cache in internal/cache.
+//
+// Endpoints:
+//
+//	POST /compile  W2 source → compiled object stats (per-loop II/MII/
+//	               MFLOPS, explain text on infeasibility), served from the
+//	               cache when the canonicalized source, machine fingerprint
+//	               and options match a previous compile.
+//	POST /run      compile (or look up) and simulate, returning cycles,
+//	               flops, MFLOPS and observable state.
+//	GET  /healthz  liveness (503 while draining).
+//	GET  /metrics  JSON counters: cache hit rate, in-flight, queue depth,
+//	               latency percentiles per endpoint.
+//
+// The server applies admission control (a bounded queue in front of a
+// worker semaphore; overload answers 429 with Retry-After), per-request
+// deadlines threaded as a context through the compiler so the II search
+// aborts when the client gives up, and panic recovery so one poisoned
+// request cannot take the daemon down.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"softpipe/internal/cache"
+)
+
+// Config tunes a Server.  The zero value is serviceable.
+type Config struct {
+	// MaxConcurrent bounds simultaneously executing compile/run requests
+	// (default: GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a worker slot; beyond it the
+	// server answers 429 with Retry-After (default 64).
+	MaxQueue int
+	// CacheBytes bounds the in-memory artifact cache (default 256 MiB).
+	CacheBytes int64
+	// CacheDir, when non-empty, enables the on-disk cache tier; entries
+	// loaded from it are revalidated (decode + machine fingerprint +
+	// static resource legality via internal/verify) before use.
+	CacheDir string
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 60s); MaxTimeout caps client-supplied deadlines
+	// (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Logf, when non-nil, receives one line per served request and per
+	// recovered panic.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP handler.  Create one with New; it is safe for
+// concurrent use and for http.Server's background goroutines.
+type Server struct {
+	cfg   Config
+	cache *cache.Cache
+	mux   *http.ServeMux
+	start time.Time
+
+	sem      chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	reqCompile atomic.Int64
+	reqRun     atomic.Int64
+	errors     atomic.Int64 // 4xx/5xx responses
+	rejected   atomic.Int64 // 429s from admission control
+	panics     atomic.Int64
+
+	latCompile histogram
+	latRun     histogram
+}
+
+// New builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	s := &Server{cfg: cfg, start: time.Now(), sem: make(chan struct{}, cfg.MaxConcurrent)}
+	c, err := cache.New(cache.Config{
+		MaxBytes: cfg.CacheBytes,
+		Dir:      cfg.CacheDir,
+		Validate: validateArtifact,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.cache = c
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /compile", s.admit(s.handleCompile, &s.reqCompile, &s.latCompile))
+	s.mux.HandleFunc("POST /run", s.admit(s.handleRun, &s.reqRun, &s.latRun))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler with panic recovery: a handler panic
+// becomes a 500 (when nothing was written yet) and a counter, never a
+// dead daemon.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			s.fail(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", v))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// SetDraining flips the drain flag: /healthz starts answering 503 so load
+// balancers stop routing here, while in-flight requests finish normally.
+// cmd/softpiped sets it on SIGTERM before http.Server.Shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// CacheStats exposes the artifact cache counters (tests and /metrics).
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// admit wraps a worker endpoint with admission control: a fast-path
+// semaphore acquire, a bounded wait queue behind it, and 429+Retry-After
+// once the queue is full.  It also records the request count and latency.
+func (s *Server) admit(h http.HandlerFunc, count *atomic.Int64, lat *histogram) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		count.Add(1)
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+				s.queued.Add(-1)
+				s.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				s.fail(w, http.StatusTooManyRequests, fmt.Errorf("server saturated: %d in flight, %d queued", s.inflight.Load(), s.queued.Load()))
+				return
+			}
+			select {
+			case s.sem <- struct{}{}:
+				s.queued.Add(-1)
+			case <-r.Context().Done():
+				s.queued.Add(-1)
+				s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("client gave up while queued: %v", r.Context().Err()))
+				return
+			}
+		}
+		s.inflight.Add(1)
+		t0 := time.Now()
+		defer func() {
+			lat.observe(time.Since(t0))
+			s.inflight.Add(-1)
+			<-s.sem
+		}()
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reply(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	s.reply(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// errorResponse is the body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+	// Timeout marks deadline-exceeded compiles/runs so clients can
+	// distinguish "too slow" from "wrong".
+	Timeout bool `json:"timeout,omitempty"`
+}
+
+// reply marshals before touching the ResponseWriter: an unencodable body
+// becomes an honest 500, never a committed 200 status with an empty body.
+func (s *Server) reply(w http.ResponseWriter, code int, body any) {
+	data, err := json.MarshalIndent(body, "", "  ")
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		s.errors.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\": %q}\n", "encode response: "+err.Error())
+		return
+	}
+	w.WriteHeader(code)
+	_, _ = w.Write(append(data, '\n'))
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.errors.Add(1)
+	s.reply(w, code, errorResponse{Error: err.Error(), Timeout: code == http.StatusGatewayTimeout})
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// timeout resolves a request's timeout_ms field against the configured
+// default and cap.
+func (s *Server) timeout(ms int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// decodeJSON reads a bounded request body.
+func decodeJSON(r *http.Request, dst any, maxBytes int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"softpipe/internal/ir"
 	"softpipe/internal/machine"
@@ -20,6 +22,9 @@ type Array struct {
 	Cells []*Sim
 	// MaxCycles bounds the run; 0 picks a generous default.
 	MaxCycles int64
+	// Ctx, when non-nil, is polled every few thousand global cycles; a
+	// canceled or deadlined context aborts Run with ctx.Err() wrapped.
+	Ctx context.Context
 
 	queues []*Queue
 	cycles int64
@@ -64,15 +69,25 @@ func NewHomogeneousArray(p *vliw.Program, m *machine.Machine, n int, input []flo
 // Run steps every cell until all halt, then drains in-flight writes.
 // It returns the host-side output stream and the final state of the last
 // cell (homogeneous reductions usually leave results there).
+//
+// A global cycle in which every live cell is blocked on a queue is a
+// deadlock: cells are deterministic and stalls freeze their state, so if
+// no cell progressed, no cell ever will.  Run fails fast on the first
+// such cycle — instead of spinning to MaxCycles — with an error naming
+// each blocked cell's queue operation and the occupancy of its channels.
 func (a *Array) Run() ([]float64, *ir.State, error) {
 	max := a.MaxCycles
 	if max == 0 {
 		max = 200_000_000
 	}
-	stallStreak := 0
 	for a.cycles = 0; ; a.cycles++ {
 		if a.cycles >= max {
 			return nil, nil, fmt.Errorf("sim: array exceeded %d cycles", max)
+		}
+		if a.Ctx != nil && a.cycles&0x1fff == 0 {
+			if err := a.Ctx.Err(); err != nil {
+				return nil, nil, fmt.Errorf("sim: array run aborted at cycle %d: %w", a.cycles, err)
+			}
 		}
 		allHalted := true
 		progress := false
@@ -93,12 +108,7 @@ func (a *Array) Run() ([]float64, *ir.State, error) {
 			break
 		}
 		if !progress {
-			stallStreak++
-			if stallStreak > 4 {
-				return nil, nil, fmt.Errorf("sim: array deadlocked at cycle %d (%s)", a.cycles, a.describeStalls())
-			}
-		} else {
-			stallStreak = 0
+			return nil, nil, fmt.Errorf("sim: array deadlocked at cycle %d: %s", a.cycles, a.describeStalls())
 		}
 	}
 	for ci, c := range a.Cells {
@@ -109,12 +119,34 @@ func (a *Array) Run() ([]float64, *ir.State, error) {
 	return a.queues[len(a.Cells)].contents(), a.Cells[len(a.Cells)-1].state(), nil
 }
 
+// describeStalls renders every cell's blockage — the queue operation it
+// cannot complete, its frozen pc and local cycle, and the occupancy of
+// its input and output channels — so a deadlock report points straight
+// at the cell (and queue) at fault.
 func (a *Array) describeStalls() string {
-	s := ""
-	for i, q := range a.queues {
-		s += fmt.Sprintf("q%d=%d ", i, q.Len())
+	var b strings.Builder
+	occ := func(q *Queue) string {
+		if q.Cap() == 0 {
+			return fmt.Sprintf("%d/inf", q.Len())
+		}
+		return fmt.Sprintf("%d/%d", q.Len(), q.Cap())
 	}
-	return s
+	for ci, c := range a.Cells {
+		if ci > 0 {
+			b.WriteString("; ")
+		}
+		if c.halted {
+			fmt.Fprintf(&b, "cell %d halted", ci)
+			continue
+		}
+		if class, pc, t, ok := c.BlockedOn(); ok {
+			fmt.Fprintf(&b, "cell %d blocked on %v @pc=%d (local cycle %d, in q%d %s, out q%d %s)",
+				ci, class, pc, t, ci, occ(a.queues[ci]), ci+1, occ(a.queues[ci+1]))
+		} else {
+			fmt.Fprintf(&b, "cell %d stalled", ci)
+		}
+	}
+	return b.String()
 }
 
 // Stats aggregates the cells' counters; Cycles is the array wall clock.

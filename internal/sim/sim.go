@@ -20,6 +20,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -99,6 +100,10 @@ type Sim struct {
 	// queues are used instead.
 	InputTape  []float64
 	OutputTape []float64
+	// Ctx, when non-nil, is polled every few thousand cycles: a canceled
+	// or deadlined context aborts Run with an error wrapping ctx.Err().
+	// The serving layer bounds simulation requests with it.
+	Ctx context.Context
 
 	fregs []float64
 	iregs []int64
@@ -139,6 +144,22 @@ type Sim struct {
 	inPos  int
 	inQ    *Queue
 	outQ   *Queue
+
+	// blocked describes the queue operation the last (stalled) Step
+	// could not complete; valid only while the cell is stalled.
+	blocked      machine.Class
+	blockedValid bool
+}
+
+// BlockedOn reports the queue operation class (ClassRecv or ClassSend)
+// the cell's last Step stalled on, along with the frozen program counter
+// and local cycle; ok is false when the cell is not currently stalled.
+// Array deadlock diagnostics use it to name each blocked cell.
+func (s *Sim) BlockedOn() (class machine.Class, pc int, cycle int64, ok bool) {
+	if !s.blockedValid {
+		return 0, 0, 0, false
+	}
+	return s.blocked, s.pc, s.t, true
 }
 
 // Queue is a bounded FIFO channel between adjacent cells (each Warp cell
@@ -156,6 +177,9 @@ func NewQueue(capacity int) *Queue { return &Queue{cap: capacity} }
 
 // Len reports the queued word count.
 func (q *Queue) Len() int { return len(q.buf) - q.head }
+
+// Cap reports the queue capacity (0 means unbounded).
+func (q *Queue) Cap() int { return q.cap }
 
 func (q *Queue) full() bool  { return q.cap > 0 && q.Len() >= q.cap }
 func (q *Queue) empty() bool { return q.Len() == 0 }
@@ -285,6 +309,11 @@ func (s *Sim) Run() (*ir.State, error) {
 		if s.t >= max {
 			return nil, fmt.Errorf("sim: exceeded %d cycles (pc=%d)", max, s.pc)
 		}
+		if s.Ctx != nil && s.t&0x1fff == 0 {
+			if err := s.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: run aborted at cycle %d: %w", s.t, err)
+			}
+		}
 		stalled, err := s.Step()
 		if err != nil {
 			return nil, err
@@ -338,6 +367,7 @@ func (s *Sim) Step() (stalled bool, err error) {
 		switch ops[oi].class {
 		case machine.ClassRecv:
 			if s.inQ != nil && s.inQ.empty() {
+				s.blocked, s.blockedValid = machine.ClassRecv, true
 				return true, nil
 			}
 			if s.inQ == nil && s.inPos >= len(s.InputTape) {
@@ -345,10 +375,12 @@ func (s *Sim) Step() (stalled bool, err error) {
 			}
 		case machine.ClassSend:
 			if s.outQ != nil && s.outQ.full() {
+				s.blocked, s.blockedValid = machine.ClassSend, true
 				return true, nil
 			}
 		}
 	}
+	s.blockedValid = false
 	if err := s.applyWritebacks(t); err != nil {
 		return false, err
 	}

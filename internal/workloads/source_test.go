@@ -1,0 +1,35 @@
+package workloads
+
+import (
+	"testing"
+
+	"softpipe/internal/lang"
+)
+
+func TestRandomSourceDeterministicAndValid(t *testing.T) {
+	for seed := int64(-2); seed < 24; seed++ {
+		src := RandomSource(seed)
+		if src != RandomSource(seed) {
+			t.Fatalf("seed %d: RandomSource not deterministic", seed)
+		}
+		if _, err := lang.Parse(src); err != nil {
+			t.Fatalf("seed %d: generated source does not parse: %v\n%s", seed, err, src)
+		}
+		if _, err := lang.Compile(src); err != nil {
+			t.Fatalf("seed %d: generated source does not lower: %v\n%s", seed, err, src)
+		}
+	}
+	if RandomSource(1) == RandomSource(2) {
+		t.Fatal("distinct seeds produced identical source")
+	}
+}
+
+func TestHeavySourceCompiles(t *testing.T) {
+	src := HeavySource(3)
+	if _, err := lang.Compile(src); err != nil {
+		t.Fatalf("heavy source does not lower: %v", err)
+	}
+	if src != HeavySource(3) {
+		t.Fatal("HeavySource not deterministic")
+	}
+}

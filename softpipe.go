@@ -19,6 +19,7 @@
 package softpipe
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -80,6 +81,12 @@ const (
 
 // Options tunes compilation.
 type Options struct {
+	// Ctx, when non-nil, bounds the compile: a canceled or deadlined
+	// context aborts the II search between candidate initiation
+	// intervals (and between loops) with an error wrapping ctx.Err().
+	// The compile service threads per-request deadlines through here;
+	// cmd/w2c exposes it as -timeout.
+	Ctx context.Context
 	// Baseline disables software pipelining: loop bodies are locally
 	// compacted but iterations never overlap (the Figure 4-2 baseline).
 	Baseline bool
@@ -135,6 +142,7 @@ func (o Options) lower() codegen.Options {
 		mode = codegen.ModeUnpipelined
 	}
 	return codegen.Options{
+		Ctx:                  o.Ctx,
 		Mode:                 mode,
 		DisableHier:          o.DisableHier,
 		DisableLoopReduction: o.DisableLoopReduction,
