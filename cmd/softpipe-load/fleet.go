@@ -1,0 +1,464 @@
+// Fleet mode: -fleet N boots an in-process fleet of N softpiped nodes
+// wired into a sharded compile fabric (consistent hashing, forwarding,
+// breakers), then replays the corpus against it while killing,
+// restarting, and partitioning nodes.  The point is the robustness
+// contract: a degraded fleet serves every request — more slowly, with a
+// colder cache — but never turns infrastructure failure into a
+// client-visible error.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"softpipe/internal/cache"
+	"softpipe/internal/fabric"
+	"softpipe/internal/fabric/fault"
+	"softpipe/internal/service"
+	"softpipe/internal/workloads"
+)
+
+// fleetMember is one in-process node: a real service.Server behind a
+// real TCP listener, so peer traffic crosses the loopback stack exactly
+// as it would cross a rack.
+type fleetMember struct {
+	idx   int
+	url   string
+	cfg   service.Config
+	mu    sync.Mutex
+	srv   *service.Server
+	http  *http.Server
+	alive atomic.Bool
+}
+
+func (m *fleetMember) kill() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.http != nil {
+		m.http.Close()
+		m.srv.Close()
+		m.http, m.srv = nil, nil
+	}
+	m.alive.Store(false)
+}
+
+// restart rebinds the same advertised address with a fresh server —
+// empty memory cache, closed breakers, like a process restart.
+func (m *fleetMember) restart() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ln, err := net.Listen("tcp", strings.TrimPrefix(m.url, "http://"))
+	if err != nil {
+		return fmt.Errorf("rebind %s: %w", m.url, err)
+	}
+	srv, err := service.New(m.cfg)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	m.srv, m.http = srv, &http.Server{Handler: srv}
+	go m.http.Serve(ln)
+	m.alive.Store(true)
+	return nil
+}
+
+func startFleetMembers(n int, inj *fault.Injector, quiet bool) ([]*fleetMember, error) {
+	members := make([]*fleetMember, n)
+	urls := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range members {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	logf := log.Printf
+	if quiet {
+		logf = func(string, ...any) {}
+	}
+	for i := range members {
+		cfg := service.Config{
+			MaxQueue: 256,
+			Logf:     logf,
+			Fabric: &fabric.Config{
+				Self:           urls[i],
+				Peers:          urls,
+				Transport:      inj,
+				HealthInterval: 100 * time.Millisecond,
+				Breaker:        fabric.BreakerConfig{FailThreshold: 3, OpenFor: 500 * time.Millisecond},
+				Retry:          fabric.RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+				Logf:           logf,
+			},
+		}
+		srv, err := service.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m := &fleetMember{idx: i, url: urls[i], cfg: cfg, srv: srv, http: &http.Server{Handler: srv}}
+		go m.http.Serve(lns[i])
+		m.alive.Store(true)
+		members[i] = m
+	}
+	return members, nil
+}
+
+// fleetReport is the fleet section of BENCH_service.json.
+type fleetReport struct {
+	Nodes      int  `json:"nodes"`
+	SmokePass  bool `json:"smoke_passed"`
+	UniqueKeys int  `json:"unique_keys"`
+	// Computes sums cache compiles across every node that served the
+	// no-fault replay: equal to UniqueKeys when the fabric's fleet-wide
+	// singleflight holds.
+	Computes      int64            `json:"computes"`
+	RemoteHits    int64            `json:"remote_hits"`
+	Forwards      int64            `json:"forwards"`
+	FallbackLocal int64            `json:"fallback_local_compiles"`
+	Requests      int64            `json:"requests"`
+	Errors        int64            `json:"errors"`
+	Hits          int64            `json:"hits"`
+	HitRate       float64          `json:"hit_rate"`
+	Latency       latencyDigest    `json:"latency_ms"`
+	FaultCounts   map[string]int64 `json:"fault_counts,omitempty"`
+	Failures      []string         `json:"failures,omitempty"`
+	Phases        []string         `json:"phases"`
+}
+
+// fleetHarness bundles the members with replay bookkeeping.
+type fleetHarness struct {
+	members []*fleetMember
+	urls    []string
+	clients []*client
+	inj     *fault.Injector
+	rep     *fleetReport
+	lats    []float64
+	latMu   sync.Mutex
+}
+
+func (h *fleetHarness) failf(format string, args ...any) {
+	h.rep.SmokePass = false
+	h.rep.Failures = append(h.rep.Failures, fmt.Sprintf(format, args...))
+	log.Printf("softpipe-load: FLEET FAIL: %s", fmt.Sprintf(format, args...))
+}
+
+func (h *fleetHarness) phase(name string) {
+	h.rep.Phases = append(h.rep.Phases, name)
+	log.Printf("softpipe-load: fleet phase: %s", name)
+}
+
+// aliveClients returns clients for currently-alive members only; a real
+// load balancer stops routing to a node whose process is gone.
+func (h *fleetHarness) aliveClients() []*client {
+	var cs []*client
+	for i, m := range h.members {
+		if m.alive.Load() {
+			cs = append(cs, h.clients[i])
+		}
+	}
+	return cs
+}
+
+// compileOn sends one compile and records latency + error accounting.
+func (h *fleetHarness) compileOn(c *client, source string) (service.CompileResponse, bool) {
+	var resp service.CompileResponse
+	t0 := time.Now()
+	code, err := c.post("/compile", service.CompileRequest{Source: source}, &resp)
+	lat := float64(time.Since(t0).Microseconds()) / 1e3
+	h.latMu.Lock()
+	h.lats = append(h.lats, lat)
+	h.latMu.Unlock()
+	h.rep.Requests++
+	if err != nil || code != http.StatusOK {
+		h.rep.Errors++
+		return resp, false
+	}
+	return resp, true
+}
+
+// sumMetrics totals the per-node /metrics counters across alive members.
+func (h *fleetHarness) sumMetrics() (computes, remoteHits, forwards, fallbacks int64) {
+	for _, c := range h.aliveClients() {
+		var m service.Metrics
+		if code, err := c.get("/metrics", &m); err != nil || code != http.StatusOK {
+			continue
+		}
+		computes += m.Cache.Computes
+		remoteHits += m.Cache.RemoteHits
+		fallbacks += m.FallbackLocal
+		if m.Fabric != nil {
+			forwards += m.Fabric.ForwardHits
+		}
+	}
+	return
+}
+
+// peerBreaker reads one member's view of another member's breaker.
+func (h *fleetHarness) peerBreaker(viewer *client, peerURL string) (fabric.BreakerState, bool) {
+	var m service.Metrics
+	if code, err := viewer.get("/metrics", &m); err != nil || code != http.StatusOK || m.Fabric == nil {
+		return "", false
+	}
+	for _, p := range m.Fabric.Peers {
+		if p.URL == peerURL {
+			return p.Breaker, p.Healthy
+		}
+	}
+	return "", false
+}
+
+func (h *fleetHarness) waitBreaker(viewer *client, peerURL string, want fabric.BreakerState, wantHealthy bool, desc string) bool {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		st, healthy := h.peerBreaker(viewer, peerURL)
+		if st == want && healthy == wantHealthy {
+			return true
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	h.failf("timeout waiting for %s", desc)
+	return false
+}
+
+// runFleetMode is the -fleet entry point.  It returns the process exit
+// code so main can os.Exit after writing the report.
+func runFleetMode(fleetN int, corpus []corpusEntry, seed int64, smoke bool, duration time.Duration, concurrency int, outPath string, quiet bool) int {
+	inj := fault.New(nil)
+	members, err := startFleetMembers(fleetN, inj, quiet)
+	if err != nil {
+		log.Fatalf("softpipe-load: fleet start: %v", err)
+	}
+	defer func() {
+		for _, m := range members {
+			m.kill()
+		}
+	}()
+
+	h := &fleetHarness{members: members, inj: inj, rep: &fleetReport{Nodes: fleetN, SmokePass: true}}
+	for _, m := range members {
+		h.urls = append(h.urls, m.url)
+		h.clients = append(h.clients, &client{addr: m.url, http: &http.Client{Timeout: 2 * time.Minute}})
+	}
+
+	// Phase 1 — no-fault replay: every corpus entry through every node.
+	// Contract: zero errors, identical artifacts regardless of entry
+	// node, and exactly one compile fleet-wide per unique key.
+	h.phase("no-fault replay")
+	keys := map[string]bool{}
+	keySHA := map[string]string{}
+	for round := 0; round < 2; round++ {
+		for i, e := range corpus {
+			c := h.clients[(i+round)%fleetN]
+			resp, ok := h.compileOn(c, e.source)
+			if !ok {
+				h.failf("no-fault replay: compile %s failed", e.Name)
+				continue
+			}
+			keys[resp.Key] = true
+			if prev, seen := keySHA[resp.Key]; seen && prev != resp.ObjectSHA256 {
+				h.failf("no-fault replay: divergent artifact for key %s", resp.Key)
+			}
+			keySHA[resp.Key] = resp.ObjectSHA256
+			if round == 1 && !resp.Cached {
+				h.failf("warm replay: %s missed the fleet cache", e.Name)
+			}
+		}
+	}
+	h.rep.UniqueKeys = len(keys)
+	computes, remoteHits, forwards, _ := h.sumMetrics()
+	h.rep.Computes, h.rep.RemoteHits, h.rep.Forwards = computes, remoteHits, forwards
+	if computes != int64(len(keys)) {
+		h.failf("exactly-once violated: %d unique keys but %d compiles fleet-wide", len(keys), computes)
+	}
+
+	if smoke {
+		runFleetFaults(h, corpus, seed, fleetN)
+	}
+
+	// Final phase — steady-state replay on the (recovered) fleet for the
+	// latency digest, closed-loop with `concurrency` workers.
+	h.phase("steady-state replay")
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	deadline := time.Now().Add(duration)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				i := int(next.Add(1))
+				e := corpus[i%len(corpus)]
+				cs := h.aliveClients()
+				if len(cs) == 0 {
+					return
+				}
+				var resp service.CompileResponse
+				t0 := time.Now()
+				code, err := cs[i%len(cs)].post("/compile", service.CompileRequest{Source: e.source}, &resp)
+				lat := float64(time.Since(t0).Microseconds()) / 1e3
+				h.latMu.Lock()
+				h.lats = append(h.lats, lat)
+				h.latMu.Unlock()
+				atomic.AddInt64(&h.rep.Requests, 1)
+				if err != nil || code != http.StatusOK {
+					atomic.AddInt64(&h.rep.Errors, 1)
+				} else if resp.Cached {
+					atomic.AddInt64(&h.rep.Hits, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if h.rep.Requests > 0 {
+		h.rep.HitRate = float64(h.rep.Hits) / float64(h.rep.Requests)
+	}
+	h.rep.Latency = digest(h.lats)
+	_, remoteHits, forwards, fallbacks := h.sumMetrics()
+	h.rep.RemoteHits, h.rep.Forwards, h.rep.FallbackLocal = remoteHits, forwards, fallbacks
+	h.rep.FaultCounts = map[string]int64{}
+	for mode, n := range inj.Counts() {
+		h.rep.FaultCounts[string(mode)] = n
+	}
+	if h.rep.Errors > 0 {
+		h.failf("%d client-visible errors across the fleet run", h.rep.Errors)
+	}
+
+	writeFleetReport(h.rep, fleetN, len(corpus), seed, outPath)
+	log.Printf("softpipe-load: fleet %d nodes, %d requests, %d errors, %d unique keys, %d compiles, hit rate %.0f%%, p50 %.1fms p95 %.1fms p99 %.1fms → %s",
+		fleetN, h.rep.Requests, h.rep.Errors, h.rep.UniqueKeys, h.rep.Computes,
+		h.rep.HitRate*100, h.rep.Latency.P50MS, h.rep.Latency.P95MS, h.rep.Latency.P99MS, outPath)
+	if !h.rep.SmokePass {
+		return 1
+	}
+	return 0
+}
+
+// runFleetFaults is the fault schedule: kill the owner of a key that
+// clients keep asking for, assert the fleet degrades (local compiles)
+// instead of erroring, watch the survivors' breakers open, restart the
+// node, watch them close, then drop-partition another node's artifact
+// traffic and assert the same degradation under partition.
+func runFleetFaults(h *fleetHarness, corpus []corpusEntry, seed int64, fleetN int) {
+	// Find a compiled key and its owner: compile a fresh source via node
+	// 0, note the key the response reports, map it onto the ring.
+	h.phase("kill owner mid-replay")
+	freshSrc := workloads.RandomSource(seed + 2_000_000)
+	resp, ok := h.compileOn(h.clients[0], freshSrc)
+	if !ok {
+		h.failf("fault phase: seed compile failed")
+		return
+	}
+	key, err := cache.ParseKey(resp.Key)
+	if err != nil {
+		h.failf("fault phase: unparsable key %q: %v", resp.Key, err)
+		return
+	}
+	ownerURL := fabric.Owner(h.urls, key)
+	var owner *fleetMember
+	for _, m := range h.members {
+		if m.url == ownerURL {
+			owner = m
+		}
+	}
+	// A survivor that is neither the owner nor node 0 (which may hold a
+	// memory replica from the seed compile) must now fall back to a
+	// local compile for this hot key — with zero client-visible errors.
+	var survivor *client
+	var survivorURL string
+	for i, m := range h.members {
+		if m.url != ownerURL && i != 0 {
+			survivor, survivorURL = h.clients[i], m.url
+			break
+		}
+	}
+	if owner == nil || survivor == nil {
+		h.failf("fault phase: fleet too small to pick owner and survivor")
+		return
+	}
+	_ = survivorURL
+
+	// Kill the owner while requests for its hottest key are in flight.
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var r service.CompileResponse
+			code, err := survivor.post("/compile", service.CompileRequest{Source: freshSrc}, &r)
+			if err != nil {
+				errs[i] = err
+			} else if code != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", code)
+			}
+		}(i)
+	}
+	owner.kill()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			h.failf("kill-owner: request %d surfaced an error: %v", i, err)
+		}
+	}
+
+	// The survivor's breaker for the dead owner opens…
+	h.phase("breaker opens on dead peer")
+	h.waitBreaker(survivor, ownerURL, fabric.BreakerOpen, false, "survivor breaker to open for dead owner")
+
+	// …and closes again after a restart on the same address.
+	h.phase("restart and recover")
+	if err := owner.restart(); err != nil {
+		h.failf("restart owner: %v", err)
+		return
+	}
+	h.waitBreaker(survivor, ownerURL, fabric.BreakerClosed, true, "survivor breaker to close after owner restart")
+
+	// Partition: drop all artifact traffic to one node (health checks
+	// still pass, mimicking an app-level failure rather than a dead
+	// host).  Fresh keys owned by the partitioned node must degrade to
+	// local compiles, not errors.
+	h.phase("partition artifact traffic")
+	partURL := h.urls[fleetN-1]
+	pu, _ := url.Parse(partURL)
+	h.inj.Set(&fault.Rule{Host: pu.Host, Path: "/artifact/", Mode: fault.Drop})
+	for i := 0; i < 2*fleetN; i++ {
+		src := workloads.RandomSource(seed + 3_000_000 + int64(i))
+		if _, ok := h.compileOn(h.clients[i%fleetN], src); !ok {
+			h.failf("partition: compile %d surfaced an error", i)
+		}
+	}
+	h.inj.Clear()
+	h.phase("partition healed")
+}
+
+func writeFleetReport(rep *fleetReport, nodes, corpusSize int, seed int64, outPath string) {
+	full := struct {
+		Config struct {
+			Nodes      int   `json:"nodes"`
+			CorpusSize int   `json:"corpus_size"`
+			Seed       int64 `json:"seed"`
+		} `json:"config"`
+		Fleet *fleetReport `json:"fleet"`
+	}{Fleet: rep}
+	full.Config.Nodes = nodes
+	full.Config.CorpusSize = corpusSize
+	full.Config.Seed = seed
+	raw, err := json.MarshalIndent(&full, "", "  ")
+	if err != nil {
+		log.Fatalf("softpipe-load: %v", err)
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		log.Fatalf("softpipe-load: %v", err)
+	}
+}

@@ -190,10 +190,10 @@ type report struct {
 }
 
 type smokeReport struct {
-	Passed               bool   `json:"passed"`
-	WarmHitRate          float64 `json:"warm_hit_rate"`
-	SingleflightComputes int64  `json:"singleflight_computes"`
-	TimeoutStatus        int    `json:"timeout_status"`
+	Passed               bool     `json:"passed"`
+	WarmHitRate          float64  `json:"warm_hit_rate"`
+	SingleflightComputes int64    `json:"singleflight_computes"`
+	TimeoutStatus        int      `json:"timeout_status"`
 	Failures             []string `json:"failures,omitempty"`
 }
 
@@ -324,11 +324,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "fuzz seed")
 	out := flag.String("out", "BENCH_service.json", "report file")
 	smoke := flag.Bool("smoke", false, "run deterministic end-to-end assertions first; exit non-zero on failure")
+	fleetN := flag.Int("fleet", 0, "boot an in-process fleet of N fabric nodes and replay against it (with -smoke: kill/restart/partition nodes mid-replay)")
 	flag.Parse()
 
 	corpus, err := buildCorpus(*workload, *seed, *fuzzN)
 	if err != nil {
 		log.Fatalf("softpipe-load: %v", err)
+	}
+	if *fleetN > 0 {
+		if *fleetN < 2 {
+			log.Fatal("softpipe-load: -fleet wants at least 2 nodes")
+		}
+		os.Exit(runFleetMode(*fleetN, corpus, *seed, *smoke, *duration, *concurrency, *out, false))
 	}
 	c := &client{addr: *addr, http: &http.Client{Timeout: 2 * time.Minute}}
 

@@ -74,6 +74,9 @@ type Stats struct {
 	// revalidation); DiskRejects counts disk entries that failed it.
 	DiskHits    int64
 	DiskRejects int64
+	// RemoteHits counts fills satisfied from a remote tier (a fabric
+	// peer) instead of a local compute — see GetOrFill.
+	RemoteHits int64
 	// Bytes and Entries describe the current in-memory tier.
 	Bytes   int64
 	Entries int64
@@ -182,6 +185,25 @@ func (c *Cache) Get(key Key) (data []byte, ok bool) {
 // Compute errors are not cached: the in-flight slot is cleared so a later
 // request retries.
 func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func() ([]byte, error)) (data []byte, hit bool, err error) {
+	return c.GetOrFill(ctx, key, func() ([]byte, bool, error) {
+		data, err := compute()
+		return data, true, err
+	})
+}
+
+// GetOrFill is GetOrCompute with a remote-tier hook: the fill callback
+// reports whether it actually computed the bytes (computed=true, a local
+// compile) or fetched them from elsewhere (computed=false, e.g. a fabric
+// peer).  Only computed fills count toward Stats.Computes and reach the
+// disk tier — a remote fetch is a replica, memory-resident only, whose
+// durable copy lives with the key's owner; remote fetches count as
+// Stats.RemoteHits and report hit=true to the caller, since no local
+// compile ran.
+//
+// A fill that panics releases every coalesced waiter with an error before
+// the panic propagates, so one poisoned compile can never wedge future
+// requests for its key behind a flight entry that will never finish.
+func (c *Cache) GetOrFill(ctx context.Context, key Key, fill func() (data []byte, computed bool, err error)) (data []byte, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -206,29 +228,52 @@ func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func() ([]byt
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	// Disk tier, then compute — both outside the lock.
+	// Disk tier, then fill — both outside the lock.
 	if data, ok := c.diskGet(key); ok {
-		c.finish(key, cl, data, nil)
+		c.finish(key, cl, data, nil, false)
 		return data, true, nil
 	}
+	finished := false
+	defer func() {
+		if !finished {
+			// fill panicked: release the waiters, then let it propagate
+			// (the serving layer's panic recovery turns it into a 500).
+			c.finish(key, cl, nil, fmt.Errorf("cache: fill for %s panicked", key), false)
+		}
+	}()
+	data, computed, err := fill()
+	finished = true
 	c.mu.Lock()
-	c.stats.Computes++
+	if err == nil {
+		if computed {
+			c.stats.Computes++
+		} else {
+			c.stats.RemoteHits++
+		}
+	} else if computed {
+		c.stats.Computes++
+	}
 	c.mu.Unlock()
-	data, err = compute()
-	c.finish(key, cl, data, err)
+	c.finish(key, cl, data, err, computed)
 	if err != nil {
 		return nil, false, err
 	}
-	return data, false, nil
+	return data, !computed, nil
 }
 
+// Put inserts externally obtained bytes (a replica fetched from a peer)
+// into the in-memory tier without touching the disk tier or the flight
+// table.
+func (c *Cache) Put(key Key, data []byte) { c.put(key, data) }
+
 // finish publishes a leader's outcome: successful bytes land in the LRU
-// (and disk tier), every waiter is released, and the flight slot clears.
-func (c *Cache) finish(key Key, cl *call, data []byte, err error) {
+// (and, for locally computed fills, the disk tier), every waiter is
+// released, and the flight slot clears.
+func (c *Cache) finish(key Key, cl *call, data []byte, err error, toDisk bool) {
 	cl.data, cl.err = data, err
 	if err == nil {
 		c.put(key, data)
-		if c.disk != nil {
+		if toDisk && c.disk != nil {
 			// Disk write failures degrade to a smaller cache, not a
 			// request failure.
 			_ = c.disk.put(key, data)

@@ -7,9 +7,12 @@ import (
 )
 
 // diskTier stores one file per key under a directory, written atomically
-// (temp file + rename) so a crashed or concurrent writer can never leave
-// a torn entry visible.  Reads are revalidated by the owning Cache before
-// use, so even a corrupted file only costs a recompile.
+// (temp file + fsync + rename + directory fsync) so neither a crashed
+// writer nor a power cut mid-write can leave a torn entry visible under
+// the key's name.  Reads are still revalidated by the owning Cache before
+// use, so even a corrupted file (e.g. one written by an older, non-synced
+// build) only costs a recompile: the validator rejects it and the entry
+// is deleted rather than retried forever.
 type diskTier struct {
 	dir string
 }
@@ -44,11 +47,29 @@ func (d *diskTier) put(key Key, data []byte) error {
 		os.Remove(name)
 		return err
 	}
+	// fsync before rename: without it the rename can land while the data
+	// blocks are still dirty, and a crash leaves a torn file under the
+	// final name — exactly the state the validator should never see.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(name)
 		return err
 	}
-	return os.Rename(name, d.path(key))
+	if err := os.Rename(name, d.path(key)); err != nil {
+		os.Remove(name)
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable; a
+	// failure here degrades durability, not correctness.
+	if dir, err := os.Open(d.dir); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
 }
 
 func (d *diskTier) remove(key Key) { os.Remove(d.path(key)) }

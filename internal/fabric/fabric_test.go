@@ -1,0 +1,472 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"softpipe/internal/cache"
+	"softpipe/internal/fabric/fault"
+)
+
+func keyN(n int) cache.Key { return cache.KeyOf(fmt.Sprintf("key-%d", n)) }
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := newRing(peers, 64)
+	// Peer order must not matter: every node computes the same ownership.
+	r2 := newRing([]string{peers[2], peers[0], peers[1]}, 64)
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		k := keyN(i)
+		o := r1.owner(k)
+		if o2 := r2.owner(k); o2 != o {
+			t.Fatalf("ring disagrees on key %d: %s vs %s", i, o, o2)
+		}
+		counts[o]++
+	}
+	// Consistent hashing with 64 vnodes balances within a loose factor.
+	for p, c := range counts {
+		if c < 300 || c > 2200 {
+			t.Fatalf("shard badly unbalanced: %v", counts)
+		}
+		_ = p
+	}
+	if len(counts) != 3 {
+		t.Fatalf("not all peers own keys: %v", counts)
+	}
+}
+
+func TestRingStability(t *testing.T) {
+	// Removing one peer must only move keys that peer owned: consistent
+	// hashing's whole point.
+	all := []string{"http://a:1", "http://b:1", "http://c:1"}
+	rAll := newRing(all, 64)
+	rTwo := newRing(all[:2], 64)
+	for i := 0; i < 2000; i++ {
+		k := keyN(i)
+		was, now := rAll.owner(k), rTwo.owner(k)
+		if was != "http://c:1" && was != now {
+			t.Fatalf("key %d moved from surviving peer %s to %s", i, was, now)
+		}
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{FailThreshold: 3, OpenFor: time.Second, HalfOpenMax: 1})
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.OnFailure()
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after %d failures: %s", 3, b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside the cooldown")
+	}
+
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown Allow: %s", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open admitted a second concurrent probe (HalfOpenMax=1)")
+	}
+	b.OnFailure() // the probe fails: straight back to open
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe: %s", b.State())
+	}
+
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.OnSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe: %s", b.State())
+	}
+	// One failure after recovery must not re-trip (count was reset).
+	b.OnFailure()
+	if b.State() != BreakerClosed {
+		t.Fatal("single post-recovery failure re-tripped the breaker")
+	}
+}
+
+func TestBackoffRespectsDeadlineBudget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if sleepBudgeted(ctx, 20*time.Millisecond, 50*time.Millisecond) {
+		t.Fatal("sleep accepted although no useful budget would remain")
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if !sleepBudgeted(ctx2, time.Millisecond, 50*time.Millisecond) {
+		t.Fatal("sleep refused despite ample budget")
+	}
+}
+
+func TestBackoffJitterBounded(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	rng := newLockedRand(7)
+	for attempt := 1; attempt < 20; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := p.backoff(attempt, rng)
+			if d < 0 || d > p.MaxDelay {
+				t.Fatalf("backoff(%d) = %v out of [0, %v]", attempt, d, p.MaxDelay)
+			}
+		}
+	}
+}
+
+// testOwner is a minimal artifact endpoint: POST returns the payload
+// echoed with a prefix (stand-in for compiled bytes), GET serves a fixed
+// body for "cached" keys.
+func testOwner(t *testing.T, cached map[string]string, compiles *atomic.Int64, delay time.Duration) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		if compiles != nil {
+			compiles.Add(1)
+		}
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		fmt.Fprintf(w, "compiled:%s", r.PathValue("key"))
+	})
+	mux.HandleFunc("GET /artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		if body, ok := cached[r.PathValue("key")]; ok {
+			fmt.Fprint(w, body)
+			return
+		}
+		http.Error(w, `{"error":"not cached"}`, http.StatusNotFound)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	return httptest.NewServer(mux)
+}
+
+// ownedKey finds a key owned by wantOwner among the given peers.
+func ownedKey(t *testing.T, peers []string, wantOwner string) cache.Key {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := keyN(i)
+		if Owner(peers, k) == wantOwner {
+			return k
+		}
+	}
+	t.Fatal("no key found owned by peer")
+	panic("unreachable")
+}
+
+func newTestFabric(t *testing.T, self string, peers []string, mut func(*Config)) *Fabric {
+	t.Helper()
+	cfg := Config{
+		Self:           self,
+		Peers:          peers,
+		Retry:          RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		Breaker:        BreakerConfig{FailThreshold: 3, OpenFor: 100 * time.Millisecond},
+		HealthInterval: -1, // tests drive traffic by hand
+		HedgeAfter:     -1, // no hedging unless the test asks
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+func TestForwardSuccessAndOwnership(t *testing.T) {
+	var compiles atomic.Int64
+	owner := testOwner(t, nil, &compiles, 0)
+	defer owner.Close()
+	self := "http://self.invalid"
+	peers := []string{self, owner.URL}
+	f := newTestFabric(t, self, peers, nil)
+
+	k := ownedKey(t, peers, owner.URL)
+	data, err := f.Forward(context.Background(), k, []byte(`{"x":1}`))
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	if string(data) != "compiled:"+k.String() {
+		t.Fatalf("forward returned %q", data)
+	}
+	if compiles.Load() != 1 {
+		t.Fatalf("owner compiled %d times", compiles.Load())
+	}
+
+	selfKey := ownedKey(t, peers, self)
+	if f.Owns(selfKey) != true || f.Owns(k) != false {
+		t.Fatal("ownership predicate wrong")
+	}
+	if _, err := f.Forward(context.Background(), selfKey, nil); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("forwarding a self-owned key: %v", err)
+	}
+}
+
+func TestForwardRetriesThroughTransientFaults(t *testing.T) {
+	var compiles atomic.Int64
+	owner := testOwner(t, nil, &compiles, 0)
+	defer owner.Close()
+	self := "http://self.invalid"
+	peers := []string{self, owner.URL}
+
+	inj := fault.New(nil)
+	// First two attempts die with a connection reset; the third passes.
+	inj.Set(&fault.Rule{Path: "/artifact/", Mode: fault.Reset, First: 2})
+	f := newTestFabric(t, self, peers, func(c *Config) { c.Transport = inj })
+
+	k := ownedKey(t, peers, owner.URL)
+	data, err := f.Forward(context.Background(), k, []byte(`{}`))
+	if err != nil {
+		t.Fatalf("forward with 2 transient faults: %v", err)
+	}
+	if string(data) == "" || compiles.Load() != 1 {
+		t.Fatalf("data=%q compiles=%d", data, compiles.Load())
+	}
+	st := f.Snapshot()
+	if st.ForwardHits != 1 || st.Peers[0].Failures != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestForwardOpensBreakerThenRecovers(t *testing.T) {
+	owner := testOwner(t, nil, nil, 0)
+	defer owner.Close()
+	self := "http://self.invalid"
+	peers := []string{self, owner.URL}
+
+	inj := fault.New(nil)
+	inj.Set(&fault.Rule{Mode: fault.Drop}) // everything fails
+	f := newTestFabric(t, self, peers, func(c *Config) { c.Transport = inj })
+	k := ownedKey(t, peers, owner.URL)
+
+	if _, err := f.Forward(context.Background(), k, nil); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("want ErrPeerUnavailable, got %v", err)
+	}
+	st := f.Snapshot()
+	if st.Peers[0].Breaker != BreakerOpen {
+		t.Fatalf("breaker after exhausted retries: %s", st.Peers[0].Breaker)
+	}
+	// While open, forwards shed instantly (no attempts reach the wire).
+	before := f.Snapshot().Peers[0].Forwards
+	if _, err := f.Forward(context.Background(), k, nil); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("open-breaker forward: %v", err)
+	}
+	if after := f.Snapshot().Peers[0].Forwards; after != before {
+		t.Fatal("open breaker still sent traffic to the peer")
+	}
+
+	// Heal the network, wait out the cooldown: the next forward is the
+	// half-open probe and closes the breaker.
+	inj.Clear()
+	time.Sleep(120 * time.Millisecond)
+	if _, err := f.Forward(context.Background(), k, []byte(`{}`)); err != nil {
+		t.Fatalf("probe forward after heal: %v", err)
+	}
+	if st := f.Snapshot(); st.Peers[0].Breaker != BreakerClosed {
+		t.Fatalf("breaker after successful probe: %s", st.Peers[0].Breaker)
+	}
+}
+
+func TestForwardTerminalErrorNotRetried(t *testing.T) {
+	var posts atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		http.Error(w, `{"error":"schedule infeasible"}`, http.StatusUnprocessableEntity)
+	})
+	owner := httptest.NewServer(mux)
+	defer owner.Close()
+	self := "http://self.invalid"
+	peers := []string{self, owner.URL}
+	f := newTestFabric(t, self, peers, nil)
+
+	k := ownedKey(t, peers, owner.URL)
+	_, err := f.Forward(context.Background(), k, []byte(`{}`))
+	if !IsTerminal(err) {
+		t.Fatalf("want terminal error, got %v", err)
+	}
+	if posts.Load() != 1 {
+		t.Fatalf("terminal error was retried: %d posts", posts.Load())
+	}
+	if st := f.Snapshot(); st.Peers[0].Breaker != BreakerClosed {
+		t.Fatal("terminal (peer-healthy) error tripped the breaker")
+	}
+}
+
+func TestHedgedFetchWinsOnSlowPrimary(t *testing.T) {
+	self := "http://self.invalid"
+	var cachedBody = "hedged-artifact"
+	// Owner: POST is slow (200ms), GET answers immediately from cache.
+	var owner *httptest.Server
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-r.Context().Done():
+			return
+		}
+		fmt.Fprint(w, "slow-primary")
+	})
+	mux.HandleFunc("GET /artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, cachedBody)
+	})
+	owner = httptest.NewServer(mux)
+	defer owner.Close()
+	peers := []string{self, owner.URL}
+	f := newTestFabric(t, self, peers, func(c *Config) {
+		c.HedgeAfter = 10 * time.Millisecond
+		c.HotThreshold = 2
+	})
+	k := ownedKey(t, peers, owner.URL)
+
+	// First touch is cold (no hedge); from the second the key is hot.
+	payload := []byte(`{}`)
+	if _, err := f.Forward(context.Background(), k, payload); err != nil {
+		t.Fatalf("cold forward: %v", err)
+	}
+	t0 := time.Now()
+	data, err := f.Forward(context.Background(), k, payload)
+	if err != nil {
+		t.Fatalf("hot forward: %v", err)
+	}
+	if string(data) != cachedBody {
+		t.Fatalf("hot forward returned %q, want the hedge's %q", data, cachedBody)
+	}
+	if elapsed := time.Since(t0); elapsed > 150*time.Millisecond {
+		t.Fatalf("hedge did not cut the tail: took %v", elapsed)
+	}
+	st := f.Snapshot()
+	if st.Hedges == 0 || st.HedgeWins == 0 {
+		t.Fatalf("hedge counters: %+v", st)
+	}
+}
+
+func TestHedgeMissFallsBackToPrimary(t *testing.T) {
+	self := "http://self.invalid"
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(50 * time.Millisecond)
+		fmt.Fprint(w, "primary")
+	})
+	mux.HandleFunc("GET /artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"not cached"}`, http.StatusNotFound)
+	})
+	owner := httptest.NewServer(mux)
+	defer owner.Close()
+	peers := []string{self, owner.URL}
+	f := newTestFabric(t, self, peers, func(c *Config) {
+		c.HedgeAfter = 5 * time.Millisecond
+		c.HotThreshold = 1 // every key is hot
+	})
+	k := ownedKey(t, peers, owner.URL)
+	data, err := f.Forward(context.Background(), k, []byte(`{}`))
+	if err != nil || string(data) != "primary" {
+		t.Fatalf("data=%q err=%v (a 404 hedge must not fail the forward)", data, err)
+	}
+}
+
+func TestFetchByKey(t *testing.T) {
+	self := "http://self.invalid"
+	owner := testOwner(t, map[string]string{}, nil, 0)
+	defer owner.Close()
+	peers := []string{self, owner.URL}
+	f := newTestFabric(t, self, peers, nil)
+	k := ownedKey(t, peers, owner.URL)
+
+	if _, found := f.FetchByKey(context.Background(), k); found {
+		t.Fatal("found a key the owner does not have")
+	}
+	// 404 is a healthy answer: must not count as a peer failure.
+	if st := f.Snapshot(); st.Peers[0].Failures != 0 {
+		t.Fatalf("404 counted as failure: %+v", st.Peers[0])
+	}
+	owner.Close()
+	if _, found := f.FetchByKey(context.Background(), k); found {
+		t.Fatal("found a key on a dead owner")
+	}
+	if st := f.Snapshot(); st.Peers[0].Failures != 1 {
+		t.Fatalf("dead-owner fetch not counted: %+v", st.Peers[0])
+	}
+}
+
+func TestHealthProbeDrivesBreaker(t *testing.T) {
+	owner := testOwner(t, nil, nil, 0)
+	self := "http://self.invalid"
+	peers := []string{self, owner.URL}
+	f := newTestFabric(t, self, peers, func(c *Config) {
+		c.HealthInterval = 10 * time.Millisecond
+		c.Breaker = BreakerConfig{FailThreshold: 2, OpenFor: 30 * time.Millisecond}
+	})
+
+	waitFor := func(desc string, pred func(Stats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if pred(f.Snapshot()) {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timeout waiting for %s: %+v", desc, f.Snapshot())
+	}
+
+	waitFor("initial healthy probe", func(s Stats) bool {
+		return s.HealthProbes > 0 && s.Peers[0].Healthy
+	})
+	ownerURL := owner.URL
+	owner.Close()
+	waitFor("breaker open after peer death", func(s Stats) bool {
+		return s.Peers[0].Breaker == BreakerOpen && !s.Peers[0].Healthy
+	})
+
+	// Restart a server on the same address so the advertise URL holds.
+	l, err := netListen(ownerURL)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", ownerURL, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	waitFor("breaker closed after recovery", func(s Stats) bool {
+		return s.Peers[0].Breaker == BreakerClosed && s.Peers[0].Healthy
+	})
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "abc-123")
+	if got := RequestIDFrom(ctx); got != "abc-123" {
+		t.Fatalf("RequestIDFrom = %q", got)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Fatalf("empty ctx RequestIDFrom = %q", got)
+	}
+}

@@ -1,0 +1,234 @@
+// Package fault is a deterministic fault-injection harness for the
+// compile fabric: an http.RoundTripper wrapper that drops, delays,
+// resets, 5xxes, slow-lorises, or flaps requests according to explicit
+// counter-based rules — no randomness, so every failing run replays
+// exactly.  The fleet harness (softpipe-load -fleet) installs it as the
+// fabric transport to prove the peer layer's degradation story instead
+// of assuming it.
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is the kind of fault a Rule injects.
+type Mode string
+
+const (
+	// Drop fails the request with a connection-refused-shaped error
+	// before it leaves the client: the peer looks unreachable.
+	Drop Mode = "drop"
+	// Reset fails the request with a connection-reset-shaped error: the
+	// peer accepted, then the connection died mid-exchange.
+	Reset Mode = "reset"
+	// Delay sleeps Rule.Delay (respecting the request context) and then
+	// forwards normally: a slow network, not a dead one.
+	Delay Mode = "delay"
+	// Err5xx short-circuits with a synthesized 503 response: the peer is
+	// up but unhealthy.
+	Err5xx Mode = "5xx"
+	// SlowLoris answers 200 immediately but the body trickles one byte
+	// per Rule.Delay and then stalls until the request context ends: the
+	// worst kind of alive.
+	SlowLoris Mode = "slowloris"
+	// Flap alternates failing (Drop) and passing per matching request:
+	// a peer that keeps almost recovering, the breaker's hardest case.
+	Flap Mode = "flap"
+)
+
+// Rule matches requests by URL substrings and injects one fault mode.
+// Matching is deterministic; First/Every select which matching requests
+// are actually faulted, by match count.
+type Rule struct {
+	// Host, when non-empty, must be a substring of req.URL.Host.
+	Host string
+	// Path, when non-empty, must be a prefix of req.URL.Path.
+	Path string
+	// Mode is the fault to inject.
+	Mode Mode
+	// Delay is the sleep for Delay mode and the per-byte trickle for
+	// SlowLoris (default 10ms when needed).
+	Delay time.Duration
+	// First, when > 0, faults only the first N matching requests and
+	// then lets the rest pass — "the peer was down, then recovered".
+	First int
+	// Every, when > 1, faults every Nth matching request (1st, N+1th,
+	// …).  Flap ignores both and alternates fault/pass.
+	Every int
+
+	matched atomic.Int64
+}
+
+func (r *Rule) matches(req *http.Request) bool {
+	if r.Host != "" && !strings.Contains(req.URL.Host, r.Host) {
+		return false
+	}
+	if r.Path != "" && !strings.HasPrefix(req.URL.Path, r.Path) {
+		return false
+	}
+	return true
+}
+
+// fire reports whether this match (1-based count n) should fault.
+func (r *Rule) fire(n int64) bool {
+	switch {
+	case r.Mode == Flap:
+		return n%2 == 1
+	case r.First > 0:
+		return n <= int64(r.First)
+	case r.Every > 1:
+		return (n-1)%int64(r.Every) == 0
+	default:
+		return true
+	}
+}
+
+// Injector is the fault-injecting RoundTripper.  Rules can be swapped at
+// any time (the fleet harness partitions and heals mid-replay); swapping
+// resets nothing — each Rule keeps its own match counter for
+// determinism.
+type Injector struct {
+	inner http.RoundTripper
+
+	mu    sync.Mutex
+	rules []*Rule
+
+	// Injected counts faults actually fired, by mode (observability for
+	// the harness report).
+	injected sync.Map // Mode -> *atomic.Int64
+}
+
+// New wraps inner (nil = http.DefaultTransport).
+func New(inner http.RoundTripper) *Injector {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Injector{inner: inner}
+}
+
+// Set replaces the active rule set.
+func (in *Injector) Set(rules ...*Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = rules
+}
+
+// Clear removes all rules (heal the network).
+func (in *Injector) Clear() { in.Set() }
+
+// Counts snapshots how many faults fired per mode.
+func (in *Injector) Counts() map[Mode]int64 {
+	out := map[Mode]int64{}
+	in.injected.Range(func(k, v any) bool {
+		out[k.(Mode)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}
+
+func (in *Injector) count(m Mode) {
+	v, _ := in.injected.LoadOrStore(m, new(atomic.Int64))
+	v.(*atomic.Int64).Add(1)
+}
+
+// RoundTrip applies the first matching-and-firing rule, else forwards.
+func (in *Injector) RoundTrip(req *http.Request) (*http.Response, error) {
+	in.mu.Lock()
+	rules := in.rules
+	in.mu.Unlock()
+	for _, r := range rules {
+		if !r.matches(req) {
+			continue
+		}
+		if !r.fire(r.matched.Add(1)) {
+			continue
+		}
+		in.count(r.Mode)
+		return in.inject(r, req)
+	}
+	return in.inner.RoundTrip(req)
+}
+
+func (in *Injector) inject(r *Rule, req *http.Request) (*http.Response, error) {
+	delay := r.Delay
+	if delay <= 0 {
+		delay = 10 * time.Millisecond
+	}
+	switch r.Mode {
+	case Drop, Flap:
+		return nil, fmt.Errorf("fault: injected connect refused to %s", req.URL.Host)
+	case Reset:
+		return nil, fmt.Errorf("fault: injected connection reset by %s", req.URL.Host)
+	case Delay:
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return in.inner.RoundTrip(req)
+	case Err5xx:
+		return synthesize(req, http.StatusServiceUnavailable,
+			`{"error":"fault: injected 503"}`), nil
+	case SlowLoris:
+		resp := synthesize(req, http.StatusOK, "")
+		resp.Body = &lorisBody{ctx: req.Context(), tick: delay, data: []byte(`{"stalled":true}`)}
+		resp.ContentLength = -1
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("fault: unknown mode %q", r.Mode)
+	}
+}
+
+func synthesize(req *http.Request, code int, body string) *http.Response {
+	return &http.Response{
+		StatusCode:    code,
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// lorisBody delivers one byte per tick, then stalls forever; Read only
+// returns an error once the request context ends.
+type lorisBody struct {
+	ctx interface {
+		Done() <-chan struct{}
+		Err() error
+	}
+	tick time.Duration
+	data []byte
+	pos  int
+}
+
+func (b *lorisBody) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	select {
+	case <-b.ctx.Done():
+		return 0, b.ctx.Err()
+	case <-time.After(b.tick):
+	}
+	if b.pos < len(b.data) {
+		p[0] = b.data[b.pos]
+		b.pos++
+		return 1, nil
+	}
+	// Out of bytes: stall until the caller gives up.
+	<-b.ctx.Done()
+	return 0, b.ctx.Err()
+}
+
+func (b *lorisBody) Close() error { return nil }

@@ -1,0 +1,163 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newBackend(t *testing.T) (*httptest.Server, *http.Client, *Injector) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok:"+r.URL.Path)
+	}))
+	t.Cleanup(srv.Close)
+	inj := New(nil)
+	return srv, &http.Client{Transport: inj}, inj
+}
+
+func get(t *testing.T, c *http.Client, url string) (int, string, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body), nil
+}
+
+func TestPassThroughWithoutRules(t *testing.T) {
+	srv, c, _ := newBackend(t)
+	code, body, err := get(t, c, srv.URL+"/x")
+	if err != nil || code != 200 || body != "ok:/x" {
+		t.Fatalf("clean passthrough: %d %q %v", code, body, err)
+	}
+}
+
+func TestDropFirstNThenRecover(t *testing.T) {
+	srv, c, inj := newBackend(t)
+	inj.Set(&Rule{Mode: Drop, First: 2})
+	for i := 0; i < 2; i++ {
+		if _, _, err := get(t, c, srv.URL+"/x"); err == nil {
+			t.Fatalf("request %d: fault did not fire", i)
+		}
+	}
+	if _, _, err := get(t, c, srv.URL+"/x"); err != nil {
+		t.Fatalf("request after First exhausted: %v", err)
+	}
+	if n := inj.Counts()[Drop]; n != 2 {
+		t.Fatalf("drop count = %d, want 2", n)
+	}
+}
+
+func TestFlapAlternates(t *testing.T) {
+	srv, c, inj := newBackend(t)
+	inj.Set(&Rule{Mode: Flap})
+	var outcomes []bool
+	for i := 0; i < 6; i++ {
+		_, _, err := get(t, c, srv.URL+"/x")
+		outcomes = append(outcomes, err == nil)
+	}
+	want := []bool{false, true, false, true, false, true}
+	for i := range want {
+		if outcomes[i] != want[i] {
+			t.Fatalf("flap outcomes = %v, want %v", outcomes, want)
+		}
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	srv, c, inj := newBackend(t)
+	inj.Set(&Rule{Mode: Err5xx, Every: 3})
+	var codes []int
+	for i := 0; i < 6; i++ {
+		code, _, err := get(t, c, srv.URL+"/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes = append(codes, code)
+	}
+	want := []int{503, 200, 200, 503, 200, 200}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes = %v, want %v", codes, want)
+		}
+	}
+}
+
+func TestPathAndHostMatching(t *testing.T) {
+	srv, c, inj := newBackend(t)
+	inj.Set(&Rule{Path: "/artifact/", Mode: Drop})
+	if _, _, err := get(t, c, srv.URL+"/healthz"); err != nil {
+		t.Fatalf("unmatched path was faulted: %v", err)
+	}
+	if _, _, err := get(t, c, srv.URL+"/artifact/abc"); err == nil {
+		t.Fatal("matched path was not faulted")
+	}
+	inj.Set(&Rule{Host: "no-such-host.invalid", Mode: Drop})
+	if _, _, err := get(t, c, srv.URL+"/artifact/abc"); err != nil {
+		t.Fatalf("host mismatch still faulted: %v", err)
+	}
+}
+
+func TestDelayForwards(t *testing.T) {
+	srv, c, inj := newBackend(t)
+	inj.Set(&Rule{Mode: Delay, Delay: 50 * time.Millisecond})
+	t0 := time.Now()
+	code, body, err := get(t, c, srv.URL+"/x")
+	if err != nil || code != 200 || body != "ok:/x" {
+		t.Fatalf("delayed request: %d %q %v", code, body, err)
+	}
+	if d := time.Since(t0); d < 45*time.Millisecond {
+		t.Fatalf("no delay observed: %v", d)
+	}
+}
+
+func TestSlowLorisStallsUntilDeadline(t *testing.T) {
+	srv, _, inj := newBackend(t)
+	inj.Set(&Rule{Mode: SlowLoris, Delay: time.Millisecond})
+	c := &http.Client{Transport: inj}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/x", nil)
+	t0 := time.Now()
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatalf("slow-loris must answer headers: %v", err)
+	}
+	defer resp.Body.Close()
+	_, err = io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("slow-loris body completed — it must stall")
+	}
+	if d := time.Since(t0); d < 90*time.Millisecond {
+		t.Fatalf("reader escaped the stall after only %v", d)
+	}
+}
+
+func TestResetErrorShape(t *testing.T) {
+	srv, c, inj := newBackend(t)
+	inj.Set(&Rule{Mode: Reset})
+	_, _, err := get(t, c, srv.URL+"/x")
+	if err == nil || !strings.Contains(err.Error(), "connection reset") {
+		t.Fatalf("reset error = %v", err)
+	}
+}
+
+func TestClearHeals(t *testing.T) {
+	srv, c, inj := newBackend(t)
+	inj.Set(&Rule{Mode: Drop})
+	if _, _, err := get(t, c, srv.URL+"/x"); err == nil {
+		t.Fatal("rule not active")
+	}
+	inj.Clear()
+	if _, _, err := get(t, c, srv.URL+"/x"); err != nil {
+		t.Fatalf("cleared injector still faulting: %v", err)
+	}
+}

@@ -1,0 +1,16 @@
+package fabric
+
+import (
+	"net"
+	"net/url"
+)
+
+// netListen rebinds the host:port of an advertise URL — how tests
+// simulate a node restarting on the same address.
+func netListen(advertise string) (net.Listener, error) {
+	u, err := url.Parse(advertise)
+	if err != nil {
+		return nil, err
+	}
+	return net.Listen("tcp", u.Host)
+}

@@ -251,6 +251,9 @@ func compileArtifact(ctx context.Context, canon, machineName string, m *machine.
 }
 
 // compileCached canonicalizes, keys, and compiles through the cache.
+// In a fleet, the singleflight leader for a local miss first forwards to
+// the key's owning node (see fillArtifact); a key this node owns — or any
+// unreachable owner — compiles locally.
 func (s *Server) compileCached(ctx context.Context, src, machineName string, opts CompileOptions, tracer *softpipe.Tracer) (key cache.Key, data []byte, hit bool, err error) {
 	canon, err := canonicalSource(src)
 	if err != nil {
@@ -261,8 +264,13 @@ func (s *Server) compileCached(ctx context.Context, src, machineName string, opt
 		return key, nil, false, &requestError{http.StatusBadRequest, err}
 	}
 	key = cache.KeyOf(canon, m.Fingerprint(), opts.optionsKey())
-	data, hit, err = s.cache.GetOrCompute(ctx, key, func() ([]byte, error) {
-		return compileArtifact(ctx, canon, mname, m, opts, tracer)
+	data, hit, err = s.cache.GetOrFill(ctx, key, func() ([]byte, bool, error) {
+		return s.fillArtifact(ctx, key, canon, mname, opts, func() ([]byte, error) {
+			if s.compileHook != nil {
+				s.compileHook()
+			}
+			return compileArtifact(ctx, canon, mname, m, opts, tracer)
+		})
 	})
 	if err != nil {
 		return key, nil, false, classifyCompileErr(err)
@@ -279,10 +287,15 @@ type requestError struct {
 func (e *requestError) Error() string { return e.err.Error() }
 func (e *requestError) Unwrap() error { return e.err }
 
-// classifyCompileErr maps compiler failures to HTTP statuses: deadline →
-// 504, everything else (parse, validation, infeasible schedule, verifier
-// rejection) → 422.
+// classifyCompileErr maps compiler failures to HTTP statuses: an already
+// classified error (e.g. an owner's terminal answer relayed by the
+// fabric) passes through, deadline → 504, everything else (parse,
+// validation, infeasible schedule, verifier rejection) → 422.
 func classifyCompileErr(err error) *requestError {
+	var re *requestError
+	if errors.As(err, &re) {
+		return re
+	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		return &requestError{http.StatusGatewayTimeout, err}
 	}

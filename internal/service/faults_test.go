@@ -1,0 +1,169 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPanicMidCompileReturns500JSON: a panic inside the compiler itself
+// (not just a handler) must surface as a 500 with a decodable JSON error
+// body carrying the request ID — and must not poison the cache key for
+// later requests.
+func TestPanicMidCompileReturns500JSON(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.compileHook = func() { panic("induced compiler bug") }
+
+	raw, _ := json.Marshal(CompileRequest{Source: sumSource})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/compile", strings.NewReader(string(raw))))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panic mid-compile: status %d, want 500", rec.Code)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("500 body is not JSON: %q", rec.Body.String())
+	}
+	if e.Error == "" || e.RequestID == "" {
+		t.Fatalf("500 body incomplete: %+v", e)
+	}
+	if s.panics.Load() != 1 {
+		t.Fatal("compile panic not counted")
+	}
+
+	// The key is retryable once the fault clears: no wedged singleflight
+	// entry, no cached failure.
+	s.compileHook = nil
+	var resp CompileResponse
+	code, _ := post(t, s, "/compile", CompileRequest{Source: sumSource}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("retry after panic: status %d", code)
+	}
+	if resp.Cached {
+		t.Fatal("panicked compile left a cached artifact")
+	}
+}
+
+// TestClientDisconnectMidQueueFreesSlot: a queued client that hangs up
+// must release its queue slot — the gauge returns to zero and the next
+// arrival parks instead of being rejected.
+func TestClientDisconnectMidQueueFreesSlot(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: 1})
+	s.sem <- struct{}{} // occupy the only worker slot
+
+	queuedCtx, cancelQueued := context.WithCancel(context.Background())
+	queuedDone := make(chan int, 1)
+	go func() {
+		req := httptest.NewRequest("POST", "/compile", strings.NewReader("{}")).WithContext(queuedCtx)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		queuedDone <- rec.Code
+	}()
+	for s.queued.Load() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelQueued()
+	if code := <-queuedDone; code != http.StatusServiceUnavailable {
+		t.Fatalf("abandoned queued request: status %d, want 503", code)
+	}
+	// The slot is free again: gauge at zero, and a new arrival queues
+	// rather than overflowing with 429.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue gauge stuck at %d after client disconnect", s.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	nextDone := make(chan int, 1)
+	go func() {
+		raw, _ := json.Marshal(CompileRequest{Source: sumSource})
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("POST", "/compile", strings.NewReader(string(raw))))
+		nextDone <- rec.Code
+	}()
+	for s.queued.Load() != 1 {
+		select {
+		case code := <-nextDone:
+			t.Fatalf("next arrival rejected with %d instead of queueing", code)
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-s.sem // hand the worker slot to the parked request
+	if code := <-nextDone; code != http.StatusOK {
+		t.Fatalf("parked request after freed slot: status %d", code)
+	}
+}
+
+// TestRetryAfterJitterDistinct: consecutive 429s must carry different
+// retry hints, so a stampede of rejected clients does not re-arrive in
+// one synchronized wave.
+func TestRetryAfterJitterDistinct(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: 1})
+	s.sem <- struct{}{} // occupy the worker slot
+	defer func() { <-s.sem }()
+
+	// Park one request to fill the queue.
+	queuedCtx, cancelQueued := context.WithCancel(context.Background())
+	defer cancelQueued()
+	go func() {
+		req := httptest.NewRequest("POST", "/compile", strings.NewReader("{}")).WithContext(queuedCtx)
+		s.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	for s.queued.Load() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	hints := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("POST", "/compile", strings.NewReader("{}")))
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("overflow request %d: status %d, want 429", i, rec.Code)
+		}
+		ms := rec.Header().Get("X-Retry-After-Ms")
+		if ms == "" {
+			t.Fatal("429 without X-Retry-After-Ms")
+		}
+		if sec := rec.Header().Get("Retry-After"); sec == "" || sec == "0" {
+			t.Fatalf("Retry-After = %q, want whole seconds >= 1", sec)
+		}
+		hints[ms] = true
+	}
+	if len(hints) != 2 {
+		t.Fatalf("consecutive 429s carried identical retry hints: %v", hints)
+	}
+}
+
+// TestRequestIDGeneratedAndEchoed: single-node request-ID contract —
+// generated when absent, echoed verbatim when present.
+func TestRequestIDGeneratedAndEchoed(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Fatal("no generated request ID on response")
+	}
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set("X-Request-ID", "client-supplied-42")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != "client-supplied-42" {
+		t.Fatalf("request ID not echoed: %q", got)
+	}
+	// Two generated IDs differ.
+	a := httptest.NewRecorder()
+	b := httptest.NewRecorder()
+	s.ServeHTTP(a, httptest.NewRequest("GET", "/healthz", nil))
+	s.ServeHTTP(b, httptest.NewRequest("GET", "/healthz", nil))
+	if a.Header().Get("X-Request-ID") == b.Header().Get("X-Request-ID") {
+		t.Fatal("generated request IDs collide")
+	}
+}

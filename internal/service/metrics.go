@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"softpipe/internal/fabric"
 )
 
 // histogram is a log-bucketed latency histogram: bucket i covers
@@ -90,8 +92,9 @@ type Metrics struct {
 	InFlight   int64   `json:"in_flight"`
 	QueueDepth int64   `json:"queue_depth"`
 	Requests   struct {
-		Compile int64 `json:"compile"`
-		Run     int64 `json:"run"`
+		Compile  int64 `json:"compile"`
+		Run      int64 `json:"run"`
+		Artifact int64 `json:"artifact"` // peer forwards served
 	} `json:"requests"`
 	Errors   int64 `json:"errors"`
 	Rejected int64 `json:"rejected"`
@@ -105,12 +108,18 @@ type Metrics struct {
 		Evictions   int64   `json:"evictions"`
 		DiskHits    int64   `json:"disk_hits"`
 		DiskRejects int64   `json:"disk_rejects"`
+		RemoteHits  int64   `json:"remote_hits"`
 		Bytes       int64   `json:"bytes"`
 		Entries     int64   `json:"entries"`
 	} `json:"cache"`
-	Latency struct {
-		Compile LatencySummary `json:"compile"`
-		Run     LatencySummary `json:"run"`
+	// Fabric is present only on fleet members: per-peer breaker state
+	// and health, forward/hedge/fallback counters.
+	Fabric        *fabric.Stats `json:"fabric,omitempty"`
+	FallbackLocal int64         `json:"fallback_local_compiles,omitempty"`
+	Latency       struct {
+		Compile  LatencySummary `json:"compile"`
+		Run      LatencySummary `json:"run"`
+		Artifact LatencySummary `json:"artifact"`
 	} `json:"latency_ms"`
 }
 
@@ -121,6 +130,7 @@ func (s *Server) metrics() Metrics {
 	m.QueueDepth = s.queued.Load()
 	m.Requests.Compile = s.reqCompile.Load()
 	m.Requests.Run = s.reqRun.Load()
+	m.Requests.Artifact = s.reqArtifact.Load()
 	m.Errors = s.errors.Load()
 	m.Rejected = s.rejected.Load()
 	m.Panics = s.panics.Load()
@@ -135,10 +145,14 @@ func (s *Server) metrics() Metrics {
 	m.Cache.Evictions = cs.Evictions
 	m.Cache.DiskHits = cs.DiskHits
 	m.Cache.DiskRejects = cs.DiskRejects
+	m.Cache.RemoteHits = cs.RemoteHits
 	m.Cache.Bytes = cs.Bytes
 	m.Cache.Entries = cs.Entries
+	m.Fabric = s.FabricStats()
+	m.FallbackLocal = s.fallbacks.Load()
 	m.Latency.Compile = s.latCompile.summary()
 	m.Latency.Run = s.latRun.summary()
+	m.Latency.Artifact = s.latArtifact.summary()
 	return m
 }
 

@@ -180,6 +180,14 @@ func (s *Server) artifactFor(ctx context.Context, req *RunRequest) (cache.Key, [
 			return key, nil, false, &requestError{http.StatusBadRequest, err}
 		}
 		data, ok := s.cache.Get(key)
+		if !ok && s.fabric != nil && !s.fabric.Owns(key) {
+			// The key's owner may have it even though we do not (the
+			// client compiled through another node).  Fetch-only: a
+			// GET can never start a compile.
+			if data, ok = s.fabric.FetchByKey(ctx, key); ok {
+				s.cache.Put(key, data)
+			}
+		}
 		if !ok {
 			return key, nil, false, &requestError{http.StatusNotFound, fmt.Errorf("no cached artifact for key %s", req.Key)}
 		}

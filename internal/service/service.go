@@ -21,15 +21,19 @@
 package service
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"softpipe/internal/cache"
+	"softpipe/internal/fabric"
 )
 
 // Config tunes a Server.  The zero value is serviceable.
@@ -54,29 +58,52 @@ type Config struct {
 	// Logf, when non-nil, receives one line per served request and per
 	// recovered panic.
 	Logf func(format string, args ...any)
+	// Fabric, when non-nil with at least one peer besides Self, joins
+	// this node to a sharded compile fleet (see internal/fabric): local
+	// misses on keys owned by another node are forwarded there, and any
+	// forwarding failure degrades to a local compile.  Nil keeps the
+	// single-node behavior bit-for-bit.
+	Fabric *fabric.Config
 }
 
 // Server is the HTTP handler.  Create one with New; it is safe for
 // concurrent use and for http.Server's background goroutines.
 type Server struct {
-	cfg   Config
-	cache *cache.Cache
-	mux   *http.ServeMux
-	start time.Time
+	cfg    Config
+	cache  *cache.Cache
+	fabric *fabric.Fabric // nil when not in a fleet
+	mux    *http.ServeMux
+	start  time.Time
 
 	sem      chan struct{}
 	queued   atomic.Int64
 	inflight atomic.Int64
 	draining atomic.Bool
 
-	reqCompile atomic.Int64
-	reqRun     atomic.Int64
-	errors     atomic.Int64 // 4xx/5xx responses
-	rejected   atomic.Int64 // 429s from admission control
-	panics     atomic.Int64
+	reqCompile  atomic.Int64
+	reqRun      atomic.Int64
+	reqArtifact atomic.Int64 // peer forwards landing here
+	errors      atomic.Int64 // 4xx/5xx responses
+	rejected    atomic.Int64 // 429s from admission control
+	panics      atomic.Int64
+	fallbacks   atomic.Int64 // local compiles of keys another node owns
 
-	latCompile histogram
-	latRun     histogram
+	// ridPrefix + ridSeq generate request IDs for requests that arrive
+	// without one; retrySeq + retryOffset drive the jittered Retry-After
+	// hints (see retryAfterMS).
+	ridPrefix   string
+	ridSeq      atomic.Int64
+	retrySeq    atomic.Int64
+	retryOffset int64
+
+	latCompile  histogram
+	latRun      histogram
+	latArtifact histogram
+
+	// compileHook, when non-nil, runs at the start of every local
+	// compile.  Test seam: fault-injection tests use it to panic or
+	// stall mid-compile.
+	compileHook func()
 }
 
 // New builds a Server.
@@ -94,6 +121,12 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxTimeout = 5 * time.Minute
 	}
 	s := &Server{cfg: cfg, start: time.Now(), sem: make(chan struct{}, cfg.MaxConcurrent)}
+	var seed [6]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("service: seeding ids: %w", err)
+	}
+	s.ridPrefix = hex.EncodeToString(seed[:4])
+	s.retryOffset = int64(seed[4])<<8 | int64(seed[5])
 	c, err := cache.New(cache.Config{
 		MaxBytes: cfg.CacheBytes,
 		Dir:      cfg.CacheDir,
@@ -103,22 +136,55 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.cache = c
+	if cfg.Fabric != nil {
+		f, err := fabric.New(*cfg.Fabric)
+		if err != nil {
+			return nil, err
+		}
+		if f.Enabled() {
+			s.fabric = f
+		} else {
+			f.Close() // a one-node "fleet" is just a node
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /compile", s.admit(s.handleCompile, &s.reqCompile, &s.latCompile))
 	s.mux.HandleFunc("POST /run", s.admit(s.handleRun, &s.reqRun, &s.latRun))
+	// POST /artifact/{key} is the peer forward path: it compiles, so it
+	// shares admission control with client traffic.  GET is fetch-only
+	// (cache lookup) and stays cheap and unadmitted, like /metrics.
+	s.mux.HandleFunc("POST /artifact/{key}", s.admit(s.handleArtifactPost, &s.reqArtifact, &s.latArtifact))
+	s.mux.HandleFunc("GET /artifact/{key}", s.handleArtifactGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler with panic recovery: a handler panic
-// becomes a 500 (when nothing was written yet) and a counter, never a
-// dead daemon.
+// Close releases background resources (the fabric health prober).  It
+// does not drain in-flight requests; pair it with http.Server.Shutdown.
+func (s *Server) Close() {
+	if s.fabric != nil {
+		s.fabric.Close()
+	}
+}
+
+// ServeHTTP implements http.Handler with request-ID propagation and
+// panic recovery: every request gets an X-Request-ID (the client's if it
+// sent one, generated otherwise) echoed on the response, stamped into
+// error bodies and logs, and carried on forwarded peer requests — so one
+// failure can be traced across the fleet.  A handler panic becomes a 500
+// (when nothing was written yet) and a counter, never a dead daemon.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get(fabric.HeaderRequestID)
+	if rid == "" {
+		rid = fmt.Sprintf("%s-%06x", s.ridPrefix, s.ridSeq.Add(1))
+	}
+	w.Header().Set(fabric.HeaderRequestID, rid)
+	r = r.WithContext(fabric.WithRequestID(r.Context(), rid))
 	defer func() {
 		if v := recover(); v != nil {
 			s.panics.Add(1)
-			s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			s.logf("panic serving %s %s rid=%s: %v\n%s", r.Method, r.URL.Path, rid, v, debug.Stack())
 			s.fail(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", v))
 		}
 	}()
@@ -145,7 +211,12 @@ func (s *Server) admit(h http.HandlerFunc, count *atomic.Int64, lat *histogram) 
 			if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
 				s.queued.Add(-1)
 				s.rejected.Add(1)
-				w.Header().Set("Retry-After", "1")
+				ms := s.retryAfterMS()
+				// Retry-After is whole seconds by spec; the millisecond
+				// hint carries the actual jitter so well-behaved clients
+				// desynchronize instead of re-stampeding together.
+				w.Header().Set("Retry-After", strconv.FormatInt((ms+999)/1000, 10))
+				w.Header().Set("X-Retry-After-Ms", strconv.FormatInt(ms, 10))
 				s.fail(w, http.StatusTooManyRequests, fmt.Errorf("server saturated: %d in flight, %d queued", s.inflight.Load(), s.queued.Load()))
 				return
 			}
@@ -169,15 +240,32 @@ func (s *Server) admit(h http.HandlerFunc, count *atomic.Int64, lat *histogram) 
 	}
 }
 
+// retryAfterMS produces the jittered 429 backoff hint in milliseconds,
+// uniform-looking over [500, 2500).  A multiplicative stride over a
+// per-server random offset guarantees consecutive rejections get
+// distinct hints (997 is coprime to 2000, so the sequence cycles through
+// all 2000 values) — a constant hint would march every rejected client
+// back onto the queue in the same instant.
+func (s *Server) retryAfterMS() int64 {
+	return 500 + (s.retrySeq.Add(1)*997+s.retryOffset)%2000
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{}
+	if s.fabric != nil {
+		// Breaker states ride on /healthz so an operator (or the fleet
+		// harness) can watch a dead peer's breaker open and re-close
+		// from any surviving node.
+		body["fabric"] = s.fabric.Snapshot()
+	}
 	if s.draining.Load() {
-		s.reply(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		body["status"] = "draining"
+		s.reply(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	s.reply(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"uptime_s": time.Since(s.start).Seconds(),
-	})
+	body["status"] = "ok"
+	body["uptime_s"] = time.Since(s.start).Seconds()
+	s.reply(w, http.StatusOK, body)
 }
 
 // errorResponse is the body of every non-2xx answer.
@@ -186,6 +274,9 @@ type errorResponse struct {
 	// Timeout marks deadline-exceeded compiles/runs so clients can
 	// distinguish "too slow" from "wrong".
 	Timeout bool `json:"timeout,omitempty"`
+	// RequestID echoes X-Request-ID so a logged failure is greppable
+	// across every node that touched the request.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // reply marshals before touching the ResponseWriter: an unencodable body
@@ -205,7 +296,15 @@ func (s *Server) reply(w http.ResponseWriter, code int, body any) {
 
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 	s.errors.Add(1)
-	s.reply(w, code, errorResponse{Error: err.Error(), Timeout: code == http.StatusGatewayTimeout})
+	rid := w.Header().Get(fabric.HeaderRequestID)
+	if code >= 500 || code == http.StatusGatewayTimeout {
+		s.logf("request rid=%s failed: %d %v", rid, code, err)
+	}
+	s.reply(w, code, errorResponse{
+		Error:     err.Error(),
+		Timeout:   code == http.StatusGatewayTimeout,
+		RequestID: rid,
+	})
 }
 
 func (s *Server) logf(format string, args ...any) {

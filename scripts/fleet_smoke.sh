@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh: end-to-end check of the sharded compile fabric.  Boots
+# a 3-node in-process fleet via softpipe-load -fleet -smoke, which
+# replays the corpus while killing the owner of a hot key mid-replay,
+# watching the survivors' breakers open and (after a restart on the same
+# port) close again, and drop-partitioning one node's artifact traffic.
+# Asserts: zero client-visible errors across every phase, exactly one
+# compile fleet-wide per unique key in the no-fault replay, and breaker
+# recovery — the report records it all.
+#
+#   scripts/fleet_smoke.sh [report-out]   (default BENCH_fleet.json)
+set -euo pipefail
+
+out="${1:-BENCH_fleet.json}"
+bin_dir="$(mktemp -d)"
+trap 'rm -rf "$bin_dir"' EXIT
+
+go build -o "$bin_dir/softpipe-load" ./cmd/softpipe-load
+
+# The fleet, the fault schedule, and the final replay; exits non-zero on
+# any in-harness assertion failure.
+"$bin_dir/softpipe-load" -fleet 3 -smoke \
+  -workload mixed -fuzz-n 8 -duration 5s -concurrency 8 -out "$out"
+
+# Independent re-check of the report's robustness invariants.
+python3 - "$out" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))["fleet"]
+assert rep["smoke_passed"], rep.get("failures")
+assert rep["errors"] == 0, "client-visible errors: %d" % rep["errors"]
+assert rep["requests"] > 0, rep
+assert rep["unique_keys"] > 0, rep
+assert rep["computes"] == rep["unique_keys"], \
+    "exactly-once violated: %d compiles for %d keys" % (rep["computes"], rep["unique_keys"])
+assert rep["forwards"] > 0, "fabric never forwarded — nodes not sharded?"
+assert rep["fallback_local_compiles"] > 0, \
+    "fault phases never exercised the local-compile fallback"
+want_phases = {"no-fault replay", "kill owner mid-replay",
+               "breaker opens on dead peer", "restart and recover",
+               "partition artifact traffic", "steady-state replay"}
+assert want_phases <= set(rep["phases"]), rep["phases"]
+print("fleet smoke OK: %d nodes, %d requests, 0 errors, %d keys = %d compiles, "
+      "hit rate %.0f%%, p95 %.1fms"
+      % (rep["nodes"], rep["requests"], rep["unique_keys"], rep["computes"],
+         100*rep["hit_rate"], rep["latency_ms"]["p95_ms"]))
+EOF
