@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	livermore [-verify] [-parallel N] [-explain] [-trace out.json]
-//	          [-cpuprofile f] [-memprofile f]
+//	livermore [-verify] [-parallel N] [-engine interp|compiled]
+//	          [-explain] [-trace out.json] [-cpuprofile f] [-memprofile f]
 //
 // -parallel sizes the compile/simulate worker pool (0 = GOMAXPROCS,
-// 1 = sequential); the table is identical either way.  -explain appends
+// 1 = sequential); the table is identical either way.  -engine selects
+// the simulator implementation — "compiled" runs the same kernels on the
+// closure-specializing engine (identical table, faster wall clock).  -explain appends
 // the per-loop II-search explain report under the table; -trace writes
 // a Chrome trace_event JSON of all compile/simulate phases (one trace
 // sink per worker, merged at the end).
@@ -34,6 +36,7 @@ func main() {
 	verify := flag.Bool("verify", true, "run the independent object-code verifier on every emitted binary and differentially verify every run against the interpreter")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	explain := flag.Bool("explain", false, "print the II-search explain report for every loop of every kernel")
+	engineFlag := flag.String("engine", "interp", "simulator engine: interp or compiled")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the compile/simulate phases to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -63,6 +66,10 @@ func main() {
 		}()
 	}
 
+	eng, err := bench.ParseEngine(*engineFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	m := machine.Warp()
 	var tracer *trace.Tracer
 	if *traceOut != "" {
@@ -73,6 +80,7 @@ func main() {
 		Workers: *parallel,
 		Explain: *explain,
 		Tracer:  tracer,
+		Engine:  eng,
 	})
 	if err != nil {
 		log.Fatal(err)

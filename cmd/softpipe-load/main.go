@@ -4,7 +4,13 @@
 //
 //	softpipe-load [-addr http://127.0.0.1:8575] [-duration 10s] [-rps 50]
 //	              [-concurrency 8] [-workload mixed] [-run-frac 0.25]
-//	              [-fuzz-n 16] [-seed 1] [-out BENCH_service.json] [-smoke]
+//	              [-engine interp] [-batch 0] [-fuzz-n 16] [-seed 1]
+//	              [-out BENCH_service.json] [-smoke]
+//
+// -engine selects the simulator implementation replayed /run requests
+// ask for (interp or compiled); -batch N turns each replayed /run into
+// an N-lane batch request (compiled engine, one artifact amortized over
+// all lanes).
 //
 // Workloads: "livermore" (the paper's Table 4-2 kernels), "systolic"
 // (per-cell matmul programs, compile-only), "fuzz" (deterministic random
@@ -16,7 +22,8 @@
 // daemon — 100% hit rate on repeated sources after warmup, exactly one
 // compile for N concurrent identical requests, a 1ms-deadline compile
 // answering 504 rather than hanging, bit-identical artifacts for hit vs
-// miss, /healthz OK and /metrics parseable — and exits non-zero if any
+// miss, interp/compiled engine parity and batch-lane parity on /run,
+// /healthz OK and /metrics parseable — and exits non-zero if any
 // fail.  The replay then runs as usual; CI asserts its error count is 0.
 package main
 
@@ -174,6 +181,8 @@ type report struct {
 		TargetRPS   float64 `json:"target_rps"` // 0 = closed loop
 		Concurrency int     `json:"concurrency"`
 		RunFrac     float64 `json:"run_frac"`
+		Engine      string  `json:"engine"`
+		Batch       int     `json:"batch,omitempty"`
 		Seed        int64   `json:"seed"`
 	} `json:"config"`
 	Smoke  *smokeReport `json:"smoke,omitempty"`
@@ -310,6 +319,44 @@ func runSmoke(c *client, corpus []corpusEntry, seed int64) *smokeReport {
 			failf("run by key: code=%d cached=%v err=%v", code, byKey.Cached, err)
 		}
 	}
+
+	// 6. Engine parity: the compiled engine must report the same cycles,
+	// flops, and scalar state as the interpreter, and an N-lane batch
+	// must reproduce the single run in every lane.
+	src := workloads.RandomSource(seed)
+	var interp, comp, batch service.RunResponse
+	if code, err := c.post("/run", service.RunRequest{Source: src}, &interp); err != nil || code != http.StatusOK {
+		failf("engine parity interp run: code=%d err=%v", code, err)
+		return rep
+	}
+	if code, err := c.post("/run", service.RunRequest{Source: src, Engine: "compiled"}, &comp); err != nil || code != http.StatusOK {
+		failf("engine parity compiled run: code=%d err=%v", code, err)
+		return rep
+	}
+	if comp.Cycles != interp.Cycles || comp.Flops != interp.Flops {
+		failf("engine parity: interp %d cycles/%d flops vs compiled %d/%d",
+			interp.Cycles, interp.Flops, comp.Cycles, comp.Flops)
+	}
+	for k, v := range interp.Scalars {
+		if comp.Scalars[k] != v {
+			failf("engine parity: scalar %s: interp %v vs compiled %v", k, v, comp.Scalars[k])
+		}
+	}
+	const lanes = 4
+	if code, err := c.post("/run", service.RunRequest{Source: src, Batch: lanes}, &batch); err != nil || code != http.StatusOK {
+		failf("batch run: code=%d err=%v", code, err)
+		return rep
+	}
+	if len(batch.Lanes) != lanes || batch.BatchRunsPerSec <= 0 {
+		failf("batch run shape: lanes=%d runs_per_sec=%v", len(batch.Lanes), batch.BatchRunsPerSec)
+	}
+	for i, lane := range batch.Lanes {
+		if lane.Error != "" {
+			failf("batch lane %d errored: %s", i, lane.Error)
+		} else if lane.Cycles != interp.Cycles {
+			failf("batch lane %d: %d cycles, want %d", i, lane.Cycles, interp.Cycles)
+		}
+	}
 	return rep
 }
 
@@ -320,6 +367,8 @@ func main() {
 	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
 	workload := flag.String("workload", "mixed", "livermore, systolic, fuzz, or mixed")
 	runFrac := flag.Float64("run-frac", 0.25, "fraction of replay requests sent to /run")
+	engine := flag.String("engine", "interp", "simulator engine for replayed /run requests: interp or compiled")
+	batchN := flag.Int("batch", 0, "send each replayed /run as an N-lane batch (0 = single run)")
 	fuzzN := flag.Int("fuzz-n", 16, "number of fuzz sources")
 	seed := flag.Int64("seed", 1, "fuzz seed")
 	out := flag.String("out", "BENCH_service.json", "report file")
@@ -327,6 +376,9 @@ func main() {
 	fleetN := flag.Int("fleet", 0, "boot an in-process fleet of N fabric nodes and replay against it (with -smoke: kill/restart/partition nodes mid-replay)")
 	flag.Parse()
 
+	if *engine != "interp" && *engine != "compiled" {
+		log.Fatalf("softpipe-load: unknown engine %q (want interp or compiled)", *engine)
+	}
 	corpus, err := buildCorpus(*workload, *seed, *fuzzN)
 	if err != nil {
 		log.Fatalf("softpipe-load: %v", err)
@@ -352,6 +404,8 @@ func main() {
 	rep.Config.TargetRPS = *rps
 	rep.Config.Concurrency = *concurrency
 	rep.Config.RunFrac = *runFrac
+	rep.Config.Engine = *engine
+	rep.Config.Batch = *batchN
 	rep.Config.Seed = *seed
 
 	if *smoke {
@@ -405,7 +459,7 @@ func main() {
 				var cached bool
 				if toRun {
 					var resp service.RunResponse
-					code, err = c.post("/run", service.RunRequest{Source: e.source}, &resp)
+					code, err = c.post("/run", service.RunRequest{Source: e.source, Engine: *engine, Batch: *batchN}, &resp)
 					cached = resp.Cached
 				} else {
 					var resp service.CompileResponse

@@ -9,7 +9,14 @@
 // Usage:
 //
 //	w2c [-machine warp|scalar|wideN] [-baseline] [-S] [-run] [-verify]
-//	    [-explain] [-trace out.json] [-exectrace N] [-timeout d] file.w2
+//	    [-engine interp|compiled] [-explain] [-trace out.json]
+//	    [-exectrace N] [-timeout d] file.w2
+//
+// -engine selects the simulator implementation for -run: "interp" (the
+// reference cycle-accurate interpreter, the default) or "compiled" (the
+// closure-specializing engine of internal/sim/compiled — same observable
+// state, roughly 2× faster on pipelined kernels).  -exectrace and the
+// -verify differential check always use the interpreter.
 //
 // -explain prints the II-search explain report per loop: why every
 // candidate initiation interval below the accepted one failed (the
@@ -50,12 +57,17 @@ func main() {
 	run := flag.Bool("run", false, "simulate the program and print statistics")
 	verify := flag.Bool("verify", false, "with -run: run the independent object-code verifier (resources, dependences, provenance) and check the simulation against the interpreter")
 	exectrace := flag.Int64("exectrace", 0, "with -run: print an execution trace for the first N cycles")
+	engine := flag.String("engine", "interp", "simulator engine for -run: interp or compiled")
 	explain := flag.Bool("explain", false, "print the II-search explain report for every loop")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the compile/run phases to this file")
 	timeout := flag.Duration("timeout", 0, "abort compilation after this long (the II search stops between candidate intervals); 0 means no limit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: w2c [flags] file.w2")
+	}
+	eng, err := softpipe.ParseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	src, err := os.ReadFile(flag.Arg(0))
@@ -160,7 +172,7 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		res, err := obj.Run()
+		res, err := obj.RunEngine(eng)
 		if *verify {
 			res, err = obj.Verify()
 		}

@@ -7,17 +7,21 @@
 // Usage:
 //
 //	warpbench [-table41] [-fig41] [-fig42] [-stats] [-verify]
-//	          [-parallel N] [-cpuprofile f] [-memprofile f]
-//	          [-benchjson f]
+//	          [-parallel N] [-engine interp|compiled]
+//	          [-cpuprofile f] [-memprofile f] [-benchjson f]
 //
 // With no selection flags, everything runs.  -parallel sizes the
 // compile/simulate worker pool (0 = GOMAXPROCS, 1 = sequential).
-// -benchjson instead times the harness itself — suite wall-clock
-// sequential vs. parallel, simulator cycles/sec and allocs per cycle —
-// and writes the baseline JSON (see EXPERIMENTS.md for the schema).
+// -engine selects the simulator implementation for the table/figure
+// runs (identical artifacts, different wall clock).  -benchjson instead
+// times the harness itself — suite wall-clock sequential vs. parallel,
+// both engines' simulator cycles/sec, batch throughput, and allocs per
+// cycle — and writes the baseline JSON (see EXPERIMENTS.md for the
+// schema).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,6 +38,7 @@ import (
 	"softpipe/internal/ir"
 	"softpipe/internal/machine"
 	"softpipe/internal/sim"
+	"softpipe/internal/sim/compiled"
 	"softpipe/internal/trace"
 	"softpipe/internal/vliw"
 )
@@ -47,6 +52,7 @@ func main() {
 	stats := flag.Bool("stats", false, "§4.1 population statistics")
 	verify := flag.Bool("verify", false, "run the independent object-code verifier on every emitted binary and differentially verify every run")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	engineFlag := flag.String("engine", "interp", "simulator engine for table/figure runs: interp or compiled")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchjson := flag.String("benchjson", "", "benchmark the harness itself and write the baseline JSON to this file")
@@ -54,6 +60,10 @@ func main() {
 	flag.Parse()
 	all := !*t41 && !*f41 && !*f42 && !*stats
 
+	eng, err := bench.ParseEngine(*engineFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 	defer stopProfiles()
 
@@ -67,7 +77,7 @@ func main() {
 	}
 
 	if all || *t41 {
-		rows, err := bench.Table41(m, *verify, *parallel)
+		rows, err := bench.Table41Engine(m, *verify, *parallel, eng)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -95,7 +105,7 @@ func main() {
 			tracer = trace.New("warpbench-suite")
 		}
 		var err error
-		suite, err = bench.RunSuiteTraced(m, *verify, *parallel, tracer)
+		suite, err = bench.RunSuiteEngine(m, *verify, *parallel, tracer, eng)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -194,17 +204,31 @@ type HarnessBaseline struct {
 
 	// Whole-suite wall-clock (72 programs × {pipelined, unpipelined},
 	// compile + simulate), sequential (workers=1) vs. the worker pool
-	// (workers=GOMAXPROCS).  On a single-core host the two coincide.
-	SuitePrograms     int     `json:"suite_programs"`
-	SuiteSequentialMS float64 `json:"suite_sequential_ms"`
-	SuiteParallelMS   float64 `json:"suite_parallel_ms"`
-	SuiteSpeedup      float64 `json:"suite_parallel_speedup"`
-	SuiteMeanMFLOPS   float64 `json:"suite_mean_array_mflops"`
+	// (workers=GOMAXPROCS).  ParallelMeasured is false on a single-CPU
+	// host, where the pool cannot actually run anything concurrently;
+	// the speedup is then omitted rather than reported as a meaningless
+	// ~1.0 (the parallel pass still runs, as a determinism check).
+	SuitePrograms     int      `json:"suite_programs"`
+	SuiteSequentialMS float64  `json:"suite_sequential_ms"`
+	SuiteParallelMS   float64  `json:"suite_parallel_ms"`
+	ParallelMeasured  bool     `json:"parallel_measured"`
+	SuiteSpeedup      *float64 `json:"suite_parallel_speedup,omitempty"`
+	SuiteMeanMFLOPS   float64  `json:"suite_mean_array_mflops"`
 
-	// Simulator steady-state hot loop on a synthetic pipelined kernel.
-	SimNsPerCycle     float64 `json:"sim_ns_per_cycle"`
-	SimCyclesPerSec   float64 `json:"sim_cycles_per_sec"`
-	SimAllocsPerCycle float64 `json:"sim_allocs_per_cycle"`
+	// Simulator steady-state hot loop on a synthetic pipelined kernel:
+	// the interpreter engine, then the compiled-closure engine on the
+	// same kernel (whole run, build amortized), and their ratio.
+	SimNsPerCycle         float64 `json:"sim_ns_per_cycle"`
+	SimCyclesPerSec       float64 `json:"sim_cycles_per_sec"`
+	SimAllocsPerCycle     float64 `json:"sim_allocs_per_cycle"`
+	SimCompiledNsPerCycle float64 `json:"sim_compiled_ns_per_cycle"`
+	SimCompiledCyclesSec  float64 `json:"sim_compiled_cycles_per_sec"`
+	SimEngineSpeedup      float64 `json:"sim_engine_speedup"`
+
+	// BatchRunsPerSec is the compiled engine's batch throughput: 16
+	// independent 10k-iteration lanes per compiled artifact, lanes
+	// completed per second.
+	BatchRunsPerSec float64 `json:"batch_runs_per_sec"`
 
 	// PhaseMS is the per-phase wall-clock of one traced sequential suite
 	// pass (milliseconds summed over all programs), keyed by span name
@@ -255,7 +279,11 @@ func writeBenchJSON(m *machine.Machine, path string) error {
 	b.SuitePrograms = len(res)
 	b.SuiteSequentialMS = seqMS
 	b.SuiteParallelMS = parMS
-	b.SuiteSpeedup = seqMS / parMS
+	b.ParallelMeasured = b.NumCPU > 1 && b.GOMAXPROCS > 1
+	if b.ParallelMeasured {
+		speedup := seqMS / parMS
+		b.SuiteSpeedup = &speedup
+	}
 	b.SuiteMeanMFLOPS = s / float64(len(res))
 
 	nsPerCycle, allocs, err := measureSim(m)
@@ -265,6 +293,20 @@ func writeBenchJSON(m *machine.Machine, path string) error {
 	b.SimNsPerCycle = nsPerCycle
 	b.SimCyclesPerSec = 1e9 / nsPerCycle
 	b.SimAllocsPerCycle = allocs
+
+	compiledNs, err := measureCompiledSim(m)
+	if err != nil {
+		return err
+	}
+	b.SimCompiledNsPerCycle = compiledNs
+	b.SimCompiledCyclesSec = 1e9 / compiledNs
+	b.SimEngineSpeedup = nsPerCycle / compiledNs
+
+	batchRPS, err := measureBatch(m)
+	if err != nil {
+		return err
+	}
+	b.BatchRunsPerSec = batchRPS
 
 	// One traced sequential pass prices the phases themselves.
 	tracer := trace.New("warpbench-benchjson")
@@ -281,10 +323,16 @@ func writeBenchJSON(m *machine.Machine, path string) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("suite: %.1f ms sequential, %.1f ms parallel (%.2fx, %d workers)\n",
-		seqMS, parMS, seqMS/parMS, runtime.GOMAXPROCS(0))
+	if b.ParallelMeasured {
+		fmt.Printf("suite: %.1f ms sequential, %.1f ms parallel (%.2fx, %d workers)\n",
+			seqMS, parMS, seqMS/parMS, runtime.GOMAXPROCS(0))
+	} else {
+		fmt.Printf("suite: %.1f ms sequential (single CPU: parallel speedup not measurable)\n", seqMS)
+	}
 	fmt.Printf("sim:   %.1f ns/cycle (%.1f Mcycles/s), %.3f allocs/cycle steady state\n",
 		nsPerCycle, 1e3/nsPerCycle, allocs)
+	fmt.Printf("sim:   %.1f ns/cycle compiled engine (%.2fx), batch %.0f runs/s\n",
+		compiledNs, nsPerCycle/compiledNs, batchRPS)
 	fmt.Printf("wrote %s\n", path)
 	return nil
 }
@@ -329,6 +377,47 @@ func measureSim(m *machine.Machine) (nsPerCycle, allocsPerCycle float64, err err
 		return 0, 0, err
 	}
 	return float64(r.NsPerOp()), allocs, nil
+}
+
+// measureCompiledSim prices the compiled-closure engine on the same
+// kernel shape, whole-run: one Build plus one Run of ~bb.N cycles, so
+// the build cost is amortized exactly as a real caller would see it.
+func measureCompiledSim(m *machine.Machine) (nsPerCycle float64, err error) {
+	r := testing.Benchmark(func(bb *testing.B) {
+		p := simKernel(int64(bb.N) + 64)
+		bb.ResetTimer()
+		if _, _, rerr := compiled.Run(p, m); rerr != nil {
+			err = rerr
+			bb.FailNow()
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(r.NsPerOp()), nil
+}
+
+// measureBatch prices batch throughput: 16 independent 10k-iteration
+// lanes over one compiled artifact, reported as lanes per second.
+func measureBatch(m *machine.Machine) (runsPerSec float64, err error) {
+	const lanes = 16
+	cp, err := compiled.Build(simKernel(10_000), m)
+	if err != nil {
+		return 0, err
+	}
+	r := testing.Benchmark(func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			batch := compiled.NewBatch(cp, make([]compiled.Lane, lanes))
+			if _, berr := batch.Run(context.Background()); berr != nil {
+				err = berr
+				bb.FailNow()
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return lanes * 1e9 / float64(r.NsPerOp()), nil
 }
 
 // simKernel builds the synthetic pipelined-kernel-shaped object program

@@ -14,9 +14,42 @@ import (
 	"softpipe/internal/ir"
 	"softpipe/internal/machine"
 	"softpipe/internal/sim"
+	"softpipe/internal/sim/compiled"
 	"softpipe/internal/trace"
+	"softpipe/internal/vliw"
 	"softpipe/internal/workloads"
 )
+
+// Engine selects the simulator implementation for a measurement run:
+// the reference interpreter or the compiled-closure engine.  Both are
+// bit-identical on observable state; they differ only in host-side
+// simulation speed, so tables and figures are engine-invariant.
+type Engine string
+
+// Available engines ("" means interp).
+const (
+	EngineInterp   Engine = "interp"
+	EngineCompiled Engine = "compiled"
+)
+
+// ParseEngine maps a -engine flag value to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", string(EngineInterp):
+		return EngineInterp, nil
+	case string(EngineCompiled):
+		return EngineCompiled, nil
+	}
+	return "", fmt.Errorf("bench: unknown engine %q (want %q or %q)", s, EngineInterp, EngineCompiled)
+}
+
+// simulate dispatches one program run to the selected engine.
+func simulate(prog *vliw.Program, m *machine.Machine, eng Engine) (*ir.State, sim.Stats, error) {
+	if eng == EngineCompiled {
+		return compiled.Run(prog, m)
+	}
+	return sim.Run(prog, m)
+}
 
 // RunResult is one compiled-and-simulated execution.
 type RunResult struct {
@@ -31,12 +64,12 @@ type RunResult struct {
 	State       *ir.State
 }
 
-// Run compiles p in the given mode and simulates it.
+// Run compiles p in the given mode and simulates it on the interpreter.
 func Run(p *ir.Program, m *machine.Machine, mode codegen.Mode) (*RunResult, error) {
-	return run(p, m, codegen.Options{Mode: mode})
+	return run(p, m, codegen.Options{Mode: mode}, EngineInterp)
 }
 
-func run(p *ir.Program, m *machine.Machine, opts codegen.Options) (*RunResult, error) {
+func run(p *ir.Program, m *machine.Machine, opts codegen.Options, eng Engine) (*RunResult, error) {
 	sp := opts.Tracer.Begin("compile")
 	prog, rep, err := codegen.Compile(p, m, opts)
 	sp.End()
@@ -44,7 +77,7 @@ func run(p *ir.Program, m *machine.Machine, opts codegen.Options) (*RunResult, e
 		return nil, fmt.Errorf("bench: compile %s: %w", p.Name, err)
 	}
 	sp = opts.Tracer.Begin("sim.run")
-	st, stats, err := sim.Run(prog, m)
+	st, stats, err := simulate(prog, m, eng)
 	sp.Arg("cycles", stats.Cycles).End()
 	if err != nil {
 		return nil, fmt.Errorf("bench: simulate %s: %w", p.Name, err)
@@ -64,15 +97,15 @@ func run(p *ir.Program, m *machine.Machine, opts codegen.Options) (*RunResult, e
 // (internal/verify) enabled at compile time, plus a differential check
 // of the simulated final state against the IR interpreter.
 func RunVerified(p *ir.Program, m *machine.Machine, mode codegen.Mode) (*RunResult, error) {
-	return runVerified(p, m, codegen.Options{Mode: mode, VerifyEmitted: true})
+	return runVerified(p, m, codegen.Options{Mode: mode, VerifyEmitted: true}, EngineInterp)
 }
 
-func runVerified(p *ir.Program, m *machine.Machine, opts codegen.Options) (*RunResult, error) {
+func runVerified(p *ir.Program, m *machine.Machine, opts codegen.Options, eng Engine) (*RunResult, error) {
 	want, err := ir.Run(p)
 	if err != nil {
 		return nil, fmt.Errorf("bench: interpret %s: %w", p.Name, err)
 	}
-	r, err := run(p, m, opts)
+	r, err := run(p, m, opts, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -113,6 +146,10 @@ type Table42Opts struct {
 	// Tracer receives per-phase spans (one sink per pool worker, merged
 	// at the end); nil traces nothing.
 	Tracer *trace.Tracer
+	// Engine selects the simulator implementation ("" = interp).  Rows
+	// are engine-invariant; the compiled engine only changes host-side
+	// wall clock.
+	Engine Engine
 }
 
 // Table42 reproduces Table 4-2 on machine m (one cell).  Kernels
@@ -152,7 +189,7 @@ func runKernel42(k *workloads.Kernel, m *machine.Machine, o Table42Opts, t *trac
 	}
 	job := t.Begin("kernel." + k.Name)
 	defer job.End()
-	pipe, err := runner(p, m, codegen.Options{Mode: codegen.ModePipelined, VerifyEmitted: o.Verify, Explain: o.Explain, Tracer: t})
+	pipe, err := runner(p, m, codegen.Options{Mode: codegen.ModePipelined, VerifyEmitted: o.Verify, Explain: o.Explain, Tracer: t}, o.Engine)
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +197,7 @@ func runKernel42(k *workloads.Kernel, m *machine.Machine, o Table42Opts, t *trac
 	if err != nil {
 		return nil, err
 	}
-	base, err := runner(p2, m, codegen.Options{Mode: codegen.ModeUnpipelined, VerifyEmitted: o.Verify, Tracer: t})
+	base, err := runner(p2, m, codegen.Options{Mode: codegen.ModeUnpipelined, VerifyEmitted: o.Verify, Tracer: t}, o.Engine)
 	if err != nil {
 		return nil, err
 	}
@@ -224,11 +261,19 @@ type Table41Row struct {
 // actual simulated array.  Applications fan out over `workers`
 // goroutines (≤ 0 means GOMAXPROCS) with the row order fixed.
 func Table41(m *machine.Machine, verify bool, workers int) ([]Table41Row, error) {
+	return Table41Engine(m, verify, workers, EngineInterp)
+}
+
+// Table41Engine is Table41 on the selected simulator engine (the
+// systolic matmul row always runs on the interpreter array).
+func Table41Engine(m *machine.Machine, verify bool, workers int, eng Engine) ([]Table41Row, error) {
 	apps := workloads.Apps()
 	rows := make([]Table41Row, len(apps)+1)
-	runner := Run
-	if verify {
-		runner = RunVerified
+	runner := func(p *ir.Program, m *machine.Machine, mode codegen.Mode) (*RunResult, error) {
+		if verify {
+			return runVerified(p, m, codegen.Options{Mode: mode, VerifyEmitted: true}, eng)
+		}
+		return run(p, m, codegen.Options{Mode: mode}, eng)
 	}
 	err := ForEach(context.Background(), len(apps)+1, workers, func(i int) error {
 		if i == 0 {
@@ -316,6 +361,11 @@ func RunSuite(m *machine.Machine, verify bool, workers int) ([]SuiteResult, erro
 // RunSuiteTraced is RunSuite recording per-phase spans into tr (one
 // trace sink per pool worker, merged at the end); nil tr traces nothing.
 func RunSuiteTraced(m *machine.Machine, verify bool, workers int, tr *trace.Tracer) ([]SuiteResult, error) {
+	return RunSuiteEngine(m, verify, workers, tr, EngineInterp)
+}
+
+// RunSuiteEngine is RunSuiteTraced on the selected simulator engine.
+func RunSuiteEngine(m *machine.Machine, verify bool, workers int, tr *trace.Tracer, eng Engine) ([]SuiteResult, error) {
 	progs := workloads.Suite()
 	out := make([]SuiteResult, len(progs))
 	err := ForEachTraced(context.Background(), len(progs), workers, tr, func(i int, t *trace.Tracer) error {
@@ -325,12 +375,12 @@ func RunSuiteTraced(m *machine.Machine, verify bool, workers int, tr *trace.Trac
 			runner = runVerified
 		}
 		job := t.Begin("suite." + sp.Name)
-		pipe, err := runner(sp.Prog, m, codegen.Options{Mode: codegen.ModePipelined, VerifyEmitted: verify, Tracer: t})
+		pipe, err := runner(sp.Prog, m, codegen.Options{Mode: codegen.ModePipelined, VerifyEmitted: verify, Tracer: t}, eng)
 		if err != nil {
 			job.End()
 			return err
 		}
-		base, err := runner(sp.Prog, m, codegen.Options{Mode: codegen.ModeUnpipelined, VerifyEmitted: verify, Tracer: t})
+		base, err := runner(sp.Prog, m, codegen.Options{Mode: codegen.ModeUnpipelined, VerifyEmitted: verify, Tracer: t}, eng)
 		job.End()
 		if err != nil {
 			return err

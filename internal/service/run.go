@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"softpipe/internal/cache"
+	"softpipe/internal/ir"
 	"softpipe/internal/sim"
+	"softpipe/internal/sim/compiled"
 )
 
 // RunRequest is the body of POST /run.  Provide either Source (compiled
@@ -25,6 +27,19 @@ type RunRequest struct {
 	// many cells, with Input preloaded on the first cell's channel.
 	Cells int       `json:"cells,omitempty"`
 	Input []float64 `json:"input,omitempty"`
+	// Engine selects the simulator implementation: "" or "interp" for
+	// the reference interpreter, "compiled" for the closure-specializing
+	// engine (bit-identical observable state, ~2× faster on pipelined
+	// kernels).  Batch mode always uses the compiled engine.
+	Engine string `json:"engine,omitempty"`
+	// Batch > 0 runs the program on that many independent single-cell
+	// lanes over one compiled artifact (struct-of-arrays arenas, build
+	// cost amortized across all lanes).  Requires Cells <= 1; per-lane
+	// outcomes land in RunResponse.Lanes.
+	Batch int `json:"batch,omitempty"`
+	// BatchInputs optionally gives per-lane input tapes; when longer
+	// than Batch it sets the lane count.
+	BatchInputs [][]float64 `json:"batch_inputs,omitempty"`
 	// TimeoutMS bounds compile + simulation together.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -95,18 +110,33 @@ func toJSONScalars(m map[string]float64) map[string]JSONFloat {
 	return out
 }
 
+// LaneResponse is one batch lane's outcome.  A fault in one lane does
+// not fail the request; it lands in that lane's Error.
+type LaneResponse struct {
+	Cycles  int64                `json:"cycles"`
+	Flops   int64                `json:"flops"`
+	Scalars map[string]JSONFloat `json:"scalars,omitempty"`
+	Error   string               `json:"error,omitempty"`
+}
+
 // RunResponse is the body of a successful POST /run.
 type RunResponse struct {
 	Key    string  `json:"key"`
 	Cached bool    `json:"cached"`
+	Engine string  `json:"engine"`
 	Cycles int64   `json:"cycles"`
 	Flops  int64   `json:"flops"`
 	MFLOPS float64 `json:"mflops"`
 	// Scalars is the program's observable scalar state; Output is the
 	// stream the last cell sent to the host (array runs only).
-	Scalars   map[string]JSONFloat `json:"scalars,omitempty"`
-	Output    []JSONFloat          `json:"output,omitempty"`
-	ElapsedMS float64              `json:"elapsed_ms"`
+	Scalars map[string]JSONFloat `json:"scalars,omitempty"`
+	Output  []JSONFloat          `json:"output,omitempty"`
+	// Batch mode: per-lane outcomes plus aggregate simulation
+	// throughput (completed lanes per wall-clock second, the number the
+	// load harness asserts on).  Cycles/Flops above are lane totals.
+	Lanes           []LaneResponse `json:"lanes,omitempty"`
+	BatchRunsPerSec float64        `json:"batch_runs_per_sec,omitempty"`
+	ElapsedMS       float64        `json:"elapsed_ms"`
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -135,9 +165,81 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp := RunResponse{Key: key.String(), Cached: hit}
-	if req.Cells > 1 {
-		arr := sim.NewHomogeneousArray(a.Binary, m, req.Cells, req.Input)
+	eng := req.Engine
+	switch eng {
+	case "", "interp":
+		eng = "interp"
+	case "compiled":
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown engine %q (want interp or compiled)", req.Engine))
+		return
+	}
+	lanes := req.Batch
+	if len(req.BatchInputs) > lanes {
+		lanes = len(req.BatchInputs)
+	}
+
+	resp := RunResponse{Key: key.String(), Cached: hit, Engine: eng}
+	switch {
+	case lanes > 0:
+		if req.Cells > 1 {
+			s.fail(w, http.StatusBadRequest, errors.New("batch mode is single-cell: cells must be <= 1"))
+			return
+		}
+		resp.Engine = "compiled"
+		cp, err := compiled.Build(a.Binary, m)
+		if err != nil {
+			s.fail(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		ls := make([]compiled.Lane, lanes)
+		for i := range ls {
+			if i < len(req.BatchInputs) {
+				ls[i].InputTape = req.BatchInputs[i]
+			} else {
+				ls[i].InputTape = req.Input
+			}
+		}
+		batch := compiled.NewBatch(cp, ls)
+		t1 := time.Now()
+		results, err := batch.Run(ctx)
+		if err != nil {
+			s.writeRequestError(w, classifyRunErr(err))
+			return
+		}
+		elapsed := time.Since(t1).Seconds()
+		resp.Lanes = make([]LaneResponse, len(results))
+		for i, r := range results {
+			lr := LaneResponse{Cycles: r.Stats.Cycles, Flops: r.Stats.Flops}
+			if r.Err != nil {
+				lr.Error = r.Err.Error()
+			} else if r.State != nil {
+				lr.Scalars = toJSONScalars(r.State.Scalars)
+			}
+			resp.Cycles += r.Stats.Cycles
+			resp.Flops += r.Stats.Flops
+			resp.Lanes[i] = lr
+		}
+		resp.MFLOPS = sim.Stats{Cycles: resp.Cycles, Flops: resp.Flops}.MFLOPS(m, 1)
+		if elapsed > 0 {
+			resp.BatchRunsPerSec = float64(len(results)) / elapsed
+		}
+	case req.Cells > 1:
+		var arr *sim.Array
+		if eng == "compiled" {
+			cp, err := compiled.Build(a.Binary, m)
+			if err != nil {
+				s.fail(w, http.StatusUnprocessableEntity, err)
+				return
+			}
+			cells := make([]sim.Cell, req.Cells)
+			for i := range cells {
+				cells[i] = compiled.NewCell(cp)
+			}
+			arr = sim.NewArrayCells(cells, req.Input)
+		} else {
+			arr = sim.NewHomogeneousArray(a.Binary, m, req.Cells, req.Input)
+		}
 		arr.Ctx = ctx
 		out, last, err := arr.Run()
 		if err != nil {
@@ -151,15 +253,32 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if last != nil {
 			resp.Scalars = toJSONScalars(last.Scalars)
 		}
-	} else {
-		cell := sim.New(a.Binary, m)
-		cell.Ctx = ctx
-		state, err := cell.Run()
+	default:
+		var (
+			state *ir.State
+			st    sim.Stats
+			err   error
+		)
+		if eng == "compiled" {
+			cp, berr := compiled.Build(a.Binary, m)
+			if berr != nil {
+				s.fail(w, http.StatusUnprocessableEntity, berr)
+				return
+			}
+			cell := compiled.NewCell(cp)
+			cell.Ctx = ctx
+			state, err = cell.Run()
+			st = cell.Stats()
+		} else {
+			cell := sim.New(a.Binary, m)
+			cell.Ctx = ctx
+			state, err = cell.Run()
+			st = cell.Stats()
+		}
 		if err != nil {
 			s.writeRequestError(w, classifyRunErr(err))
 			return
 		}
-		st := cell.Stats()
 		resp.Cycles, resp.Flops = st.Cycles, st.Flops
 		resp.MFLOPS = st.MFLOPS(m, 1)
 		if state != nil {

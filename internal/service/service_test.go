@@ -401,3 +401,67 @@ func TestHistogramQuantiles(t *testing.T) {
 		t.Fatalf("max=%.2f mean=%.2f", s.MaxMS, s.MeanMS)
 	}
 }
+
+// TestRunEngineParity: the compiled engine must answer /run with the
+// same cycles, flops, and scalar state as the interpreter.
+func TestRunEngineParity(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var interp, comp RunResponse
+	if code, _ := post(t, s, "/run", RunRequest{Source: sumSource}, &interp); code != http.StatusOK {
+		t.Fatalf("interp run: status %d", code)
+	}
+	if code, _ := post(t, s, "/run", RunRequest{Source: sumSource, Engine: "compiled"}, &comp); code != http.StatusOK {
+		t.Fatalf("compiled run: status %d", code)
+	}
+	if comp.Engine != "compiled" || interp.Engine != "interp" {
+		t.Fatalf("engine labels: interp=%q compiled=%q", interp.Engine, comp.Engine)
+	}
+	if comp.Cycles != interp.Cycles || comp.Flops != interp.Flops {
+		t.Fatalf("engines diverge: interp %d cycles/%d flops, compiled %d/%d",
+			interp.Cycles, interp.Flops, comp.Cycles, comp.Flops)
+	}
+	if comp.Scalars["s"] != interp.Scalars["s"] {
+		t.Fatalf("scalar s: interp %v vs compiled %v", interp.Scalars["s"], comp.Scalars["s"])
+	}
+	var e errorResponse
+	if code, _ := post(t, s, "/run", RunRequest{Source: sumSource, Engine: "turbo"}, &e); code != http.StatusBadRequest {
+		t.Fatalf("unknown engine: status %d", code)
+	}
+}
+
+// TestRunBatch: batch mode runs N independent lanes over one compiled
+// artifact and reports per-lane state plus aggregate throughput.
+func TestRunBatch(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var ref RunResponse
+	if code, _ := post(t, s, "/run", RunRequest{Source: sumSource}, &ref); code != http.StatusOK {
+		t.Fatalf("reference run: status %d", code)
+	}
+	var batch RunResponse
+	if code, _ := post(t, s, "/run", RunRequest{Source: sumSource, Batch: 4}, &batch); code != http.StatusOK {
+		t.Fatalf("batch run: status %d", code)
+	}
+	if batch.Engine != "compiled" || len(batch.Lanes) != 4 {
+		t.Fatalf("batch shape: engine=%q lanes=%d", batch.Engine, len(batch.Lanes))
+	}
+	for i, lane := range batch.Lanes {
+		if lane.Error != "" {
+			t.Fatalf("lane %d errored: %s", i, lane.Error)
+		}
+		if lane.Cycles != ref.Cycles || lane.Scalars["s"] != ref.Scalars["s"] {
+			t.Fatalf("lane %d diverges from single run: %d cycles s=%v (want %d, s=%v)",
+				i, lane.Cycles, lane.Scalars["s"], ref.Cycles, ref.Scalars["s"])
+		}
+	}
+	if batch.Cycles != 4*ref.Cycles || batch.Flops != 4*ref.Flops {
+		t.Fatalf("batch totals: %d cycles/%d flops, want 4×(%d/%d)",
+			batch.Cycles, batch.Flops, ref.Cycles, ref.Flops)
+	}
+	if batch.BatchRunsPerSec <= 0 {
+		t.Fatalf("batch_runs_per_sec = %v, want > 0", batch.BatchRunsPerSec)
+	}
+	var e errorResponse
+	if code, _ := post(t, s, "/run", RunRequest{Source: sumSource, Batch: 2, Cells: 4}, &e); code != http.StatusBadRequest {
+		t.Fatalf("batch with cells: status %d", code)
+	}
+}

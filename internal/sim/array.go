@@ -19,7 +19,7 @@ import (
 // exactly ("except for a short setup time at the beginning, these
 // programs never stall", §4.1 — the setup skew is where stalls happen).
 type Array struct {
-	Cells []*Sim
+	Cells []Cell
 	// MaxCycles bounds the run; 0 picks a generous default.
 	MaxCycles int64
 	// Ctx, when non-nil, is polled every few thousand global cycles; a
@@ -37,20 +37,29 @@ const QueueCapacity = 512
 // preloaded on the first cell's input channel; the last cell's sends
 // accumulate as the array output.
 func NewArray(progs []*vliw.Program, m *machine.Machine, input []float64) *Array {
+	cells := make([]Cell, len(progs))
+	for i, p := range progs {
+		cells[i] = New(p, m)
+	}
+	return NewArrayCells(cells, input)
+}
+
+// NewArrayCells wires pre-built cells (any engine implementing Cell) into
+// a linear array: bounded queues between adjacent cells, unbounded host
+// queues at both ends, input preloaded on the first cell's channel.
+func NewArrayCells(cells []Cell, input []float64) *Array {
 	a := &Array{}
-	a.queues = make([]*Queue, len(progs)+1)
+	a.queues = make([]*Queue, len(cells)+1)
 	a.queues[0] = NewQueue(0) // host side: unbounded, preloaded
-	for i := 1; i < len(progs); i++ {
+	for i := 1; i < len(cells); i++ {
 		a.queues[i] = NewQueue(QueueCapacity)
 	}
-	a.queues[len(progs)] = NewQueue(0) // host collection side
+	a.queues[len(cells)] = NewQueue(0) // host collection side
 	for _, v := range input {
-		a.queues[0].push(v)
+		a.queues[0].Push(v)
 	}
-	for i, p := range progs {
-		c := New(p, m)
-		c.inQ = a.queues[i]
-		c.outQ = a.queues[i+1]
+	for i, c := range cells {
+		c.SetQueues(a.queues[i], a.queues[i+1])
 		a.Cells = append(a.Cells, c)
 	}
 	return a
@@ -92,7 +101,7 @@ func (a *Array) Run() ([]float64, *ir.State, error) {
 		allHalted := true
 		progress := false
 		for ci, c := range a.Cells {
-			if c.halted {
+			if c.Halted() {
 				continue
 			}
 			allHalted = false
@@ -116,7 +125,7 @@ func (a *Array) Run() ([]float64, *ir.State, error) {
 			return nil, nil, fmt.Errorf("cell %d: %w", ci, err)
 		}
 	}
-	return a.queues[len(a.Cells)].contents(), a.Cells[len(a.Cells)-1].state(), nil
+	return a.queues[len(a.Cells)].contents(), a.Cells[len(a.Cells)-1].State(), nil
 }
 
 // describeStalls renders every cell's blockage — the queue operation it
@@ -135,7 +144,7 @@ func (a *Array) describeStalls() string {
 		if ci > 0 {
 			b.WriteString("; ")
 		}
-		if c.halted {
+		if c.Halted() {
 			fmt.Fprintf(&b, "cell %d halted", ci)
 			continue
 		}
@@ -153,9 +162,10 @@ func (a *Array) describeStalls() string {
 func (a *Array) Stats() Stats {
 	var total Stats
 	for _, c := range a.Cells {
-		total.Flops += c.stats.Flops
-		total.Ops += c.stats.Ops
-		total.Instrs += c.stats.Instrs
+		st := c.Stats()
+		total.Flops += st.Flops
+		total.Ops += st.Ops
+		total.Instrs += st.Instrs
 	}
 	total.Cycles = a.cycles
 	return total

@@ -84,7 +84,7 @@ func TestArrayRelayChain(t *testing.T) {
 	}
 	seq := int64(0)
 	for _, c := range a.Cells {
-		seq += c.stats.Instrs
+		seq += c.Stats().Instrs
 	}
 	if st.Cycles >= seq {
 		t.Errorf("array wall clock %d not overlapped (sum of instrs %d)", st.Cycles, seq)

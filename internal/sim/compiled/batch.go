@@ -1,0 +1,92 @@
+package compiled
+
+import (
+	"context"
+	"fmt"
+
+	"softpipe/internal/ir"
+	"softpipe/internal/sim"
+)
+
+// Lane parameterizes one independent simulation of a batch: its own
+// input tape and optional per-lane float-array initial values (sweeps).
+type Lane struct {
+	InputTape []float64
+	// FloatArrays overrides the program's declared initial values for the
+	// named arrays in this lane; a short slice overrides a prefix.
+	FloatArrays map[string][]float64
+}
+
+// LaneResult is one lane's outcome; Err is per-lane (a fault in one lane
+// does not abort the batch).
+type LaneResult struct {
+	State *ir.State
+	Stats sim.Stats
+	Err   error
+}
+
+// Batch executes N independent cells over one compiled program.  The
+// lanes' register files and memories are slices of shared struct-of-
+// arrays arenas (four allocations for the whole batch), and the build
+// cost of the program is amortized across all lanes — the point of the
+// /run batch mode: throughput scales with requests, not cycles×requests.
+type Batch struct {
+	// MaxCycles bounds each lane (0 = the engine default).
+	MaxCycles int64
+
+	prog  *Program
+	cells []*Cell
+}
+
+// NewBatch lays out len(lanes) cells over p in SoA arenas.
+func NewBatch(p *Program, lanes []Lane) *Batch {
+	n := len(lanes)
+	b := &Batch{prog: p, cells: make([]*Cell, n)}
+	fregs := make([]float64, n*p.numF)
+	iregs := make([]int64, n*p.numI)
+	memF := make([]float64, n*p.memW)
+	memI := make([]int64, n*p.memW)
+	for i := range lanes {
+		c := &Cell{
+			prog:  p,
+			fregs: fregs[i*p.numF : (i+1)*p.numF],
+			iregs: iregs[i*p.numI : (i+1)*p.numI],
+			memF:  memF[i*p.memW : (i+1)*p.memW],
+			memI:  memI[i*p.memW : (i+1)*p.memW],
+		}
+		c.initShared()
+		c.initMemory()
+		c.InputTape = lanes[i].InputTape
+		for name, vals := range lanes[i].FloatArrays {
+			if arr := p.Src.Array(name); arr != nil && arr.Kind == ir.KindFloat {
+				m := len(vals)
+				if m > arr.Size {
+					m = arr.Size
+				}
+				copy(c.memF[arr.Base:arr.Base+m], vals[:m])
+			}
+		}
+		b.cells[i] = c
+	}
+	return b
+}
+
+// Len reports the lane count.
+func (b *Batch) Len() int { return len(b.cells) }
+
+// Run executes every lane to completion and returns per-lane results.
+// The only batch-level error is context cancellation; it annotates which
+// lane was interrupted.
+func (b *Batch) Run(ctx context.Context) ([]LaneResult, error) {
+	results := make([]LaneResult, len(b.cells))
+	for i, c := range b.cells {
+		c.Ctx = ctx
+		c.MaxCycles = b.MaxCycles
+		st, err := c.Run()
+		results[i] = LaneResult{State: st, Stats: c.Stats(), Err: err}
+		if ctx != nil && ctx.Err() != nil {
+			return results, fmt.Errorf("batch aborted at lane %d/%d: %w", i, len(b.cells), ctx.Err())
+		}
+	}
+	return results, nil
+}

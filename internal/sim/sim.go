@@ -181,12 +181,20 @@ func (q *Queue) Len() int { return len(q.buf) - q.head }
 // Cap reports the queue capacity (0 means unbounded).
 func (q *Queue) Cap() int { return q.cap }
 
-func (q *Queue) full() bool  { return q.cap > 0 && q.Len() >= q.cap }
-func (q *Queue) empty() bool { return q.Len() == 0 }
+// Full reports whether a push would exceed the capacity (never true for
+// unbounded queues).
+func (q *Queue) Full() bool { return q.cap > 0 && q.Len() >= q.cap }
 
-func (q *Queue) push(v float64) { q.buf = append(q.buf, v) }
+// Empty reports whether the queue holds no values.
+func (q *Queue) Empty() bool { return q.Len() == 0 }
 
-func (q *Queue) pop() float64 {
+// Push appends a value.  Callers are responsible for checking Full first;
+// the simulator's stall logic guarantees it.
+func (q *Queue) Push(v float64) { q.buf = append(q.buf, v) }
+
+// Pop removes and returns the head value.  Callers must check Empty
+// first.
+func (q *Queue) Pop() float64 {
 	v := q.buf[q.head]
 	q.head++
 	if q.head == len(q.buf) {
@@ -205,6 +213,31 @@ func (q *Queue) pop() float64 {
 
 // contents returns the live queued values (host-side collection).
 func (q *Queue) contents() []float64 { return q.buf[q.head:] }
+
+// Cell is the execution-engine interface an Array drives: one local cycle
+// per Step (possibly stalled on a queue), a post-halt Drain, and the
+// observable state/stats accessors.  Both the interpreter (*Sim) and the
+// compiled engine (sim/compiled.*Cell) implement it, so arrays can host
+// either engine.
+type Cell interface {
+	// Step executes one local cycle; stalled means a queue operation
+	// could not proceed and local time did not advance.
+	Step() (stalled bool, err error)
+	// Halted reports whether the cell executed its halt instruction.
+	Halted() bool
+	// Drain advances local time until all in-flight write-backs land.
+	Drain(max int64) error
+	// BlockedOn describes the stalled queue operation (deadlock
+	// diagnostics); ok is false when the cell is not stalled.
+	BlockedOn() (class machine.Class, pc int, cycle int64, ok bool)
+	// SetQueues attaches the inter-cell channels; a nil queue falls back
+	// to the host-side tape on that side.
+	SetQueues(in, out *Queue)
+	// State snapshots the observable program state.
+	State() *ir.State
+	// Stats reports the run counters accumulated so far.
+	Stats() Stats
+}
 
 // New prepares a simulator with initialized memory.
 func New(p *vliw.Program, m *machine.Machine) *Sim {
@@ -326,12 +359,20 @@ func (s *Sim) Run() (*ir.State, error) {
 		return nil, err
 	}
 	s.stats.Cycles = s.t
-	return s.state(), nil
+	return s.State(), nil
 }
 
 // Drain advances local time until every in-flight write-back has landed.
+// Like Run it honors s.Ctx, so a deadlined request cannot hang in the
+// post-halt drain phase (polled every iteration — drain is a cold path
+// bounded by the ring length, so the check is free in practice).
 func (s *Sim) Drain(max int64) error {
 	for s.nPending > 0 {
+		if s.Ctx != nil {
+			if err := s.Ctx.Err(); err != nil {
+				return fmt.Errorf("sim: drain aborted at cycle %d: %w", s.t, err)
+			}
+		}
 		if err := s.applyWritebacks(s.t); err != nil {
 			return err
 		}
@@ -342,6 +383,10 @@ func (s *Sim) Drain(max int64) error {
 	}
 	return nil
 }
+
+// SetQueues attaches inter-cell channels (Cell interface); nil restores
+// the host-side tape behavior on that side.
+func (s *Sim) SetQueues(in, out *Queue) { s.inQ, s.outQ = in, out }
 
 // Halted reports whether the cell has executed its halt instruction.
 func (s *Sim) Halted() bool { return s.halted }
@@ -366,7 +411,7 @@ func (s *Sim) Step() (stalled bool, err error) {
 	for oi := range ops {
 		switch ops[oi].class {
 		case machine.ClassRecv:
-			if s.inQ != nil && s.inQ.empty() {
+			if s.inQ != nil && s.inQ.Empty() {
 				s.blocked, s.blockedValid = machine.ClassRecv, true
 				return true, nil
 			}
@@ -374,7 +419,7 @@ func (s *Sim) Step() (stalled bool, err error) {
 				return false, fmt.Errorf("sim: receive beyond end of input tape (pc=%d)", pc)
 			}
 		case machine.ClassSend:
-			if s.outQ != nil && s.outQ.full() {
+			if s.outQ != nil && s.outQ.Full() {
 				s.blocked, s.blockedValid = machine.ClassSend, true
 				return true, nil
 			}
@@ -413,7 +458,7 @@ func (s *Sim) Step() (stalled bool, err error) {
 		case machine.ClassRecv:
 			var v float64
 			if s.inQ != nil {
-				v = s.inQ.pop()
+				v = s.inQ.Pop()
 			} else {
 				v = s.InputTape[s.inPos]
 				s.inPos++
@@ -421,7 +466,7 @@ func (s *Sim) Step() (stalled bool, err error) {
 			s.wb(t+lat, pc, true, o.dst, v, 0)
 		case machine.ClassSend:
 			if s.outQ != nil {
-				s.outQ.push(s.fregs[o.src0])
+				s.outQ.Push(s.fregs[o.src0])
 			} else {
 				s.OutputTape = append(s.OutputTape, s.fregs[o.src0])
 			}
@@ -578,7 +623,9 @@ func prevWriter(wbs []writeback, isFloat bool, reg int) int {
 	return -1
 }
 
-func (s *Sim) state() *ir.State {
+// State snapshots the observable program state: declared arrays and
+// result scalars (Cell interface).
+func (s *Sim) State() *ir.State {
 	var nf, ni int
 	for _, a := range s.Prog.Arrays {
 		if a.Kind == ir.KindFloat {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Engine differential smoke for CI: w2c must print byte-identical
+# results under -engine interp and -engine compiled on saxpy and a
+# Livermore kernel, and the harness baseline must show the compiled
+# engine no slower than the interpreter (scripts/simcheck).
+#
+#   bash scripts/sim_smoke.sh [bench_harness_ci.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench_json="${1:-bench_harness_ci.json}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go run ./scripts/simcheck -emit-kernel k1-hydro -o "$tmp/k1-hydro.w2"
+
+for src in testdata/saxpy.w2 "$tmp/k1-hydro.w2"; do
+  go run ./cmd/w2c -run -engine interp "$src" >"$tmp/interp.txt"
+  go run ./cmd/w2c -run -engine compiled "$src" >"$tmp/compiled.txt"
+  if ! diff -u "$tmp/interp.txt" "$tmp/compiled.txt"; then
+    echo "sim_smoke: engines diverge on $src" >&2
+    exit 1
+  fi
+  echo "sim_smoke: engines agree on $src"
+done
+
+go run ./scripts/simcheck -bench "$bench_json"
