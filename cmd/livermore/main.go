@@ -27,6 +27,7 @@ import (
 
 	"softpipe/internal/bench"
 	"softpipe/internal/machine"
+	"softpipe/internal/schedule"
 	"softpipe/internal/trace"
 )
 
@@ -37,6 +38,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	explain := flag.Bool("explain", false, "print the II-search explain report for every loop of every kernel")
 	engineFlag := flag.String("engine", "interp", "simulator engine: interp or compiled")
+	effortFlag := flag.String("effort", "heuristic", "II search effort: heuristic or exact")
+	effortBudget := flag.Duration("effort-budget", 0, "with -effort=exact: per-kernel exact search budget (0 = default)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the compile/simulate phases to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -70,6 +73,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	effort, err := schedule.ParseEffort(*effortFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	m := machine.Warp()
 	var tracer *trace.Tracer
 	if *traceOut != "" {
@@ -81,6 +88,9 @@ func main() {
 		Explain: *explain,
 		Tracer:  tracer,
 		Engine:  eng,
+
+		Effort:       effort,
+		EffortBudget: *effortBudget,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -58,6 +58,8 @@ func main() {
 	verify := flag.Bool("verify", false, "with -run: run the independent object-code verifier (resources, dependences, provenance) and check the simulation against the interpreter")
 	exectrace := flag.Int64("exectrace", 0, "with -run: print an execution trace for the first N cycles")
 	engine := flag.String("engine", "interp", "simulator engine for -run: interp or compiled")
+	effort := flag.String("effort", "heuristic", "II search effort: heuristic (Lam's algorithm) or exact (prove the minimal II, falling back to the heuristic on budget exhaustion)")
+	effortBudget := flag.Duration("effort-budget", 0, "with -effort=exact: per-program search budget (0 means the built-in default)")
 	explain := flag.Bool("explain", false, "print the II-search explain report for every loop")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the compile/run phases to this file")
 	timeout := flag.Duration("timeout", 0, "abort compilation after this long (the II search stops between candidate intervals); 0 means no limit")
@@ -66,6 +68,10 @@ func main() {
 		log.Fatal("usage: w2c [flags] file.w2")
 	}
 	eng, err := softpipe.ParseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eff, err := softpipe.ParseEffort(*effort)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -105,6 +111,8 @@ func main() {
 		DisableLoopReduction: *noLoopRed,
 		BinarySearch:         *binSearch,
 		UnrollInnerTrip:      *unrollInner,
+		Effort:               eff,
+		EffortBudget:         *effortBudget,
 		Explain:              *explain,
 		Tracer:               tracer,
 	})

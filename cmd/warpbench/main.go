@@ -8,16 +8,23 @@
 //
 //	warpbench [-table41] [-fig41] [-fig42] [-stats] [-verify]
 //	          [-parallel N] [-engine interp|compiled]
+//	          [-effort heuristic|exact] [-effort-budget d]
 //	          [-cpuprofile f] [-memprofile f] [-benchjson f]
+//	          [-gap] [-gapset full|smoke] [-gapout f]
 //
 // With no selection flags, everything runs.  -parallel sizes the
 // compile/simulate worker pool (0 = GOMAXPROCS, 1 = sequential).
 // -engine selects the simulator implementation for the table/figure
-// runs (identical artifacts, different wall clock).  -benchjson instead
-// times the harness itself — suite wall-clock sequential vs. parallel,
-// both engines' simulator cycles/sec, batch throughput, and allocs per
-// cycle — and writes the baseline JSON (see EXPERIMENTS.md for the
-// schema).
+// runs (identical artifacts, different wall clock).  -effort selects
+// the II-search backend for the table/figure compiles.  -benchjson
+// instead times the harness itself — suite wall-clock sequential vs.
+// parallel, both engines' simulator cycles/sec, batch throughput, and
+// allocs per cycle — and writes the baseline JSON (see EXPERIMENTS.md
+// for the schema).  -gap instead compiles the gap corpus (saxpy +
+// Livermore + the checked-in fuzz seeds) under both scheduler backends,
+// prints the per-loop heuristic-vs-optimal II table, and exits nonzero
+// if the exact backend is ever worse than the heuristic; -gapout also
+// writes the BENCH_gap.json artifact.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"softpipe/internal/bench"
 	"softpipe/internal/ir"
 	"softpipe/internal/machine"
+	"softpipe/internal/schedule"
 	"softpipe/internal/sim"
 	"softpipe/internal/sim/compiled"
 	"softpipe/internal/trace"
@@ -53,6 +61,11 @@ func main() {
 	verify := flag.Bool("verify", false, "run the independent object-code verifier on every emitted binary and differentially verify every run")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	engineFlag := flag.String("engine", "interp", "simulator engine for table/figure runs: interp or compiled")
+	effortFlag := flag.String("effort", "heuristic", "II search effort for table/figure compiles: heuristic or exact")
+	effortBudget := flag.Duration("effort-budget", 0, "with -effort=exact or -gap: per-compile exact search budget (0 = default)")
+	gap := flag.Bool("gap", false, "measure the heuristic-vs-optimal II gap over the corpus and print the per-loop table")
+	gapSet := flag.String("gapset", "full", "with -gap: corpus to measure, full or smoke")
+	gapOut := flag.String("gapout", "", "with -gap: also write the BENCH_gap.json artifact to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchjson := flag.String("benchjson", "", "benchmark the harness itself and write the baseline JSON to this file")
@@ -61,6 +74,10 @@ func main() {
 	all := !*t41 && !*f41 && !*f42 && !*stats
 
 	eng, err := bench.ParseEngine(*engineFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	effort, err := schedule.ParseEffort(*effortFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,8 +93,36 @@ func main() {
 		return
 	}
 
+	if *gap {
+		rep, err := bench.MeasureGap(m, bench.GapOpts{
+			Set:     *gapSet,
+			Budget:  *effortBudget,
+			Workers: *parallel,
+			Verify:  true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatGapReport(rep))
+		if *gapOut != "" {
+			out, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, '\n')
+			if err := os.WriteFile(*gapOut, out, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "warpbench: wrote %s\n", *gapOut)
+		}
+		return
+	}
+
 	if all || *t41 {
-		rows, err := bench.Table41Engine(m, *verify, *parallel, eng)
+		rows, err := bench.Table41With(m, bench.SuiteOpts{
+			Verify: *verify, Workers: *parallel, Engine: eng,
+			Effort: effort, EffortBudget: *effortBudget,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -105,7 +150,10 @@ func main() {
 			tracer = trace.New("warpbench-suite")
 		}
 		var err error
-		suite, err = bench.RunSuiteEngine(m, *verify, *parallel, tracer, eng)
+		suite, err = bench.RunSuiteWith(m, bench.SuiteOpts{
+			Verify: *verify, Workers: *parallel, Tracer: tracer, Engine: eng,
+			Effort: effort, EffortBudget: *effortBudget,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

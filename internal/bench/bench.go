@@ -9,10 +9,13 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"softpipe/internal/codegen"
 	"softpipe/internal/ir"
 	"softpipe/internal/machine"
+	"softpipe/internal/pipeline"
+	"softpipe/internal/schedule"
 	"softpipe/internal/sim"
 	"softpipe/internal/sim/compiled"
 	"softpipe/internal/trace"
@@ -150,6 +153,16 @@ type Table42Opts struct {
 	// are engine-invariant; the compiled engine only changes host-side
 	// wall clock.
 	Engine Engine
+	// Effort selects the II search backend (heuristic or exact); see
+	// schedule.Effort.  EffortBudget bounds the exact search per compile
+	// (0 means the built-in default).
+	Effort       schedule.Effort
+	EffortBudget time.Duration
+}
+
+// pipelineOpts renders effort settings as scheduler options.
+func pipelineOpts(eff schedule.Effort, budget time.Duration) pipeline.Options {
+	return pipeline.Options{Effort: eff, SchedBudget: budget}
 }
 
 // Table42 reproduces Table 4-2 on machine m (one cell).  Kernels
@@ -189,7 +202,7 @@ func runKernel42(k *workloads.Kernel, m *machine.Machine, o Table42Opts, t *trac
 	}
 	job := t.Begin("kernel." + k.Name)
 	defer job.End()
-	pipe, err := runner(p, m, codegen.Options{Mode: codegen.ModePipelined, VerifyEmitted: o.Verify, Explain: o.Explain, Tracer: t}, o.Engine)
+	pipe, err := runner(p, m, codegen.Options{Mode: codegen.ModePipelined, Pipeline: pipelineOpts(o.Effort, o.EffortBudget), VerifyEmitted: o.Verify, Explain: o.Explain, Tracer: t}, o.Engine)
 	if err != nil {
 		return nil, err
 	}
@@ -267,13 +280,32 @@ func Table41(m *machine.Machine, verify bool, workers int) ([]Table41Row, error)
 // Table41Engine is Table41 on the selected simulator engine (the
 // systolic matmul row always runs on the interpreter array).
 func Table41Engine(m *machine.Machine, verify bool, workers int, eng Engine) ([]Table41Row, error) {
+	return Table41With(m, SuiteOpts{Verify: verify, Workers: workers, Engine: eng})
+}
+
+// SuiteOpts tunes Table41With and RunSuiteWith beyond the mode flags.
+type SuiteOpts struct {
+	Verify  bool
+	Workers int
+	Tracer  *trace.Tracer
+	Engine  Engine
+	// Effort/EffortBudget select and bound the II search backend.
+	Effort       schedule.Effort
+	EffortBudget time.Duration
+}
+
+// Table41With is Table41Engine with the full option set.
+func Table41With(m *machine.Machine, o SuiteOpts) ([]Table41Row, error) {
+	verify, workers, eng := o.Verify, o.Workers, o.Engine
 	apps := workloads.Apps()
 	rows := make([]Table41Row, len(apps)+1)
 	runner := func(p *ir.Program, m *machine.Machine, mode codegen.Mode) (*RunResult, error) {
+		opts := codegen.Options{Mode: mode, Pipeline: pipelineOpts(o.Effort, o.EffortBudget), VerifyEmitted: verify}
 		if verify {
-			return runVerified(p, m, codegen.Options{Mode: mode, VerifyEmitted: true}, eng)
+			return runVerified(p, m, opts, eng)
 		}
-		return run(p, m, codegen.Options{Mode: mode}, eng)
+		opts.VerifyEmitted = false
+		return run(p, m, opts, eng)
 	}
 	err := ForEach(context.Background(), len(apps)+1, workers, func(i int) error {
 		if i == 0 {
@@ -366,6 +398,12 @@ func RunSuiteTraced(m *machine.Machine, verify bool, workers int, tr *trace.Trac
 
 // RunSuiteEngine is RunSuiteTraced on the selected simulator engine.
 func RunSuiteEngine(m *machine.Machine, verify bool, workers int, tr *trace.Tracer, eng Engine) ([]SuiteResult, error) {
+	return RunSuiteWith(m, SuiteOpts{Verify: verify, Workers: workers, Tracer: tr, Engine: eng})
+}
+
+// RunSuiteWith is RunSuiteEngine with the full option set.
+func RunSuiteWith(m *machine.Machine, o SuiteOpts) ([]SuiteResult, error) {
+	verify, workers, tr, eng := o.Verify, o.Workers, o.Tracer, o.Engine
 	progs := workloads.Suite()
 	out := make([]SuiteResult, len(progs))
 	err := ForEachTraced(context.Background(), len(progs), workers, tr, func(i int, t *trace.Tracer) error {
@@ -375,7 +413,7 @@ func RunSuiteEngine(m *machine.Machine, verify bool, workers int, tr *trace.Trac
 			runner = runVerified
 		}
 		job := t.Begin("suite." + sp.Name)
-		pipe, err := runner(sp.Prog, m, codegen.Options{Mode: codegen.ModePipelined, VerifyEmitted: verify, Tracer: t}, eng)
+		pipe, err := runner(sp.Prog, m, codegen.Options{Mode: codegen.ModePipelined, Pipeline: pipelineOpts(o.Effort, o.EffortBudget), VerifyEmitted: verify, Tracer: t}, eng)
 		if err != nil {
 			job.End()
 			return err

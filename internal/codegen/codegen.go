@@ -90,10 +90,17 @@ type LoopReport struct {
 	RecMII    int
 	II        int
 	MetLower  bool
-	Unroll    int
-	Stages    int
-	HasCond   bool
-	HasRecur  bool
+	// Effort names the II-search backend that scheduled the loop;
+	// Proved means the exact backend refuted every smaller interval (II
+	// is optimal, not just heuristically good), FellBack that it hit its
+	// time budget and kept the heuristic schedule.
+	Effort   schedule.Effort
+	Proved   bool
+	FellBack bool
+	Unroll   int
+	Stages   int
+	HasCond  bool
+	HasRecur bool
 	// Kernel is a rendering of the steady-state modulo schedule (one
 	// row per II offset, as in the paper's Figure 2-2); empty when the
 	// loop was not pipelined.

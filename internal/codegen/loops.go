@@ -277,6 +277,11 @@ func (e *emitter) planBodyOpts(l *ir.LoopStmt, powerOfTwo, keepMarginal bool, re
 	rep.RecMII = plan.RecMII
 	rep.HasRecur = plan.HasRecurrence
 	rep.Explain = plan.Explain
+	if st := plan.SchedStats; st != nil {
+		rep.Effort = st.Effort
+		rep.Proved = st.Proved
+		rep.FellBack = st.FellBack
+	}
 	cf, ci := plan.TotalCopyRegs(e.irp)
 	peakF, peakI := e.regsNeeded(baseRegs, cf, ci+6)
 	if peakF > e.m.FloatRegs || peakI > e.m.IntRegs {

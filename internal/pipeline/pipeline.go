@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"softpipe/internal/depgraph"
 	"softpipe/internal/ir"
@@ -44,7 +45,14 @@ type Options struct {
 	Policy       Policy
 	BinarySearch bool // ablation: FPS-style binary search for the II
 	DisableMVE   bool // ablation: never remove expandable-register edges
-	MaxII        int
+	// Effort selects the II-search backend: the paper's heuristic
+	// (default) or the exact optimality-proving search with heuristic
+	// fallback (schedule.EffortExact).
+	Effort schedule.Effort
+	// SchedBudget bounds the exact backend's wall clock per Search call;
+	// 0 means schedule.DefaultExactBudget.  Ignored by the heuristic.
+	SchedBudget time.Duration
+	MaxII       int
 	// MinII forces the search to start above the natural MII (used to
 	// honor construct-window constraints).
 	MinII int
@@ -152,6 +160,24 @@ func (p *Plan) KernelPasses(k int) int { return (k - (p.Stages - 1)) / p.Unroll 
 // graceful version of the paper's "when we run out of registers, we
 // resort to simple techniques" (§2.3).
 func PlanLoop(nodes []*depgraph.Node, loopID int, m *machine.Machine, opts Options) (*Plan, error) {
+	p, err := planLoop(nodes, loopID, m, opts)
+	if err != nil && opts.Effort == schedule.EffortExact &&
+		(opts.Ctx == nil || opts.Ctx.Err() == nil) {
+		// A tighter exact schedule can fail checks downstream of the II
+		// search — construct windows, the MVE unroll limit, the copy
+		// budget — that the heuristic schedule would have passed.  Exact
+		// effort must never pipeline less than the heuristic, so retry
+		// the loop without it before giving up.
+		ho := opts
+		ho.Effort = schedule.EffortHeuristic
+		if hp, herr := planLoop(nodes, loopID, m, ho); herr == nil {
+			return hp, nil
+		}
+	}
+	return p, err
+}
+
+func planLoop(nodes []*depgraph.Node, loopID int, m *machine.Machine, opts Options) (*Plan, error) {
 	full := depgraph.BuildIndep(nodes, loopID, opts.IndependentMem)
 	expanded := map[ir.VReg]bool{}
 	if !opts.DisableMVE {
@@ -278,9 +304,9 @@ func planWith(nodes []*depgraph.Node, full *depgraph.Graph, expanded map[ir.VReg
 	}
 	var res *schedule.Result
 	var st *schedule.Stats
-	// One searcher serves every construct-window retry: the SCC closures
+	// One scheduler serves every construct-window retry: the SCC closures
 	// and scheduling scratch carry over, only the floor MinII moves.
-	searcher := schedule.NewSearcher(a, m)
+	searcher := schedule.New(opts.Effort, a, m)
 	search := opts.Tracer.Begin("schedule.search")
 	for {
 		res, st, err = searcher.Search(schedule.Options{
@@ -291,6 +317,7 @@ func planWith(nodes []*depgraph.Node, full *depgraph.Graph, expanded map[ir.VReg
 			ReserveBranch:  true,
 			BranchResource: machine.ResBranch,
 			Explain:        opts.Explain,
+			Budget:         opts.SchedBudget,
 		})
 		if st != nil {
 			opts.Tracer.Count("schedule.attempts", int64(st.Attempts))

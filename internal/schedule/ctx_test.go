@@ -3,7 +3,10 @@ package schedule
 import (
 	"context"
 	"errors"
+	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"softpipe/internal/ir"
 	"softpipe/internal/machine"
@@ -51,6 +54,102 @@ func TestBinarySearchAbortsOnCanceledContext(t *testing.T) {
 	_, _, err := Modulo(a, m, Options{Ctx: ctx, BinarySearch: true})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("binary search error %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestExactSearchAbortsOnCanceledContext(t *testing.T) {
+	p, m := ctxLoopAnalysis(t)
+	a := analyze(t, p, m, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := New(EffortExact, a, m).Search(Options{Ctx: ctx})
+	if err == nil {
+		t.Fatal("exact search with a canceled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// countdownCtx reports itself canceled after its first n Err() probes:
+// the deterministic way to cancel between the heuristic pass and the
+// exact refinement, exercising the mid-search abort path.
+type countdownCtx struct {
+	context.Context
+	n int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.n <= 0 {
+		return context.Canceled
+	}
+	c.n--
+	return nil
+}
+
+func TestExactSearchAbortsMidSearch(t *testing.T) {
+	a, m := gapLoopAnalysis(t)
+	// The heuristic on this loop probes the context once per candidate
+	// (II 7, 8, 9); a countdown of 3 lets it finish and cancels on the
+	// exact refinement's first probe.
+	ctx := &countdownCtx{Context: context.Background(), n: 3}
+	r, _, err := New(EffortExact, a, m).Search(Options{
+		Ctx: ctx, ReserveBranch: true, BranchResource: machine.ResBranch, Budget: time.Minute})
+	if err == nil {
+		t.Fatalf("exact search canceled mid-refinement returned II %d instead of an error", r.II)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-search error %v does not wrap context.Canceled", err)
+	}
+	if r != nil {
+		t.Fatal("canceled exact search also returned a result")
+	}
+}
+
+func TestExactBudgetFallsBackToHeuristic(t *testing.T) {
+	a, m := gapLoopAnalysis(t)
+	opts := Options{ReserveBranch: true, BranchResource: machine.ResBranch}
+	hr, _, err := Modulo(a, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1µs budget is exhausted by the heuristic pass alone, so the
+	// exact backend must return the heuristic schedule bit-identically,
+	// as a success, with the fallback recorded.
+	bopts := opts
+	bopts.Budget = time.Microsecond
+	er, est, err := New(EffortExact, a, m).Search(bopts)
+	if err != nil {
+		t.Fatalf("budget exhaustion surfaced as an error: %v", err)
+	}
+	if !est.FellBack {
+		t.Fatal("1µs budget did not trigger the heuristic fallback")
+	}
+	if est.Proved {
+		t.Fatal("fallback result is marked proved")
+	}
+	if er.II != hr.II || !reflect.DeepEqual(er.Time, hr.Time) || er.Length != hr.Length {
+		t.Fatalf("fallback schedule differs from the pure heuristic: II %d vs %d, times %v vs %v",
+			er.II, hr.II, er.Time, hr.Time)
+	}
+}
+
+func TestExactBudgetFallbackExplainNote(t *testing.T) {
+	a, m := gapLoopAnalysis(t)
+	opts := Options{ReserveBranch: true, BranchResource: machine.ResBranch,
+		Explain: true, Budget: time.Microsecond}
+	er, est, err := New(EffortExact, a, m).Search(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.FellBack {
+		t.Fatal("1µs budget did not trigger the heuristic fallback")
+	}
+	if er.Explain == nil || len(er.Explain.Notes) == 0 {
+		t.Fatal("fallback left no note in the explain report")
+	}
+	if !strings.Contains(er.Explain.Format(), "budget exhausted") {
+		t.Fatalf("explain report does not mention the budget:\n%s", er.Explain.Format())
 	}
 }
 

@@ -103,6 +103,9 @@ type Attempt struct {
 	Comp      int
 	Aggregate bool
 	Cause     Cause
+	// Note tags attempts made by a non-default backend (the exact search
+	// records "exact: ..." verdicts alongside the heuristic's attempts).
+	Note string
 }
 
 // Explain is the II-search explain report: why each candidate interval
@@ -120,6 +123,9 @@ type Explain struct {
 	// PreFailure records an analysis- or profitability-stage failure
 	// that prevented any search from running.
 	PreFailure string
+	// Notes carries free-form search-level remarks, e.g. the exact
+	// backend noting it hit its budget and kept the heuristic schedule.
+	Notes []string
 }
 
 // Bound names what binds the search floor: the resource bound, the
@@ -157,12 +163,18 @@ func (e *Explain) Format() string {
 	default:
 		fmt.Fprintf(&b, "  accepted II=%d: %d above the lower bound\n", e.Achieved, e.Achieved-e.MII)
 	}
+	for _, n := range e.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
 	return b.String()
 }
 
 // Format renders one attempt line.
 func (a *Attempt) Format() string {
 	if a.OK {
+		if a.Note != "" {
+			return fmt.Sprintf("II=%d: ok (%s)", a.II, a.Note)
+		}
 		return fmt.Sprintf("II=%d: ok", a.II)
 	}
 	var b strings.Builder
@@ -193,6 +205,9 @@ func (a *Attempt) Format() string {
 		}
 	case CauseMalformed:
 		b.WriteString(": malformed graph (cycle among omega-0 edges)")
+	}
+	if a.Note != "" {
+		fmt.Fprintf(&b, " (%s)", a.Note)
 	}
 	return b.String()
 }

@@ -3,6 +3,7 @@ package schedule
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"softpipe/internal/depgraph"
 	"softpipe/internal/machine"
@@ -37,6 +38,11 @@ type Options struct {
 	// the report lands in Result.Explain (or InfeasibleError.Explain on
 	// total failure).  Off by default: the search then records nothing.
 	Explain bool
+	// Budget bounds the wall-clock time of one Search call of the exact
+	// backend (EffortExact), measured from entry; past it the exact
+	// search stops and the heuristic schedule is kept (Stats.FellBack).
+	// 0 means DefaultExactBudget.  The heuristic backend ignores it.
+	Budget time.Duration
 }
 
 // DefaultMaxII returns a search bound large enough that any legal loop
@@ -64,6 +70,17 @@ type Stats struct {
 	// scanned and rejected before finding a fit (or giving up).
 	Backtracks int
 	MetLower   bool
+	// Effort names the backend that produced the result.
+	Effort Effort
+	// Proved reports that the exact backend exhaustively refuted every
+	// candidate interval below Achieved: the schedule is optimal, not
+	// just heuristically good.
+	Proved bool
+	// FellBack reports that the exact backend hit its time budget and
+	// returned the heuristic schedule unchanged.
+	FellBack bool
+	// ExactNodes counts decision-tree nodes the exact search explored.
+	ExactNodes int64
 }
 
 // compEdge is an intra-component omega-0 edge in member-index space.

@@ -39,11 +39,18 @@ type CompileOptions struct {
 	// Verify runs the independent object-code verifier as part of the
 	// compile; a verified artifact is cached like any other.
 	Verify bool `json:"verify,omitempty"`
+	// Effort selects the II-search backend: "" or "heuristic" (default),
+	// or "exact" for the optimality-proving search with heuristic
+	// fallback — users who will pay compile latency for the best
+	// schedule.  Invalid values are rejected with 400 before keying.
+	Effort string `json:"effort,omitempty"`
 }
 
 // optionsKey renders the options as a stable string for cache keying.
 // Field order is fixed; adding a field here is a cache-invalidating
-// change by construction.
+// change by construction (v1 → v2 added effort).  Effort is rendered in
+// canonical form so "" and "heuristic" share an artifact; callers must
+// have validated it (see validate).
 func (o CompileOptions) optionsKey() string {
 	b := func(v bool) byte {
 		if v {
@@ -51,9 +58,16 @@ func (o CompileOptions) optionsKey() string {
 		}
 		return '0'
 	}
-	return fmt.Sprintf("v1:base=%c;mve=%c;hier=%c;lred=%c;bin=%c;lcm=%c;unroll=%d;verify=%c",
+	eff, _ := softpipe.ParseEffort(o.Effort)
+	return fmt.Sprintf("v2:base=%c;mve=%c;hier=%c;lred=%c;bin=%c;lcm=%c;unroll=%d;verify=%c;effort=%s",
 		b(o.Baseline), b(o.DisableMVE), b(o.DisableHier), b(o.DisableLoopReduction),
-		b(o.BinarySearch), b(o.PolicyLCM), o.UnrollInnerTrip, b(o.Verify))
+		b(o.BinarySearch), b(o.PolicyLCM), o.UnrollInnerTrip, b(o.Verify), eff)
+}
+
+// validate rejects option values that have no canonical form.
+func (o CompileOptions) validate() error {
+	_, err := softpipe.ParseEffort(o.Effort)
+	return err
 }
 
 func (o CompileOptions) lower(ctx context.Context) softpipe.Options {
@@ -71,6 +85,9 @@ func (o CompileOptions) lower(ctx context.Context) softpipe.Options {
 	if o.PolicyLCM {
 		opts.Policy = softpipe.LCMUnroll
 	}
+	// Already validated at the request boundary; an invalid value here
+	// parses to the heuristic default.
+	opts.Effort, _ = softpipe.ParseEffort(o.Effort)
 	return opts
 }
 
@@ -106,9 +123,16 @@ type LoopStats struct {
 	RecMII    int    `json:"rec_mii"`
 	II        int    `json:"ii"`
 	MetLower  bool   `json:"met_lower"`
-	Unroll    int    `json:"unroll,omitempty"`
-	Stages    int    `json:"stages,omitempty"`
-	Flops     int    `json:"flops"`
+	// Effort names the II-search backend that scheduled the loop; with
+	// effort=exact, Proved reports that II is optimal (every smaller
+	// interval exhaustively refuted) and FellBack that the exact search
+	// hit its budget and kept the heuristic schedule.
+	Effort   string `json:"effort,omitempty"`
+	Proved   bool   `json:"proved,omitempty"`
+	FellBack bool   `json:"fell_back,omitempty"`
+	Unroll   int    `json:"unroll,omitempty"`
+	Stages   int    `json:"stages,omitempty"`
+	Flops    int    `json:"flops"`
 	// EstMFLOPS is the steady-state kernel rate Flops·ClockMHz/II; zero
 	// for unpipelined loops.
 	EstMFLOPS float64 `json:"est_mflops"`
@@ -239,6 +263,11 @@ func compileArtifact(ctx context.Context, canon, machineName string, m *machine.
 			Stages:    lr.Stages,
 			Flops:     lr.Flops,
 		}
+		if lr.Pipelined && lr.Effort != softpipe.EffortHeuristic {
+			ls.Effort = lr.Effort.String()
+			ls.Proved = lr.Proved
+			ls.FellBack = lr.FellBack
+		}
 		if lr.Pipelined && lr.II > 0 {
 			ls.EstMFLOPS = float64(lr.Flops) * m.ClockMHz / float64(lr.II)
 		}
@@ -261,6 +290,9 @@ func (s *Server) compileCached(ctx context.Context, src, machineName string, opt
 	}
 	m, mname, err := resolveMachine(machineName)
 	if err != nil {
+		return key, nil, false, &requestError{http.StatusBadRequest, err}
+	}
+	if err := opts.validate(); err != nil {
 		return key, nil, false, &requestError{http.StatusBadRequest, err}
 	}
 	key = cache.KeyOf(canon, m.Fingerprint(), opts.optionsKey())

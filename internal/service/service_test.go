@@ -465,3 +465,45 @@ func TestRunBatch(t *testing.T) {
 		t.Fatalf("batch with cells: status %d", code)
 	}
 }
+
+func TestCompileEffortPartitionsCache(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var heur, exact, canon CompileResponse
+	if code, _ := post(t, s, "/compile", CompileRequest{Source: sumSource}, &heur); code != http.StatusOK {
+		t.Fatalf("default compile: status %d", code)
+	}
+	if code, _ := post(t, s, "/compile", CompileRequest{Source: sumSource,
+		Options: CompileOptions{Effort: "exact"}}, &exact); code != http.StatusOK {
+		t.Fatalf("exact compile: status %d", code)
+	}
+	if exact.Cached || exact.Key == heur.Key {
+		t.Fatal("effort did not partition the key space")
+	}
+	// The exact backend either proves the heuristic optimal or improves
+	// on it; either way the pipelined loops must carry the effort tag.
+	var tagged bool
+	for _, l := range exact.Loops {
+		if l.Pipelined && l.Effort == "exact" {
+			tagged = true
+			if !l.Proved && !l.FellBack {
+				t.Fatalf("exact loop neither proved nor fell back: %+v", l)
+			}
+		}
+	}
+	if !tagged {
+		t.Fatal("no loop carried the exact effort tag")
+	}
+	// "heuristic" is the default spelled out: same cache entry.
+	if code, _ := post(t, s, "/compile", CompileRequest{Source: sumSource,
+		Options: CompileOptions{Effort: "heuristic"}}, &canon); code != http.StatusOK {
+		t.Fatalf("canonical compile: status %d", code)
+	}
+	if !canon.Cached || canon.Key != heur.Key {
+		t.Fatal("explicit heuristic effort missed the default's cache entry")
+	}
+	// Unknown efforts are a client error, rejected before keying.
+	if code, _ := post(t, s, "/compile", CompileRequest{Source: sumSource,
+		Options: CompileOptions{Effort: "maximal"}}, nil); code != http.StatusBadRequest {
+		t.Fatal("invalid effort accepted")
+	}
+}

@@ -255,3 +255,13 @@ func (g *fuzzGen) arith(vals *[]ir.VReg, acc ir.VReg) {
 		b.FAddTo(acc, acc, (*vals)[len(*vals)-1])
 	}
 }
+
+// CorpusSeeds lists the seeds of the checked-in native fuzz corpus
+// (testdata/fuzz/FuzzDifferential/seed-*): the first seed of each shape
+// family plus the regressions fuzzing has pinned.  Harnesses that claim
+// to cover "the fuzz corpus" (the differential backend comparison, the
+// optimality-gap report) iterate exactly this list, so it must stay in
+// sync with the testdata directory.
+func CorpusSeeds() []int64 {
+	return []int64{0, 1, 2, 3, 64, 101, 202, 303}
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Optimality-gap smoke for CI: compile the smoke corpus (saxpy plus
+# Livermore kernel 18, the resource-bound 2-D hydro fragment) under both
+# scheduler backends with full verification.  warpbench -gap exits
+# nonzero if the exact backend ever lands above the heuristic on any
+# loop, or if either backend's output fails the independent verifier or
+# diverges from the IR interpreter.
+#
+#   bash scripts/gap_smoke.sh [BENCH_gap_ci.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+gap_json="${1:-BENCH_gap_ci.json}"
+
+go run ./cmd/warpbench -gap -gapset smoke -effort-budget 30s -gapout "$gap_json"
+
+# The smoke corpus must actually have measured something: saxpy's single
+# loop plus at least one k18 loop.
+python3 - "$gap_json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+loops = rep["loops"]
+names = {l["workload"] for l in loops}
+if "saxpy" not in names or "k18-2d-hydro" not in names:
+    sys.exit(f"gap_smoke: corpus incomplete, got workloads {sorted(names)}")
+for l in loops:
+    if l["exact_ii"] > l["heuristic_ii"]:
+        sys.exit(f"gap_smoke: exact II above heuristic on {l['workload']} loop {l['loop']}")
+if not any(l["proved"] for l in loops):
+    sys.exit("gap_smoke: exact backend proved nothing on the smoke corpus")
+print(f"gap_smoke: {len(loops)} loops, "
+      f"{sum(1 for l in loops if l['proved'])} proved optimal, "
+      f"max gap {rep['summary']['max_gap']}")
+EOF

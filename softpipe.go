@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"softpipe/internal/codegen"
 	"softpipe/internal/ir"
@@ -104,6 +105,15 @@ type Options struct {
 	// BinarySearch uses the FPS-164 compiler's binary search for the
 	// initiation interval instead of the paper's linear search.
 	BinarySearch bool
+	// Effort selects the II-search backend: EffortHeuristic (default) is
+	// Lam's near-optimal iterative scheduler; EffortExact additionally
+	// proves optimality by exhaustive search below the heuristic's II,
+	// falling back to the heuristic schedule when EffortBudget runs out.
+	Effort Effort
+	// EffortBudget bounds the exact backend's wall clock per loop search;
+	// 0 means schedule.DefaultExactBudget (250ms).  Ignored by the
+	// heuristic backend.
+	EffortBudget time.Duration
 	// Policy selects the MVE unroll policy (default MinUnroll).
 	Policy MVEPolicy
 	// UnrollInnerTrip, when positive, fully unrolls constant-trip inner
@@ -137,6 +147,23 @@ func NewTracer(name string) *Tracer { return trace.New(name) }
 // ExplainReport is the per-loop II-search explain report.
 type ExplainReport = schedule.Explain
 
+// Effort selects the II-search backend; see schedule.Effort.
+type Effort = schedule.Effort
+
+// Efforts.
+const (
+	// EffortHeuristic is the paper's iterative modulo scheduler.
+	EffortHeuristic = schedule.EffortHeuristic
+	// EffortExact proves the initiation interval optimal (or falls back
+	// to the heuristic on budget exhaustion); users pay compile latency
+	// for the best schedule.
+	EffortExact = schedule.EffortExact
+)
+
+// ParseEffort maps a -effort flag value to an Effort ("" means
+// heuristic).
+func ParseEffort(s string) (Effort, error) { return schedule.ParseEffort(s) }
+
 func (o Options) lower() codegen.Options {
 	mode := codegen.ModePipelined
 	if o.Baseline {
@@ -155,6 +182,8 @@ func (o Options) lower() codegen.Options {
 			Policy:       o.Policy,
 			DisableMVE:   o.DisableMVE,
 			BinarySearch: o.BinarySearch,
+			Effort:       o.Effort,
+			SchedBudget:  o.EffortBudget,
 		},
 	}
 }
