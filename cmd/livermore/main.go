@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	livermore [-verify] [-parallel N] [-engine interp|compiled]
-//	          [-explain] [-trace out.json] [-cpuprofile f] [-memprofile f]
+//	livermore [-machine warp|scalar|wideN|gen:...] [-verify] [-parallel N]
+//	          [-engine interp|compiled] [-explain] [-trace out.json]
+//	          [-cpuprofile f] [-memprofile f]
 //
 // -parallel sizes the compile/simulate worker pool (0 = GOMAXPROCS,
 // 1 = sequential); the table is identical either way.  -engine selects
@@ -34,6 +35,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("livermore: ")
+	machineName := flag.String("machine", "warp", "target machine: warp, scalar, wideN (e.g. wide4), or gen:... (e.g. gen:fa2,fm2,mem2,rot)")
 	verify := flag.Bool("verify", true, "run the independent object-code verifier on every emitted binary and differentially verify every run against the interpreter")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	explain := flag.Bool("explain", false, "print the II-search explain report for every loop of every kernel")
@@ -77,7 +79,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := machine.Warp()
+	m, err := machine.Parse(*machineName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var tracer *trace.Tracer
 	if *traceOut != "" {
 		tracer = trace.New("livermore")

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	w2c [-machine warp|scalar|wideN] [-baseline] [-S] [-run] [-verify]
+//	w2c [-machine warp|scalar|wideN|gen:...] [-baseline] [-S] [-run] [-verify]
 //	    [-engine interp|compiled] [-explain] [-trace out.json]
 //	    [-exectrace N] [-timeout d] file.w2
 //
@@ -42,7 +42,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("w2c: ")
-	machineName := flag.String("machine", "warp", "target machine: warp, scalar, or wideN (e.g. wide4)")
+	machineName := flag.String("machine", "warp", "target machine: warp, scalar, wideN (e.g. wide4), or gen:... (e.g. gen:fa2,fm2,mem2,rot)")
 	baseline := flag.Bool("baseline", false, "disable software pipelining (locally compacted code)")
 	noMVE := flag.Bool("no-mve", false, "disable modulo variable expansion")
 	noHier := flag.Bool("no-hier", false, "disable hierarchical reduction")
@@ -88,7 +88,7 @@ func main() {
 		fmt.Print(lang.Format(ast))
 		return
 	}
-	m, err := pickMachine(*machineName)
+	m, err := softpipe.ParseMachine(*machineName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -213,18 +213,3 @@ func writeTrace(t *softpipe.Tracer, path string) {
 	fmt.Fprintf(os.Stderr, "w2c: wrote trace to %s\n", path)
 }
 
-func pickMachine(name string) (*softpipe.Machine, error) {
-	switch {
-	case name == "warp":
-		return softpipe.Warp(), nil
-	case name == "scalar":
-		return softpipe.Scalar(), nil
-	case strings.HasPrefix(name, "wide"):
-		n, err := strconv.Atoi(strings.TrimPrefix(name, "wide"))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad machine %q", name)
-		}
-		return softpipe.Wide(n), nil
-	}
-	return nil, fmt.Errorf("unknown machine %q", name)
-}

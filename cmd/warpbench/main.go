@@ -7,10 +7,12 @@
 // Usage:
 //
 //	warpbench [-table41] [-fig41] [-fig42] [-stats] [-verify]
-//	          [-parallel N] [-engine interp|compiled]
+//	          [-machine warp|scalar|wideN|gen:...] [-parallel N]
+//	          [-engine interp|compiled]
 //	          [-effort heuristic|exact] [-effort-budget d]
 //	          [-cpuprofile f] [-memprofile f] [-benchjson f]
 //	          [-gap] [-gapset full|smoke] [-gapout f]
+//	          [-sweep] [-sweepset full|smoke] [-machines "a;b;..."] [-sweepout f]
 //
 // With no selection flags, everything runs.  -parallel sizes the
 // compile/simulate worker pool (0 = GOMAXPROCS, 1 = sequential).
@@ -24,7 +26,12 @@
 // Livermore + the checked-in fuzz seeds) under both scheduler backends,
 // prints the per-loop heuristic-vs-optimal II table, and exits nonzero
 // if the exact backend is ever worse than the heuristic; -gapout also
-// writes the BENCH_gap.json artifact.
+// writes the BENCH_gap.json artifact.  -sweep instead compiles the sweep
+// corpus (saxpy + the Livermore kernels) on every machine of the default
+// generator grid (or -machines), verified, and prints the per-machine
+// pipelining table comparing rotating register files against modulo
+// variable expansion; -sweepout also writes the BENCH_sweep.json
+// artifact (see EXPERIMENTS.md for the schema).
 package main
 
 import (
@@ -66,6 +73,11 @@ func main() {
 	gap := flag.Bool("gap", false, "measure the heuristic-vs-optimal II gap over the corpus and print the per-loop table")
 	gapSet := flag.String("gapset", "full", "with -gap: corpus to measure, full or smoke")
 	gapOut := flag.String("gapout", "", "with -gap: also write the BENCH_gap.json artifact to this file")
+	machineName := flag.String("machine", "warp", "target machine for the table/figure runs: warp, scalar, wideN (e.g. wide4), or gen:... (e.g. gen:fa2,fm2,mem2,rot)")
+	sweep := flag.Bool("sweep", false, "compile the sweep corpus across a machine grid and print the per-machine table")
+	sweepSet := flag.String("sweepset", "full", "with -sweep: corpus to sweep, full or smoke")
+	sweepOut := flag.String("sweepout", "", "with -sweep: also write the BENCH_sweep.json artifact to this file")
+	sweepMachines := flag.String("machines", "", "with -sweep: semicolon-separated machine names overriding the default grid (gen: names contain commas)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchjson := flag.String("benchjson", "", "benchmark the harness itself and write the baseline JSON to this file")
@@ -84,11 +96,50 @@ func main() {
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 	defer stopProfiles()
 
-	m := machine.Warp()
+	m, err := machine.Parse(*machineName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *benchjson != "" {
 		if err := writeBenchJSON(m, *benchjson); err != nil {
 			log.Fatal(err)
+		}
+		return
+	}
+
+	if *sweep {
+		var grid []string
+		if *sweepMachines != "" {
+			for _, n := range strings.Split(*sweepMachines, ";") {
+				if n = strings.TrimSpace(n); n != "" {
+					grid = append(grid, n)
+				}
+			}
+		}
+		rep, err := bench.MeasureSweep(bench.SweepOpts{
+			Machines:     grid,
+			Set:          *sweepSet,
+			Workers:      *parallel,
+			Verify:       true,
+			Effort:       effort,
+			EffortBudget: *effortBudget,
+			Engine:       eng,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatSweepReport(rep))
+		if *sweepOut != "" {
+			out, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, '\n')
+			if err := os.WriteFile(*sweepOut, out, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "warpbench: wrote %s\n", *sweepOut)
 		}
 		return
 	}

@@ -50,18 +50,28 @@ const (
 	GapSetSmoke = "smoke" // saxpy + one resource-bound Livermore kernel (CI smoke)
 )
 
-// GapWorkloads builds the named gap corpus ("" means full).
-func GapWorkloads(set string) ([]GapWorkload, error) {
+// saxpyWorkload compiles the embedded saxpy source and fills its arrays
+// (shared by the gap and sweep corpora).
+func saxpyWorkload() (GapWorkload, error) {
 	saxpy, err := lang.Compile(saxpySource)
 	if err != nil {
-		return nil, fmt.Errorf("bench: compile saxpy: %w", err)
+		return GapWorkload{}, fmt.Errorf("bench: compile saxpy: %w", err)
 	}
 	for _, a := range saxpy.Arrays {
 		for i := 0; i < a.Size; i++ {
 			a.InitF = append(a.InitF, float64(i%11))
 		}
 	}
-	out := []GapWorkload{{Name: "saxpy", Prog: saxpy}}
+	return GapWorkload{Name: "saxpy", Prog: saxpy}, nil
+}
+
+// GapWorkloads builds the named gap corpus ("" means full).
+func GapWorkloads(set string) ([]GapWorkload, error) {
+	saxpy, err := saxpyWorkload()
+	if err != nil {
+		return nil, err
+	}
+	out := []GapWorkload{saxpy}
 	kernels := workloads.Livermore()
 	switch set {
 	case GapSetSmoke:

@@ -101,6 +101,14 @@ type LoopReport struct {
 	Stages   int
 	HasCond  bool
 	HasRecur bool
+	// Rotating marks a loop pipelined against a rotating register file
+	// (MVE without unrolling); CopyRegsF/I count the extra float/int
+	// registers modulo variable expansion claimed beyond one per
+	// variable — the paper's software-renaming cost, which the sweep
+	// harness compares against the rotating configurations.
+	Rotating  bool
+	CopyRegsF int
+	CopyRegsI int
 	// Kernel is a rendering of the steady-state modulo schedule (one
 	// row per II offset, as in the paper's Figure 2-2); empty when the
 	// loop was not pipelined.
@@ -476,21 +484,36 @@ func (e *emitter) releaseCopies() {
 	}
 }
 
-// slotFor renders one op instance with the register copies of iteration
-// class `class` under plan (nil plan means copy 0 everywhere).
-func (e *emitter) slotFor(op *ir.Op, class int, plan *pipeline.Plan) vliw.SlotOp {
+// slotFor renders one op instance with the register copies of relative
+// iteration `iter` under plan (nil plan means copy 0 everywhere; any
+// representative of iter's class mod Unroll works, since copy counts
+// divide the unroll degree).  On rotating plans each expanded operand
+// additionally carries its rotation ring, so the same static op reads
+// the right copy at every runtime rotation.
+func (e *emitter) slotFor(op *ir.Op, iter int, plan *pipeline.Plan) vliw.SlotOp {
 	cp := func(r ir.VReg) int {
 		if plan == nil {
 			return 0
 		}
-		return plan.CopyIndex(r, class)
+		return plan.CopyIndex(r, iter)
 	}
 	s := vliw.SlotOp{Class: op.Class, IImm: op.IImm, FImm: op.FImm}
 	if op.Dst != ir.NoReg {
 		s.Dst = e.physReg(op.Dst, cp(op.Dst))
+		s.DstRing = e.ringFor(op.Dst, iter, plan)
 	}
 	for _, r := range op.Src {
 		s.Src = append(s.Src, e.physReg(r, cp(r)))
+	}
+	if plan != nil && plan.Rotating {
+		for i, r := range op.Src {
+			if ring := e.ringFor(r, iter, plan); ring != nil {
+				if s.SrcRings == nil {
+					s.SrcRings = make([][]int, len(op.Src))
+				}
+				s.SrcRings[i] = ring
+			}
+		}
 	}
 	if op.Class == machine.ClassISelect {
 		if e.irp.Kind(op.Dst) == ir.KindFloat {
@@ -504,6 +527,28 @@ func (e *emitter) slotFor(op *ir.Op, class int, plan *pipeline.Plan) vliw.SlotOp
 		s.Disp = int64(e.prog.Array(op.Mem.Array).Base) + op.Mem.Disp
 	}
 	return s
+}
+
+// ringFor builds the rotation ring of an expanded register for the op
+// instance at relative iteration iter: ring[j] is the physical copy the
+// operand needs at rotating register base j, i.e. copy (iter+j) mod n.
+// At RRB = p (kernel pass p, epilog after p passes) the hardware then
+// resolves the operand to the copy of absolute iteration iter+p — which
+// is exactly the iteration the instance executes.  Nil for static
+// operands and non-rotating plans.
+func (e *emitter) ringFor(r ir.VReg, iter int, plan *pipeline.Plan) []int {
+	if plan == nil || !plan.Rotating {
+		return nil
+	}
+	n := plan.Copies[r]
+	if n <= 1 {
+		return nil
+	}
+	ring := make([]int, n)
+	for j := 0; j < n; j++ {
+		ring[j] = e.physReg(r, ((iter+j)%n+n)%n)
+	}
+	return ring
 }
 
 // minPosIn returns the smallest op position inside a block (MaxInt64 when

@@ -288,6 +288,8 @@ func (e *emitter) planBodyOpts(l *ir.LoopStmt, powerOfTwo, keepMarginal bool, re
 		rep.Reason = "register files too small for modulo variable expansion"
 		return nil, nil, false
 	}
+	rep.Rotating = plan.Rotating
+	rep.CopyRegsF, rep.CopyRegsI = cf, ci
 	return nodes, plan, true
 }
 
@@ -329,17 +331,22 @@ func (e *emitter) tryPipelinedRuntime(l *ir.LoopStmt, rep *LoopReport) bool {
 	e.append(vliw.Instr{Ctl: vliw.Ctl{Kind: vliw.CtlJNZ, Reg: cond}})
 
 	// Remainder r = t1 & (u-1), run unpipelined first when nonzero.
-	e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassIAnd, Dst: rreg, Src: []int{t1}, IImm: int64(u - 1)}}})
-	skipRemAt := len(e.out)
-	e.append(vliw.Instr{Ctl: vliw.Ctl{Kind: vliw.CtlJZ, Reg: rreg}})
-	if ops, straight := l.Body.Ops(); straight {
-		e.emitCompactBody(l, ops, rreg, nil)
-	} else {
-		e.emitGenericLoopBody(l, rreg, nil)
-	}
-	e.out[skipRemAt].Ctl.Target = len(e.out)
-	if e.err != nil {
-		return false
+	// With unroll 1 (always the case on rotating machines, and common
+	// when copy counts stay at one) the remainder is identically zero
+	// and the masked loop would be dead code.
+	if u > 1 {
+		e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: machine.ClassIAnd, Dst: rreg, Src: []int{t1}, IImm: int64(u - 1)}}})
+		skipRemAt := len(e.out)
+		e.append(vliw.Instr{Ctl: vliw.Ctl{Kind: vliw.CtlJZ, Reg: rreg}})
+		if ops, straight := l.Body.Ops(); straight {
+			e.emitCompactBody(l, ops, rreg, nil)
+		} else {
+			e.emitGenericLoopBody(l, rreg, nil)
+		}
+		e.out[skipRemAt].Ctl.Target = len(e.out)
+		if e.err != nil {
+			return false
+		}
 	}
 
 	// Kernel passes = t1 >> log2(u) (the masked-off remainder already ran).
@@ -387,36 +394,58 @@ func (e *emitter) emitRemainderConst(l *ir.LoopStmt, r int64, rep *LoopReport) {
 // must hold the number of kernel passes ≥ 1) and epilog, plus live-out
 // fix-up moves.  The emission is count-independent (see buildRegionRows).
 func (e *emitter) emitPipelinedRegion(nodes []*depgraph.Node, plan *pipeline.Plan, counter int) {
-	mm, u := plan.Stages, plan.Unroll
 	prolog, kernel, epilog := e.buildRegionRows(nodes, plan)
+	if plan.Rotating {
+		// The region may be re-entered (enclosing loop, two-version
+		// scheme), so the rotating base starts from a known zero.
+		e.append(vliw.Instr{Ctl: vliw.Ctl{Kind: vliw.CtlRotClear}})
+	}
 	e.emitRows(prolog)
 	kstart := len(e.out)
-	kernel[len(kernel)-1].ctl = vliw.Ctl{Kind: vliw.CtlDBNZ, Reg: counter, Target: kstart}
+	kernel[len(kernel)-1].ctl = vliw.Ctl{Kind: vliw.CtlDBNZ, Reg: counter, Target: kstart, Rotate: plan.Rotating}
 	e.emitRows(kernel)
 	e.emitRows(epilog)
 	e.drain()
 
-	// Live-out fix-ups: move the final iteration's copy to the base
-	// register.  The final pipelined iteration count K satisfies
-	// K ≡ m-1 (mod u), so its class is static.
+	if fix := e.fixupRows(plan); len(fix) > 0 {
+		e.emitRows(fix)
+		e.drain()
+	}
+}
+
+// fixupRows builds the live-out fix-up moves for a pipelined region:
+// the final iteration's copy moves to the base register.  On static
+// plans the final pipelined iteration count K satisfies K ≡ m-1
+// (mod u), so the source copy is known at compile time; on rotating
+// plans the source copy depends on the pass count, so the move reads
+// through a ring at the region's final rotating base.
+func (e *emitter) fixupRows(plan *pipeline.Plan) []rrow {
+	mm, u := plan.Stages, plan.Unroll
 	finalClass := ((mm-2)%u + u) % u
-	emitted := false
+	var rows []rrow
 	for _, reg := range plan.Fixups {
-		src := e.physReg(reg, plan.CopyIndex(reg, finalClass))
 		dst := e.physReg(reg, 0)
-		if src == dst {
-			continue
-		}
 		cls := machine.ClassIMov
 		if e.irp.Kind(reg) == ir.KindFloat {
 			cls = machine.ClassFMov
 		}
-		e.append(vliw.Instr{Ops: []vliw.SlotOp{{Class: cls, Dst: dst, Src: []int{src}}}})
-		emitted = true
+		if plan.Rotating {
+			ring := e.ringFor(reg, mm-2, plan)
+			if ring == nil {
+				continue // single copy: the base register already holds it
+			}
+			rows = append(rows, rrow{ops: []vliw.SlotOp{{
+				Class: cls, Dst: dst, Src: []int{ring[0]}, SrcRings: [][]int{ring},
+			}}})
+			continue
+		}
+		src := e.physReg(reg, plan.CopyIndex(reg, finalClass))
+		if src == dst {
+			continue
+		}
+		rows = append(rows, rrow{ops: []vliw.SlotOp{{Class: cls, Dst: dst, Src: []int{src}}}})
 	}
-	if emitted {
-		e.drain()
-	}
+	return rows
 }
 
 // emitUnpipelinedLoop lowers a loop as locally compacted code: the body

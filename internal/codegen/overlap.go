@@ -25,6 +25,7 @@ import (
 type loopSeg struct {
 	start, end int
 	counter    int
+	rotate     bool // kernel of a rotating plan: DBNZ bumps the rotating base
 }
 
 // loopPayload carries a reduced inner loop's fully resolved emission rows.
@@ -32,6 +33,7 @@ type loopPayload struct {
 	rows     []rrow
 	segs     []loopSeg // repeated sub-ranges (remainder loop, kernel)
 	counters []int     // dedicated physical counters, freed on rollback
+	rotating bool      // rows use the (single, global) rotating register base
 }
 
 // reduceLoop plans and resolves an inner loop as a reduced node.  It
@@ -97,29 +99,23 @@ func (e *emitter) reduceLoop(l *ir.LoopStmt) (*depgraph.Node, string) {
 	counter := e.allocI()
 	p.counters = append(p.counters, counter)
 	p.rows = append(p.rows, rrow{ops: []vliw.SlotOp{{Class: machine.ClassIConst, Dst: counter, IImm: passes}}})
+	p.rotating = plan.Rotating
+	if plan.Rotating {
+		// The enclosing loop re-enters the window, so the rotating base
+		// restarts from zero each time around.
+		p.rows = append(p.rows, rrow{ctl: vliw.Ctl{Kind: vliw.CtlRotClear}})
+	}
 	prolog, kernel, epilog := e.buildRegionRows(nodes, plan)
 	p.rows = append(p.rows, prolog...)
 	segStart := len(p.rows)
 	p.rows = append(p.rows, kernel...)
-	p.segs = append(p.segs, loopSeg{start: segStart, end: len(p.rows), counter: counter})
+	p.segs = append(p.segs, loopSeg{start: segStart, end: len(p.rows), counter: counter, rotate: plan.Rotating})
 	p.rows = append(p.rows, epilog...)
 	// Drain so in-flight writes land inside the window, then fix-ups.
 	for i := 0; i < e.maxLat-1; i++ {
 		p.rows = append(p.rows, rrow{})
 	}
-	finalClass := ((mm-2)%u + u) % u
-	for _, reg := range plan.Fixups {
-		src := e.physReg(reg, plan.CopyIndex(reg, finalClass))
-		dst := e.physReg(reg, 0)
-		if src == dst {
-			continue
-		}
-		cls := machine.ClassIMov
-		if e.irp.Kind(reg) == ir.KindFloat {
-			cls = machine.ClassFMov
-		}
-		p.rows = append(p.rows, rrow{ops: []vliw.SlotOp{{Class: cls, Dst: dst, Src: []int{src}}}})
-	}
+	p.rows = append(p.rows, e.fixupRows(plan)...)
 
 	node := &depgraph.Node{
 		Len:         len(p.rows),
@@ -336,16 +332,15 @@ func (e *emitter) buildRegionRows(nodes []*depgraph.Node, plan *pipeline.Plan) (
 			if bound >= 0 && iter >= bound {
 				continue
 			}
-			class := int(iter % int64(u))
 			if nd.Op != nil {
-				row.ops = append(row.ops, e.slotFor(nd.Op, class, plan))
+				row.ops = append(row.ops, e.slotFor(nd.Op, int(iter), plan))
 				continue
 			}
 			if row.cons != nil {
 				e.fail(fmt.Errorf("codegen: overlapping construct windows at cycle %d", t))
 				continue
 			}
-			row.cons = e.resolveConstruct(nd.Payload.(*hier.IfPayload), class, plan)
+			row.cons = e.resolveConstruct(nd.Payload.(*hier.IfPayload), int(iter), plan)
 		}
 		return row
 	}
@@ -433,7 +428,7 @@ func (e *emitter) tryOverlapped(l *ir.LoopStmt, rep *LoopReport) bool {
 		}
 		p := nd.Payload.(*loopPayload)
 		for _, sg := range p.segs {
-			segs = append(segs, loopSeg{start: r.Time[i] + sg.start, end: r.Time[i] + sg.end, counter: sg.counter})
+			segs = append(segs, loopSeg{start: r.Time[i] + sg.start, end: r.Time[i] + sg.end, counter: sg.counter, rotate: sg.rotate})
 			if r.Time[i]+sg.end+1 > maxEnd {
 				maxEnd = r.Time[i] + sg.end + 1
 			}
@@ -442,6 +437,28 @@ func (e *emitter) tryOverlapped(l *ir.LoopStmt, rep *LoopReport) bool {
 	if period < maxEnd {
 		period = maxEnd
 	}
+	// A rotating register file has a single base shared by every loop in
+	// flight, and each reduced rotating loop clears and advances it.  Two
+	// rotating windows may therefore not overlap; roll back to plain
+	// emission (each inner loop still pipelines, just without the
+	// prolog/epilog overlap).
+	type window struct{ start, end int }
+	var rotWins []window
+	for i, nd := range nodes {
+		if nd.Op != nil {
+			continue
+		}
+		if nd.Payload.(*loopPayload).rotating {
+			rotWins = append(rotWins, window{r.Time[i], r.Time[i] + nd.Len})
+		}
+	}
+	sort.Slice(rotWins, func(i, j int) bool { return rotWins[i].start < rotWins[j].start })
+	for i := 1; i < len(rotWins); i++ {
+		if rotWins[i].start < rotWins[i-1].end {
+			return rollback("rotating inner-loop windows overlap (one rotating base per machine)")
+		}
+	}
+
 	rows := make([]rrow, period)
 	for i, nd := range nodes {
 		t := r.Time[i]
@@ -453,6 +470,12 @@ func (e *emitter) tryOverlapped(l *ir.LoopStmt, rep *LoopReport) bool {
 		for j, rw := range p.rows {
 			at := t + j
 			rows[at].ops = append(rows[at].ops, rw.ops...)
+			if rw.ctl.Kind != vliw.CtlNone {
+				if rows[at].ctl.Kind != vliw.CtlNone {
+					return rollback("internal: sequencer fields collided during overlap")
+				}
+				rows[at].ctl = rw.ctl
+			}
 			if rw.cons != nil {
 				if rows[at].cons != nil {
 					return rollback("internal: construct windows collided during overlap")
@@ -467,6 +490,16 @@ func (e *emitter) tryOverlapped(l *ir.LoopStmt, rep *LoopReport) bool {
 			return rollback("internal: repeated segments overlap")
 		}
 	}
+	// The loop-back branches are written into the merged rows below;
+	// those cycles must still have a free sequencer field.
+	for _, sg := range segs {
+		if rows[sg.end-1].ctl.Kind != vliw.CtlNone {
+			return rollback("internal: loop-back cycle already carries control")
+		}
+	}
+	if rows[period-1].ctl.Kind != vliw.CtlNone {
+		return rollback("internal: outer loop-back cycle already carries control")
+	}
 
 	// Outer loop counter and emission.
 	counter := e.allocI()
@@ -476,7 +509,7 @@ func (e *emitter) tryOverlapped(l *ir.LoopStmt, rep *LoopReport) bool {
 	for _, sg := range segs {
 		e.emitRows(rows[cursor:sg.start])
 		kstart := len(e.out)
-		rows[sg.end-1].ctl = vliw.Ctl{Kind: vliw.CtlDBNZ, Reg: sg.counter, Target: kstart}
+		rows[sg.end-1].ctl = vliw.Ctl{Kind: vliw.CtlDBNZ, Reg: sg.counter, Target: kstart, Rotate: sg.rotate}
 		e.emitRows(rows[sg.start:sg.end])
 		cursor = sg.end
 	}

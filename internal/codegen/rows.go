@@ -20,10 +20,13 @@ type rrow struct {
 }
 
 // rcons is a resolved conditional construct instance: the fork condition
-// (already mapped to a physical register for its iteration class) and the
-// two arms' rows, each padded to length-1 rows.
+// (already mapped to a physical register for its iteration) and the two
+// arms' rows, each padded to length-1 rows.  On rotating plans an
+// expanded condition resolves through condRing at the current rotating
+// base instead of the static cond register.
 type rcons struct {
 	cond     int
+	condRing []int
 	length   int
 	thenRows []rrow
 	elseRows []rrow
@@ -38,27 +41,28 @@ type pendElse struct {
 }
 
 // resolveConstruct maps a reduced conditional's payload to physical
-// registers for one iteration class.
-func (e *emitter) resolveConstruct(p *hier.IfPayload, class int, plan *pipeline.Plan) *rcons {
+// registers for one relative iteration.
+func (e *emitter) resolveConstruct(p *hier.IfPayload, iter int, plan *pipeline.Plan) *rcons {
 	condCopy := 0
 	if plan != nil {
-		condCopy = plan.CopyIndex(p.Cond, class)
+		condCopy = plan.CopyIndex(p.Cond, iter)
 	}
 	c := &rcons{
 		cond:     e.physReg(p.Cond, condCopy),
+		condRing: e.ringFor(p.Cond, iter, plan),
 		length:   p.Len,
 		thenRows: make([]rrow, p.Len-1),
 		elseRows: make([]rrow, p.Len-1),
 	}
-	e.resolveArm(c.thenRows, p.Then, class, plan)
-	e.resolveArm(c.elseRows, p.Else, class, plan)
+	e.resolveArm(c.thenRows, p.Then, iter, plan)
+	e.resolveArm(c.elseRows, p.Else, iter, plan)
 	return c
 }
 
-func (e *emitter) resolveArm(rows []rrow, arm []hier.Placed, class int, plan *pipeline.Plan) {
+func (e *emitter) resolveArm(rows []rrow, arm []hier.Placed, iter int, plan *pipeline.Plan) {
 	for _, pl := range arm {
 		if pl.Node.Op != nil {
-			rows[pl.Time].ops = append(rows[pl.Time].ops, e.slotFor(pl.Node.Op, class, plan))
+			rows[pl.Time].ops = append(rows[pl.Time].ops, e.slotFor(pl.Node.Op, iter, plan))
 			continue
 		}
 		nested := pl.Node.Payload.(*hier.IfPayload)
@@ -66,7 +70,7 @@ func (e *emitter) resolveArm(rows []rrow, arm []hier.Placed, class int, plan *pi
 			e.fail(fmt.Errorf("codegen: two constructs start in the same arm row"))
 			return
 		}
-		rows[pl.Time].cons = e.resolveConstruct(nested, class, plan)
+		rows[pl.Time].cons = e.resolveConstruct(nested, iter, plan)
 	}
 }
 
@@ -109,7 +113,7 @@ func (e *emitter) emitRows(rows []rrow) {
 			return
 		}
 		jz := len(e.out)
-		e.append(vliw.Instr{Ops: r.ops, Ctl: vliw.Ctl{Kind: vliw.CtlJZ, Reg: c.cond}})
+		e.append(vliw.Instr{Ops: r.ops, Ctl: vliw.Ctl{Kind: vliw.CtlJZ, Reg: c.cond, RegRing: c.condRing}})
 		inner := rows[i+1 : i+c.length]
 		e.emitRows(e.mergeRows(inner, c.thenRows))
 		join := len(e.out)

@@ -54,6 +54,11 @@ func (m *Machine) Fingerprint() string {
 	wInt(int64(m.FloatRegs))
 	wInt(int64(m.IntRegs))
 	wInt(int64(m.Cells))
+	if m.RotatingRegs {
+		// Appended only when set so every pre-existing machine keeps its
+		// historical digest (cached artifacts stay valid).
+		wInt(1)
+	}
 	// ClockMHz only scales reported MFLOPS, but reports are part of the
 	// cached artifact, so it is part of the identity.
 	binary.LittleEndian.PutUint64(buf[:], uint64(int64(m.ClockMHz*1e6)))

@@ -37,7 +37,7 @@ var resourceNames = [...]string{"FAdd", "FMul", "ALU", "MemRd", "MemWr", "Branch
 
 // String returns the mnemonic resource name.
 func (r Resource) String() string {
-	if int(r) < len(resourceNames) {
+	if 0 <= int(r) && int(r) < len(resourceNames) {
 		return resourceNames[r]
 	}
 	return fmt.Sprintf("Res(%d)", int(r))
@@ -114,7 +114,7 @@ var classNames = [...]string{
 
 // String returns the mnemonic for the class.
 func (c Class) String() string {
-	if int(c) < len(classNames) {
+	if 0 <= int(c) && int(c) < len(classNames) {
 		return classNames[c]
 	}
 	return fmt.Sprintf("class(%d)", int(c))
@@ -157,6 +157,14 @@ type Machine struct {
 	// Cells is the number of identical cells in the array; homogeneous
 	// programs scale MFLOPS by this factor (Lam §4.1).
 	Cells int
+	// RotatingRegs marks a rotating register file (Cydra-5/Itanium
+	// style): the hardware renames each rotating operand by a rotating
+	// register base that advances once per kernel iteration, so modulo
+	// variable expansion needs no kernel unrolling (unroll degree 1) and
+	// no explicit register copies.  When false (all hand-written
+	// machines), overlapping lifetimes are separated purely in software
+	// by MVE, as in Lam §5.
+	RotatingRegs bool
 }
 
 // Desc returns the descriptor for class c, or nil if unsupported.
@@ -180,6 +188,20 @@ func (m *Machine) Latency(c Class) int {
 func (m *Machine) Validate() error {
 	if len(m.ResourceCount) == 0 {
 		return fmt.Errorf("machine %s: no resources", m.Name)
+	}
+	for r, n := range m.ResourceCount {
+		if n <= 0 {
+			return fmt.Errorf("machine %s: resource %v has count %d (want >= 1)", m.Name, Resource(r), n)
+		}
+	}
+	if m.FloatRegs < 1 || m.IntRegs < 1 {
+		return fmt.Errorf("machine %s: register files %d float / %d int (want >= 1 each)", m.Name, m.FloatRegs, m.IntRegs)
+	}
+	if m.ClockMHz <= 0 {
+		return fmt.Errorf("machine %s: clock %.3f MHz (want > 0)", m.Name, m.ClockMHz)
+	}
+	if m.Cells < 1 {
+		return fmt.Errorf("machine %s: %d cells (want >= 1)", m.Name, m.Cells)
 	}
 	for c := Class(0); c < numClasses; c++ {
 		d := m.Desc(c)
@@ -209,6 +231,9 @@ func (m *Machine) String() string {
 		fmt.Fprintf(&b, " %v=%d", Resource(r), n)
 	}
 	fmt.Fprintf(&b, " fregs=%d iregs=%d clock=%.1fMHz", m.FloatRegs, m.IntRegs, m.ClockMHz)
+	if m.RotatingRegs {
+		b.WriteString(" rotating")
+	}
 	return b.String()
 }
 

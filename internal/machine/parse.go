@@ -1,0 +1,112 @@
+package machine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse resolves a machine name to a validated target description.  It
+// is the single machine parser: every surface that accepts a machine
+// name (w2c, livermore, warpbench, softpiped, the sweep grid) goes
+// through it, so they all agree on the grammar:
+//
+//	warp              the 10-cell Warp-like array (Lam §1)
+//	scalar            the single-issue reference machine
+//	wideN             N-wide cell, 1 <= N <= 64 (Lam §6)
+//	gen:...           a generator point, e.g. gen:fa2,fm2,mem2,lat7/7/3,fr62,rot
+//
+// The gen grammar is fa<N>,fm<N>,mem<N>[,x<N>],lat<A>/<M>/<L>,fr<N>[,rot]
+// with every segment optional (missing segments take the Warp-like
+// defaults); Gen.Name emits the canonical spelling, which Parse
+// round-trips.
+func Parse(name string) (*Machine, error) {
+	switch {
+	case name == "warp":
+		return Warp(), nil
+	case name == "scalar":
+		return Scalar(), nil
+	case strings.HasPrefix(name, "gen:"):
+		g, err := ParseGen(strings.TrimPrefix(name, "gen:"))
+		if err != nil {
+			return nil, err
+		}
+		return g.Machine()
+	case strings.HasPrefix(name, "wide"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "wide"))
+		if err != nil || n < 1 || n > 64 {
+			return nil, fmt.Errorf("bad machine %q: want wideN with 1 <= N <= 64", name)
+		}
+		return Wide(n), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q: want warp, scalar, wideN, or gen:...", name)
+}
+
+// ParseGen parses the comma-separated field list of a gen: machine name
+// (without the "gen:" prefix).  Unmentioned fields keep their defaults;
+// mentioning a field twice is an error so canonical names stay unique.
+func ParseGen(spec string) (Gen, error) {
+	var g Gen
+	seen := map[string]bool{}
+	set := func(key string, dst *int, val string) error {
+		if seen[key] {
+			return fmt.Errorf("machine gen: duplicate field %q", key)
+		}
+		seen[key] = true
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return fmt.Errorf("machine gen: bad %s value %q", key, val)
+		}
+		*dst = n
+		return nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		switch {
+		case field == "rot":
+			if seen["rot"] {
+				return Gen{}, fmt.Errorf("machine gen: duplicate field %q", field)
+			}
+			seen["rot"] = true
+			g.RotatingRegs = true
+		case strings.HasPrefix(field, "lat"):
+			if seen["lat"] {
+				return Gen{}, fmt.Errorf("machine gen: duplicate field %q", field)
+			}
+			seen["lat"] = true
+			parts := strings.Split(strings.TrimPrefix(field, "lat"), "/")
+			if len(parts) != 3 {
+				return Gen{}, fmt.Errorf("machine gen: bad latency field %q: want lat<fadd>/<fmul>/<load>", field)
+			}
+			for i, dst := range []*int{&g.FAddLat, &g.FMulLat, &g.LoadLat} {
+				n, err := strconv.Atoi(parts[i])
+				if err != nil || n < 1 {
+					return Gen{}, fmt.Errorf("machine gen: bad latency field %q", field)
+				}
+				*dst = n
+			}
+		case strings.HasPrefix(field, "fa"):
+			if err := set("fa", &g.FAdds, strings.TrimPrefix(field, "fa")); err != nil {
+				return Gen{}, err
+			}
+		case strings.HasPrefix(field, "fm"):
+			if err := set("fm", &g.FMuls, strings.TrimPrefix(field, "fm")); err != nil {
+				return Gen{}, err
+			}
+		case strings.HasPrefix(field, "mem"):
+			if err := set("mem", &g.MemPorts, strings.TrimPrefix(field, "mem")); err != nil {
+				return Gen{}, err
+			}
+		case strings.HasPrefix(field, "x"):
+			if err := set("x", &g.Lanes, strings.TrimPrefix(field, "x")); err != nil {
+				return Gen{}, err
+			}
+		case strings.HasPrefix(field, "fr"):
+			if err := set("fr", &g.FloatRegs, strings.TrimPrefix(field, "fr")); err != nil {
+				return Gen{}, err
+			}
+		default:
+			return Gen{}, fmt.Errorf("machine gen: unknown field %q", field)
+		}
+	}
+	return g, nil
+}

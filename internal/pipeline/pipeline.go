@@ -112,6 +112,12 @@ type Plan struct {
 	Time     []int
 	MaxIssue int
 
+	// Rotating marks a plan for a rotating-register machine: the kernel
+	// is not unrolled for MVE (Unroll stays 1) and each expanded
+	// register gets exactly q_v copies addressed through rotation rings
+	// instead of unroll classes (Copies[r] = Q[r]).
+	Rotating bool
+
 	MII    int // lower bound actually used (incl. construct windows)
 	ResMII int
 	RecMII int
@@ -133,12 +139,15 @@ type Plan struct {
 	Explain *schedule.Explain
 }
 
-// CopyIndex returns which register copy iteration class `class` (the
-// iteration index within the pipelined region, mod Unroll) uses for r:
-// class mod r_v for expanded registers, 0 otherwise.
-func (p *Plan) CopyIndex(r ir.VReg, class int) int {
+// CopyIndex returns which register copy iteration `iter` (the relative
+// iteration index within the pipelined region; any representative of
+// its class mod Unroll works, since copy counts divide the unroll
+// degree) uses for r: iter mod r_v for expanded registers, 0 otherwise.
+// On rotating plans iter must be the true relative iteration — there is
+// no unrolling to quotient by.
+func (p *Plan) CopyIndex(r ir.VReg, iter int) int {
 	if n := p.Copies[r]; n > 1 {
-		return class % n
+		return iter % n
 	}
 	return 0
 }
@@ -216,6 +225,19 @@ func planLoop(nodes []*depgraph.Node, loopID int, m *machine.Machine, opts Optio
 			// ranging over the Copies map visits keys in a randomized
 			// order, and letting that order pick the victim makes the
 			// whole schedule differ from run to run.
+			if p.Rotating {
+				// Un-expanding a variable restores an anti-dependence that
+				// bounds II from below by roughly its lifetime, so on a
+				// rotating machine — where shrinking the unroll degree is
+				// not a motive (it is already 1) — the cheapest victim is
+				// the SHORTEST-lived expanded variable, not the longest.
+				// (Under MVE the longest-lived victim also shrinks u, which
+				// is what the retry is after.)
+				if worst == ir.NoReg || n < worstQ || (n == worstQ && r < worst) {
+					worstQ, worst = n, r
+				}
+				continue
+			}
 			if n > worstQ || (n == worstQ && (worst == ir.NoReg || r < worst)) {
 				worstQ, worst = n, r
 			}
@@ -225,9 +247,81 @@ func planLoop(nodes []*depgraph.Node, loopID int, m *machine.Machine, opts Optio
 		if (okF && okI) || worst == ir.NoReg {
 			return p, nil
 		}
+		if p.Rotating {
+			// On a rotating machine every ring is ceil(lifetime/II) deep,
+			// so a larger initiation interval shrinks all rings at once
+			// without restoring any anti-dependence, while un-expanding a
+			// variable bounds II from below by its whole lifetime.
+			// Neither remedy dominates: probe one step of each — II+1
+			// with every expansion kept, and the current interval with
+			// the cheapest victim un-expanded — and keep whichever fits
+			// the budget at the smaller interval (or whichever made more
+			// progress when neither fits yet).
+			po := opts
+			po.MinII = p.II + 1
+			pA, errA := planWith(nodes, full, expanded, m, po)
+			exB := make(map[ir.VReg]bool, len(expanded))
+			for r := range expanded {
+				if r != worst {
+					exB[r] = true
+				}
+			}
+			pB, errB := planWith(nodes, full, exB, m, opts)
+			fitsOf := func(pp *Plan) (int, bool) {
+				f, i := copyCost(pp, opts.RegKind)
+				okF := opts.CopyBudgetF <= 0 || f <= opts.CopyBudgetF
+				okI := opts.CopyBudgetI <= 0 || i <= opts.CopyBudgetI
+				return f + i, okF && okI
+			}
+			switch {
+			case errA == nil && errB == nil:
+				costA, fitA := fitsOf(pA)
+				costB, fitB := fitsOf(pB)
+				switch {
+				case fitA && fitB:
+					if pA.II <= pB.II {
+						return pA, nil
+					}
+					return pB, nil
+				case fitA:
+					return pA, nil
+				case fitB:
+					return pB, nil
+				case costA < costB:
+					opts.MinII = po.MinII
+				default:
+					expanded = exB
+				}
+			case errA == nil:
+				opts.MinII = po.MinII
+			case errB == nil:
+				expanded = exB
+			default:
+				// Neither remedy schedules; hand back the over-budget plan
+				// and let the final register-file check rule on it.
+				return p, nil
+			}
+			continue
+		}
 		delete(expanded, worst)
 	}
 }
+
+// copyCost sums a plan's extra float/int copy registers.
+func copyCost(p *Plan, kind func(ir.VReg) ir.Kind) (cf, ci int) {
+	for r, n := range p.Copies {
+		if n <= 1 {
+			continue
+		}
+		if kind(r) == ir.KindFloat {
+			cf += n - 1
+		} else {
+			ci += n - 1
+		}
+	}
+	return
+}
+
 
 func planWith(nodes []*depgraph.Node, full *depgraph.Graph, expanded map[ir.VReg]bool, m *machine.Machine, opts Options) (*Plan, error) {
 	g := full.Filter(expanded)
@@ -362,6 +456,7 @@ func planWith(nodes []*depgraph.Node, full *depgraph.Graph, expanded map[ir.VReg
 		ResMII:        a.ResMII,
 		RecMII:        a.RecMII,
 		HasRecurrence: a.HasRecurrence,
+		Rotating:      m.RotatingRegs,
 		Expanded:      expanded,
 		Copies:        map[ir.VReg]int{},
 		Q:             map[ir.VReg]int{},
@@ -453,27 +548,39 @@ func (p *Plan) expand(opts Options) error {
 			}
 		}
 	}
-	if opts.PowerOfTwoUnroll {
-		pow := 1
-		for pow < u {
-			pow *= 2
+	if p.Rotating {
+		// Hardware rotation renames copies per iteration, so the kernel
+		// needs no unrolling at all and every variable gets exactly its
+		// minimum q_v copies — the divisibility constraint that forces
+		// extra copies (or extra code) under pure MVE vanishes (Lam
+		// §2.3's cost, paid only by software-renaming machines).
+		p.Unroll = 1
+		for r, q := range p.Q {
+			p.Copies[r] = q
 		}
-		u = pow
-	}
-	if u > maxUnroll {
-		return fmt.Errorf("pipeline: unroll degree %d exceeds limit %d", u, maxUnroll)
-	}
-	p.Unroll = u
-	for r, q := range p.Q {
-		switch opts.Policy {
-		case PolicyLCM:
-			if opts.PowerOfTwoUnroll {
-				p.Copies[r] = smallestFactorAtLeast(u, q)
-			} else {
-				p.Copies[r] = q
+	} else {
+		if opts.PowerOfTwoUnroll {
+			pow := 1
+			for pow < u {
+				pow *= 2
 			}
-		default:
-			p.Copies[r] = smallestFactorAtLeast(u, q)
+			u = pow
+		}
+		if u > maxUnroll {
+			return fmt.Errorf("pipeline: unroll degree %d exceeds limit %d", u, maxUnroll)
+		}
+		p.Unroll = u
+		for r, q := range p.Q {
+			switch opts.Policy {
+			case PolicyLCM:
+				if opts.PowerOfTwoUnroll {
+					p.Copies[r] = smallestFactorAtLeast(u, q)
+				} else {
+					p.Copies[r] = q
+				}
+			default:
+				p.Copies[r] = smallestFactorAtLeast(u, q)
+			}
 		}
 	}
 	// Fix-ups for live-out expanded registers.

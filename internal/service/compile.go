@@ -9,8 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
-	"strings"
 	"time"
 
 	"softpipe"
@@ -97,8 +95,9 @@ type CompileRequest struct {
 	// pretty-print) before keying, so formatting differences do not
 	// fragment the cache.
 	Source string `json:"source"`
-	// Machine names the target: "warp" (default), "scalar", or "wideN"
-	// for N ≥ 2 (e.g. "wide4").
+	// Machine names the target: "warp" (default), "scalar", "wideN"
+	// (e.g. "wide4"), or a generator point "gen:..." (e.g.
+	// "gen:fa2,fm2,mem2,rot") — the machine.Parse grammar.
 	Machine string         `json:"machine,omitempty"`
 	Options CompileOptions `json:"options,omitempty"`
 	// TimeoutMS bounds the compile; the deadline is threaded through the
@@ -182,22 +181,18 @@ type artifact struct {
 	Loops       []LoopStats   `json:"loops"`
 }
 
-// resolveMachine maps a request's machine name to a model.
+// resolveMachine maps a request's machine name to a model through the
+// single parser (machine.Parse) and returns the canonical name, so
+// equivalent spellings of a gen: point share one artifact name.
 func resolveMachine(name string) (*machine.Machine, string, error) {
-	switch {
-	case name == "" || name == "warp":
-		return machine.Warp(), "warp", nil
-	case name == "scalar":
-		return machine.Scalar(), "scalar", nil
-	case strings.HasPrefix(name, "wide"):
-		n, err := strconv.Atoi(name[len("wide"):])
-		if err != nil || n < 2 || n > 64 {
-			return nil, "", fmt.Errorf("unknown machine %q (want warp, scalar, or wideN with 2 ≤ N ≤ 64)", name)
-		}
-		return machine.Wide(n), name, nil
-	default:
-		return nil, "", fmt.Errorf("unknown machine %q (want warp, scalar, or wideN)", name)
+	if name == "" {
+		name = "warp"
 	}
+	m, err := machine.Parse(name)
+	if err != nil {
+		return nil, "", err
+	}
+	return m, m.Name, nil
 }
 
 // validateArtifact is the disk-tier revalidator: decode, re-resolve the
@@ -217,8 +212,11 @@ func validateArtifact(_ cache.Key, data []byte) error {
 	if err != nil {
 		return err
 	}
+	// Format the fingerprints whole: a torn or truncated disk entry can
+	// carry a MachineFP shorter than any prefix we might slice, and the
+	// revalidator must reject it, not panic.
 	if fp := m.Fingerprint(); fp != a.MachineFP {
-		return fmt.Errorf("machine %q fingerprint changed (%s != %s)", a.MachineName, fp[:12], a.MachineFP[:12])
+		return fmt.Errorf("machine %q fingerprint changed (%s != %s)", a.MachineName, fp, a.MachineFP)
 	}
 	return verify.Static(a.Binary, m)
 }

@@ -94,6 +94,7 @@ type Metrics struct {
 	Requests   struct {
 		Compile  int64 `json:"compile"`
 		Run      int64 `json:"run"`
+		Sweep    int64 `json:"sweep"`
 		Artifact int64 `json:"artifact"` // peer forwards served
 	} `json:"requests"`
 	Errors   int64 `json:"errors"`
@@ -119,6 +120,7 @@ type Metrics struct {
 	Latency       struct {
 		Compile  LatencySummary `json:"compile"`
 		Run      LatencySummary `json:"run"`
+		Sweep    LatencySummary `json:"sweep"`
 		Artifact LatencySummary `json:"artifact"`
 	} `json:"latency_ms"`
 }
@@ -130,6 +132,7 @@ func (s *Server) metrics() Metrics {
 	m.QueueDepth = s.queued.Load()
 	m.Requests.Compile = s.reqCompile.Load()
 	m.Requests.Run = s.reqRun.Load()
+	m.Requests.Sweep = s.reqSweep.Load()
 	m.Requests.Artifact = s.reqArtifact.Load()
 	m.Errors = s.errors.Load()
 	m.Rejected = s.rejected.Load()
@@ -152,6 +155,7 @@ func (s *Server) metrics() Metrics {
 	m.FallbackLocal = s.fallbacks.Load()
 	m.Latency.Compile = s.latCompile.summary()
 	m.Latency.Run = s.latRun.summary()
+	m.Latency.Sweep = s.latSweep.summary()
 	m.Latency.Artifact = s.latArtifact.summary()
 	return m
 }

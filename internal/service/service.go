@@ -9,6 +9,10 @@
 //	               and options match a previous compile.
 //	POST /run      compile (or look up) and simulate, returning cycles,
 //	               flops, MFLOPS and observable state.
+//	POST /sweep    compile one program across a machine grid (default:
+//	               the rotating/MVE generator grid), returning per-machine
+//	               loop stats; cells share the /compile cache, partitioned
+//	               by machine fingerprint.
 //	GET  /healthz  liveness (503 while draining).
 //	GET  /metrics  JSON counters: cache hit rate, in-flight, queue depth,
 //	               latency percentiles per endpoint.
@@ -82,6 +86,7 @@ type Server struct {
 
 	reqCompile  atomic.Int64
 	reqRun      atomic.Int64
+	reqSweep    atomic.Int64
 	reqArtifact atomic.Int64 // peer forwards landing here
 	errors      atomic.Int64 // 4xx/5xx responses
 	rejected    atomic.Int64 // 429s from admission control
@@ -98,6 +103,7 @@ type Server struct {
 
 	latCompile  histogram
 	latRun      histogram
+	latSweep    histogram
 	latArtifact histogram
 
 	// compileHook, when non-nil, runs at the start of every local
@@ -150,6 +156,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /compile", s.admit(s.handleCompile, &s.reqCompile, &s.latCompile))
 	s.mux.HandleFunc("POST /run", s.admit(s.handleRun, &s.reqRun, &s.latRun))
+	s.mux.HandleFunc("POST /sweep", s.admit(s.handleSweep, &s.reqSweep, &s.latSweep))
 	// POST /artifact/{key} is the peer forward path: it compiles, so it
 	// shares admission control with client traffic.  GET is fetch-only
 	// (cache lookup) and stays cheap and unadmitted, like /metrics.

@@ -78,6 +78,16 @@ type word struct {
 	hasStore bool
 }
 
+// rotSet holds the compiled variants of a rotating instruction word: the
+// ring operands repeat with period mod (the lcm of the word's ring
+// lengths), so words[rrb mod mod] is the word with every ring resolved
+// for that rotating base.  Burning the residues into closures keeps the
+// per-cycle cost of rotation to one modulus in Step.
+type rotSet struct {
+	mod   int
+	words []*word
+}
+
 // Program is a compiled object: per-pc word pointers (deduplicated),
 // sequencer fields, and the steady-state blocks the fast path may engage.
 type Program struct {
@@ -85,6 +95,7 @@ type Program struct {
 	Mach *machine.Machine
 
 	words   []*word
+	rot     []*rotSet // indexed by pc; nil = static word
 	ctl     []vliw.Ctl
 	blocks  []*block // indexed by head pc; nil = no fast path here
 	ringLen int
@@ -128,6 +139,7 @@ func Build(p *vliw.Program, m *machine.Machine) (*Program, error) {
 		Src:     p,
 		Mach:    m,
 		words:   make([]*word, len(p.Instrs)),
+		rot:     make([]*rotSet, len(p.Instrs)),
 		ctl:     make([]vliw.Ctl, len(p.Instrs)),
 		blocks:  make([]*block, len(p.Instrs)),
 		ringLen: maxLat + 1,
@@ -138,14 +150,11 @@ func Build(p *vliw.Program, m *machine.Machine) (*Program, error) {
 	decoded := make([][]decOp, len(p.Instrs))
 	uniq := make(map[string]*word)
 	var key strings.Builder
-	for pc := range p.Instrs {
-		in := &p.Instrs[pc]
-		cp.ctl[pc] = in.Ctl
-		ops, err := decodeWord(p, m, pc, in.Ops)
+	compile := func(pc int, slots []vliw.SlotOp) ([]decOp, *word, error) {
+		ops, err := decodeWord(p, m, pc, slots)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		decoded[pc] = ops
 		key.Reset()
 		for i := range ops {
 			o := &ops[i]
@@ -160,10 +169,88 @@ func Build(p *vliw.Program, m *machine.Machine) (*Program, error) {
 			w = compileWord(ops)
 			uniq[k] = w
 		}
+		return ops, w, nil
+	}
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		cp.ctl[pc] = in.Ctl
+		if mod := ringPeriod(in.Ops); mod > 1 {
+			// Rotating word: one resolved variant per rotating-base
+			// residue; Step picks variants[rrb mod mod].
+			variants := make([]*word, mod)
+			for v := 0; v < mod; v++ {
+				ops, w, err := compile(pc, resolveSlots(in.Ops, int64(v)))
+				if err != nil {
+					return nil, err
+				}
+				variants[v] = w
+				if v == 0 {
+					decoded[pc] = ops
+				}
+			}
+			cp.words[pc] = variants[0]
+			cp.rot[pc] = &rotSet{mod: mod, words: variants}
+			continue
+		}
+		ops, w, err := compile(pc, in.Ops)
+		if err != nil {
+			return nil, err
+		}
+		decoded[pc] = ops
 		cp.words[pc] = w
 	}
 	buildBlocks(cp, decoded)
 	return cp, nil
+}
+
+// ringPeriod returns the period of a word's rotating operands: the lcm
+// of every ring length, 1 for static words.
+func ringPeriod(slots []vliw.SlotOp) int {
+	mod := 1
+	add := func(ring []int) {
+		if n := len(ring); n > 0 {
+			mod = mod / gcd(mod, n) * n
+		}
+	}
+	for i := range slots {
+		add(slots[i].DstRing)
+		for _, r := range slots[i].SrcRings {
+			add(r)
+		}
+	}
+	return mod
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// resolveSlots returns the word's slots with every ring operand replaced
+// by its effective register at rotating base rrb (rings dropped), so the
+// result compiles through the static path.
+func resolveSlots(slots []vliw.SlotOp, rrb int64) []vliw.SlotOp {
+	out := make([]vliw.SlotOp, len(slots))
+	for i := range slots {
+		o := slots[i]
+		o.Dst = vliw.EffReg(o.Dst, o.DstRing, rrb)
+		if len(o.SrcRings) > 0 {
+			src := make([]int, len(o.Src))
+			for j, r := range o.Src {
+				if j < len(o.SrcRings) {
+					r = vliw.EffReg(r, o.SrcRings[j], rrb)
+				}
+				src[j] = r
+			}
+			o.Src = src
+		}
+		o.DstRing = nil
+		o.SrcRings = nil
+		out[i] = o
+	}
+	return out
 }
 
 // decodeWord lowers one instruction's slots, mirroring the interpreter's
@@ -420,6 +507,7 @@ type Cell struct {
 
 	pc     int
 	t      int64
+	rrb    int64 // rotating register base
 	halted bool
 	inPos  int
 	inQ    *sim.Queue
@@ -503,6 +591,9 @@ func (c *Cell) Step() (stalled bool, err error) {
 		return false, fmt.Errorf("sim: pc %d out of range at cycle %d", pc, c.t)
 	}
 	w := c.prog.words[pc]
+	if rs := c.prog.rot[pc]; rs != nil {
+		w = rs.words[int(c.rrb%int64(rs.mod))]
+	}
 	for _, cl := range w.pre {
 		if cl == machine.ClassRecv {
 			if c.inQ != nil && c.inQ.Empty() {
@@ -552,14 +643,19 @@ func (c *Cell) Step() (stalled bool, err error) {
 		if c.iregs[ctl.Reg] != 0 {
 			next = ctl.Target
 		}
+		if ctl.Rotate {
+			c.rrb++
+		}
 	case vliw.CtlJZ:
-		if c.iregs[ctl.Reg] == 0 {
+		if c.iregs[vliw.EffReg(ctl.Reg, ctl.RegRing, c.rrb)] == 0 {
 			next = ctl.Target
 		}
 	case vliw.CtlJNZ:
-		if c.iregs[ctl.Reg] != 0 {
+		if c.iregs[vliw.EffReg(ctl.Reg, ctl.RegRing, c.rrb)] != 0 {
 			next = ctl.Target
 		}
+	case vliw.CtlRotClear:
+		c.rrb = 0
 	}
 	c.stats.Instrs++
 	c.t++

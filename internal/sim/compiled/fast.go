@@ -153,7 +153,10 @@ func buildBlocks(cp *Program, decoded [][]decOp) {
 	idx := 0
 	for e := range cp.ctl {
 		ct := cp.ctl[e]
-		if ct.Kind != vliw.CtlDBNZ || ct.Target > e {
+		// Rotating kernels stay on the generic path: the fast path's
+		// delay-buffer cursors assume register identity is static, and a
+		// Rotate-marked loop-back changes it every pass.
+		if ct.Kind != vliw.CtlDBNZ || ct.Target > e || ct.Rotate {
 			continue
 		}
 		h := ct.Target
@@ -171,6 +174,11 @@ func makeBlock(idx, h, e int, cp *Program, decoded [][]decOp) *block {
 	for pc := h; pc < e; pc++ {
 		if cp.ctl[pc].Kind != vliw.CtlNone {
 			return nil
+		}
+	}
+	for pc := h; pc <= e; pc++ {
+		if cp.rot[pc] != nil {
+			return nil // rotating operands: generic path only
 		}
 	}
 	ctlReg := cp.ctl[e].Reg

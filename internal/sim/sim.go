@@ -74,6 +74,16 @@ type decOp struct {
 	arrFloat bool
 	arrName  string // diagnostics only
 	selFloat bool   // ClassISelect: float-file select
+
+	// Rotating-register operands: when rotates is set, the effective
+	// dst/src registers are ring[rrb mod len(ring)] at issue time (nil
+	// rings keep the static register).  Static programs never set these,
+	// so the hot path pays one bool test per op.
+	rotates  bool
+	dstRing  []int
+	srcRing0 []int
+	srcRing1 []int
+	srcRing2 []int
 }
 
 type memStore struct {
@@ -140,6 +150,7 @@ type Sim struct {
 	// scheduled timing is preserved exactly).
 	pc     int
 	t      int64
+	rrb    int64 // rotating register base (iteration counter mod ring sizes)
 	halted bool
 	inPos  int
 	inQ    *Queue
@@ -310,6 +321,19 @@ func (s *Sim) decode() {
 			if len(o.Src) > 2 {
 				dec.src2 = o.Src[2]
 			}
+			if o.Rotating() {
+				dec.rotates = true
+				dec.dstRing = o.DstRing
+				if len(o.SrcRings) > 0 {
+					dec.srcRing0 = o.SrcRings[0]
+				}
+				if len(o.SrcRings) > 1 {
+					dec.srcRing1 = o.SrcRings[1]
+				}
+				if len(o.SrcRings) > 2 {
+					dec.srcRing2 = o.SrcRings[2]
+				}
+			}
 			switch o.Class {
 			case machine.ClassLoad, machine.ClassStore:
 				arr := p.Array(o.Array)
@@ -438,6 +462,16 @@ func (s *Sim) Step() (stalled bool, err error) {
 	stores := s.storeBuf[:0]
 	for oi := range ops {
 		o := &ops[oi]
+		if o.rotates {
+			// Resolve ring operands against the current rotating base on
+			// a scratch copy; the pre-decoded form stays position-independent.
+			ro := *o
+			ro.dst = vliw.EffReg(ro.dst, ro.dstRing, s.rrb)
+			ro.src0 = vliw.EffReg(ro.src0, ro.srcRing0, s.rrb)
+			ro.src1 = vliw.EffReg(ro.src1, ro.srcRing1, s.rrb)
+			ro.src2 = vliw.EffReg(ro.src2, ro.srcRing2, s.rrb)
+			o = &ro
+		}
 		s.stats.Ops++
 		s.stats.Flops += o.flops
 		lat := o.lat
@@ -553,14 +587,21 @@ func (s *Sim) Step() (stalled bool, err error) {
 		if s.iregs[ctl.Reg] != 0 {
 			next = ctl.Target
 		}
+		if ctl.Rotate {
+			// The base advances once per kernel pass, taken or not, so the
+			// epilog sees the base of the pass after the last.
+			s.rrb++
+		}
 	case vliw.CtlJZ:
-		if s.iregs[ctl.Reg] == 0 {
+		if s.iregs[vliw.EffReg(ctl.Reg, ctl.RegRing, s.rrb)] == 0 {
 			next = ctl.Target
 		}
 	case vliw.CtlJNZ:
-		if s.iregs[ctl.Reg] != 0 {
+		if s.iregs[vliw.EffReg(ctl.Reg, ctl.RegRing, s.rrb)] != 0 {
 			next = ctl.Target
 		}
+	case vliw.CtlRotClear:
+		s.rrb = 0
 	}
 	s.stats.Instrs++
 	s.t++

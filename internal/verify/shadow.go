@@ -78,6 +78,8 @@ type shadowExec struct {
 	outV  []float64
 	outT  []termID
 
+	rrb int64 // rotating register base
+
 	stores []pendStore
 }
 
@@ -209,33 +211,43 @@ func (s *shadowExec) issue(pc int, t int64) (next int, halted bool, err error) {
 			return 0, false, fmt.Errorf("shadow: @%d: class %v unsupported on %s", pc, o.Class, s.m.Name)
 		}
 		lat := int64(d.Latency)
+		// Ring operands resolve against the rotating base at issue time;
+		// static programs carry no rings and EffReg is the identity.
+		dst := vliw.EffReg(o.Dst, o.DstRing, s.rrb)
+		src := func(i int) int {
+			r := o.Src[i]
+			if i < len(o.SrcRings) {
+				r = vliw.EffReg(r, o.SrcRings[i], s.rrb)
+			}
+			return r
+		}
 		// reg reads bounds-checked so mutated programs fail loudly.
 		rf := func(i int) (float64, termID, error) {
-			r := o.Src[i]
+			r := src(i)
 			if r < 0 || r >= len(s.fv) {
 				return 0, noTerm, fmt.Errorf("shadow: @%d: float register f%d out of range", pc, r)
 			}
 			return s.fv[r], s.ft[r], nil
 		}
 		ri := func(i int) (int64, termID, error) {
-			r := o.Src[i]
+			r := src(i)
 			if r < 0 || r >= len(s.iv) {
 				return 0, noTerm, fmt.Errorf("shadow: @%d: int register i%d out of range", pc, r)
 			}
 			return s.iv[r], s.it[r], nil
 		}
 		wf := func(v float64, tm termID) error {
-			if o.Dst < 0 || o.Dst >= len(s.fv) {
-				return fmt.Errorf("shadow: @%d: float register f%d out of range", pc, o.Dst)
+			if dst < 0 || dst >= len(s.fv) {
+				return fmt.Errorf("shadow: @%d: float register f%d out of range", pc, dst)
 			}
-			s.wb(t+lat, pc, true, o.Dst, v, 0, tm)
+			s.wb(t+lat, pc, true, dst, v, 0, tm)
 			return nil
 		}
 		wi := func(v int64, tm termID) error {
-			if o.Dst < 0 || o.Dst >= len(s.iv) {
-				return fmt.Errorf("shadow: @%d: int register i%d out of range", pc, o.Dst)
+			if dst < 0 || dst >= len(s.iv) {
+				return fmt.Errorf("shadow: @%d: int register i%d out of range", pc, dst)
 			}
-			s.wb(t+lat, pc, false, o.Dst, 0, v, tm)
+			s.wb(t+lat, pc, false, dst, 0, v, tm)
 			return nil
 		}
 		fbin := func() error {
@@ -480,8 +492,11 @@ func (s *shadowExec) issue(pc int, t int64) (next int, halted bool, err error) {
 		if s.iv[r] != 0 {
 			next = in.Ctl.Target
 		}
+		if in.Ctl.Rotate {
+			s.rrb++
+		}
 	case vliw.CtlJZ:
-		r := in.Ctl.Reg
+		r := vliw.EffReg(in.Ctl.Reg, in.Ctl.RegRing, s.rrb)
 		if r < 0 || r >= len(s.iv) {
 			return 0, false, fmt.Errorf("shadow: @%d: jz register i%d out of range", pc, r)
 		}
@@ -489,13 +504,15 @@ func (s *shadowExec) issue(pc int, t int64) (next int, halted bool, err error) {
 			next = in.Ctl.Target
 		}
 	case vliw.CtlJNZ:
-		r := in.Ctl.Reg
+		r := vliw.EffReg(in.Ctl.Reg, in.Ctl.RegRing, s.rrb)
 		if r < 0 || r >= len(s.iv) {
 			return 0, false, fmt.Errorf("shadow: @%d: jnz register i%d out of range", pc, r)
 		}
 		if s.iv[r] != 0 {
 			next = in.Ctl.Target
 		}
+	case vliw.CtlRotClear:
+		s.rrb = 0
 	}
 	return next, halted, nil
 }

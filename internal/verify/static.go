@@ -148,6 +148,34 @@ func checkStructure(p *vliw.Program, m *machine.Machine) error {
 					return fmt.Errorf("verify: @%d: unknown array %q", pc, o.Array)
 				}
 			}
+			if o.Rotating() {
+				if !m.RotatingRegs {
+					return fmt.Errorf("verify: @%d: %s has rotating operands but %s has no rotating register file", pc, o.Class, m.Name)
+				}
+				if len(o.SrcRings) > 0 && len(o.SrcRings) != len(o.Src) {
+					return fmt.Errorf("verify: @%d: %s has %d source rings for %d sources", pc, o.Class, len(o.SrcRings), len(o.Src))
+				}
+				if f, wb := writesBack(p, o); wb {
+					for _, r := range o.DstRing {
+						if !regOK(f, r) {
+							return fmt.Errorf("verify: @%d: %s destination ring entry %s%d outside the %s file", pc, o.Class, file(f), r, file(f))
+						}
+					}
+				} else if len(o.DstRing) > 0 {
+					return fmt.Errorf("verify: @%d: %s has a destination ring but writes no register", pc, o.Class)
+				}
+				for i, ring := range o.SrcRings {
+					if n, _ := nSrc(o.Class); i >= n && len(ring) > 0 {
+						return fmt.Errorf("verify: @%d: %s has a ring on unused operand %d", pc, o.Class, i)
+					}
+					f := srcIsFloat(p, o, i)
+					for _, r := range ring {
+						if !regOK(f, r) {
+							return fmt.Errorf("verify: @%d: %s operand %d ring entry %s%d outside the %s file", pc, o.Class, i, file(f), r, file(f))
+						}
+					}
+				}
+			}
 		}
 		switch in.Ctl.Kind {
 		case vliw.CtlJump, vliw.CtlDBNZ, vliw.CtlJZ, vliw.CtlJNZ:
@@ -159,6 +187,30 @@ func checkStructure(p *vliw.Program, m *machine.Machine) error {
 			if !regOK(false, in.Ctl.Reg) {
 				return fmt.Errorf("verify: @%d: sequencer reads i%d outside the int file", pc, in.Ctl.Reg)
 			}
+		}
+		if in.Ctl.Rotate {
+			if !m.RotatingRegs {
+				return fmt.Errorf("verify: @%d: rotating loop-back on %s, which has no rotating register file", pc, m.Name)
+			}
+			if in.Ctl.Kind != vliw.CtlDBNZ {
+				return fmt.Errorf("verify: @%d: Rotate on non-DBNZ sequencer field", pc)
+			}
+		}
+		if len(in.Ctl.RegRing) > 0 {
+			if !m.RotatingRegs {
+				return fmt.Errorf("verify: @%d: sequencer register ring on %s, which has no rotating register file", pc, m.Name)
+			}
+			if in.Ctl.Kind != vliw.CtlJZ && in.Ctl.Kind != vliw.CtlJNZ {
+				return fmt.Errorf("verify: @%d: sequencer register ring on a non-JZ/JNZ field", pc)
+			}
+			for _, r := range in.Ctl.RegRing {
+				if !regOK(false, r) {
+					return fmt.Errorf("verify: @%d: sequencer ring entry i%d outside the int file", pc, r)
+				}
+			}
+		}
+		if in.Ctl.Kind == vliw.CtlRotClear && !m.RotatingRegs {
+			return fmt.Errorf("verify: @%d: rotclear on %s, which has no rotating register file", pc, m.Name)
 		}
 	}
 	return nil

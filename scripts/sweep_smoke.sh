@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Machine-sweep smoke for CI: compile the smoke corpus across a 4-point
+# machine grid — two configurations, each with and without a rotating
+# register file — with full verification (independent object-code
+# checker plus a differential run against the IR interpreter on every
+# cell).  warpbench -sweep itself enforces the rotating invariants
+# (reported rotating flag matches the machine; MVE unroll collapses to 1
+# on rotating points); the JSON check below asserts the artifact shape
+# the checked-in BENCH_sweep.json relies on.
+#
+#   bash scripts/sweep_smoke.sh [BENCH_sweep_ci.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sweep_json="${1:-BENCH_sweep_ci.json}"
+grid="gen:fa1,fm1,mem1;gen:fa1,fm1,mem1,rot;gen:fa2,fm2,mem2;gen:fa2,fm2,mem2,rot"
+
+go run ./cmd/warpbench -sweep -sweepset smoke -machines "$grid" -sweepout "$sweep_json"
+
+python3 - "$sweep_json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+machines = rep["machines"]
+if len(machines) != 4:
+    sys.exit(f"sweep_smoke: expected 4 grid points, got {len(machines)}")
+if not rep["verified"]:
+    sys.exit("sweep_smoke: sweep ran unverified")
+fps = set()
+rotating = 0
+for m in machines:
+    if m["fingerprint"] in fps:
+        sys.exit(f"sweep_smoke: fingerprint collision on {m['machine']}")
+    fps.add(m["fingerprint"])
+    if m["pipelined"] == 0:
+        sys.exit(f"sweep_smoke: nothing pipelined on {m['machine']}")
+    if m["rotating"]:
+        rotating += 1
+        if m["max_unroll"] > 1:
+            sys.exit(f"sweep_smoke: MVE unroll {m['max_unroll']} on rotating {m['machine']}")
+if rotating != 2:
+    sys.exit(f"sweep_smoke: expected 2 rotating grid points, got {rotating}")
+pairs = {m["machine"].replace(",rot", ""): m for m in machines if m["rotating"]}
+for m in machines:
+    if not m["rotating"]:
+        rot = pairs.get(m["machine"])
+        if rot is None:
+            sys.exit(f"sweep_smoke: {m['machine']} has no rotating partner")
+        print(f"sweep_smoke: {m['machine']}: "
+              f"MVE unroll<={m['max_unroll']} copy {m['copy_regs_f']}F -> "
+              f"rot unroll<={rot['max_unroll']} ring {rot['copy_regs_f']}F")
+print(f"sweep_smoke: {len(machines)} machines OK, all verified")
+EOF

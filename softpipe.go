@@ -54,6 +54,16 @@ func Scalar() *Machine { return machine.Scalar() }
 // unit and memory port, for the scalability experiments of Lam §6.
 func Wide(factor int) *Machine { return machine.Wide(factor) }
 
+// ParseMachine resolves a machine name to a validated target.  It is
+// the single machine parser shared by every surface that accepts a
+// machine name (w2c, livermore, warpbench, softpiped, the sweep grid):
+//
+//	warp     the 10-cell Warp-like array
+//	scalar   the single-issue reference machine
+//	wideN    N-wide cell, 1 <= N <= 64
+//	gen:...  a generator point, e.g. gen:fa2,fm2,mem2,lat7/7/3,fr62,rot
+func ParseMachine(name string) (*Machine, error) { return machine.Parse(name) }
+
 // Program is a compiled-to-IR program: the unit the backend consumes.
 // Obtain one with ParseSource or via NewBuilder.
 type Program = ir.Program
