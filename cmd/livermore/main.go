@@ -36,6 +36,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("livermore: ")
 	machineName := flag.String("machine", "warp", "target machine: warp, scalar, wideN (e.g. wide4), or gen:... (e.g. gen:fa2,fm2,mem2,rot)")
+	cells := flag.Int("cells", 0, "auto-partition each kernel across an N-cell array and print the speedup table instead of Table 4-2")
 	verify := flag.Bool("verify", true, "run the independent object-code verifier on every emitted binary and differentially verify every run against the interpreter")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	explain := flag.Bool("explain", false, "print the II-search explain report for every loop of every kernel")
@@ -82,6 +83,23 @@ func main() {
 	m, err := machine.Parse(*machineName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *cells > 0 {
+		if *cells < 2 {
+			log.Fatal("-cells needs at least 2 cells (1 is the Table 4-2 baseline)")
+		}
+		rep, err := bench.MeasureArray(m, bench.ArrayOpts{
+			Widths:  []int{*cells},
+			Workers: *parallel,
+			Verify:  *verify,
+			Engine:  eng,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Livermore loops partitioned across %d cells\n", *cells)
+		fmt.Print(bench.FormatArrayReport(rep))
+		return
 	}
 	var tracer *trace.Tracer
 	if *traceOut != "" {

@@ -51,6 +51,7 @@ func main() {
 	unrollInner := flag.Int("unroll-inner", 0, "fully unroll constant-trip inner loops of at most N iterations (outer-loop pipelining)")
 	kernel := flag.Bool("kernel", false, "print each pipelined loop's steady-state kernel schedule")
 	cells := flag.Int("cells", 0, "run the program on an N-cell array, streaming -input through the inter-cell queues")
+	partitionFlag := flag.Bool("partition", false, "with -cells: auto-partition the loop nest across the cells (one fragment per cell wired by queue cuts) instead of replicating the whole program")
 	input := flag.String("input", "", "whitespace-separated floats fed to the first cell's input queue")
 	disasm := flag.Bool("S", false, "print the VLIW disassembly")
 	format := flag.Bool("fmt", false, "pretty-print the parsed source and exit")
@@ -103,7 +104,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
 	}
-	obj, err := softpipe.CompileSource(string(src), m, softpipe.Options{
+	opts := softpipe.Options{
 		Ctx:                  ctx,
 		Baseline:             *baseline,
 		DisableMVE:           *noMVE,
@@ -115,7 +116,15 @@ func main() {
 		EffortBudget:         *effortBudget,
 		Explain:              *explain,
 		Tracer:               tracer,
-	})
+	}
+	if *partitionFlag {
+		if *cells < 2 {
+			log.Fatal("-partition needs -cells N with N >= 2")
+		}
+		runPartitioned(string(src), m, *cells, opts, readTape(*input), eng, *verify)
+		return
+	}
+	obj, err := softpipe.CompileSource(string(src), m, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -145,20 +154,7 @@ func main() {
 		fmt.Print(obj.Disassemble())
 	}
 	if *cells > 0 {
-		var tape []float64
-		if *input != "" {
-			data, err := os.ReadFile(*input)
-			if err != nil {
-				log.Fatal(err)
-			}
-			for _, f := range strings.Fields(string(data)) {
-				v, err := strconv.ParseFloat(f, 64)
-				if err != nil {
-					log.Fatalf("bad input value %q: %v", f, err)
-				}
-				tape = append(tape, v)
-			}
-		}
+		tape := readTape(*input)
 		objs := make([]*softpipe.Object, *cells)
 		for i := range objs {
 			objs[i] = obj
@@ -200,6 +196,67 @@ func main() {
 	}
 }
 
+// readTape parses a whitespace-separated float file into an input tape;
+// an empty path yields a nil tape.
+func readTape(path string) []float64 {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tape []float64
+	for _, f := range strings.Fields(string(data)) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			log.Fatalf("bad input value %q: %v", f, err)
+		}
+		tape = append(tape, v)
+	}
+	return tape
+}
+
+// runPartitioned compiles the source as an auto-partitioned N-cell
+// array, prints the per-cell schedule and runtime stats, and optionally
+// proves the partition equivalent to the single-cell program.
+func runPartitioned(src string, m *softpipe.Machine, cells int, opts softpipe.Options, tape []float64, eng softpipe.Engine, verify bool) {
+	ao, err := softpipe.CompileSourcePartitioned(src, softpipe.Machines(m, cells), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iis := ao.CellII()
+	for i, c := range ao.Cells {
+		fmt.Printf("; cell %d (%s): %d instructions, II=%d, est MII=%d, %d body ops\n",
+			i, c.Binary.Name, len(c.Binary.Instrs), iis[i], ao.Plan.EstMII[i], len(ao.Plan.Stages[i]))
+	}
+	for b, w := range ao.Plan.CutWidths {
+		fmt.Printf("; channel %d->%d: %d values/iteration\n", b, b+1, w)
+	}
+	for _, w := range ao.CapacityWarnings {
+		fmt.Printf("; warning: %s\n", w)
+	}
+	if verify {
+		if err := ao.Verify(tape); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("; verified: partitioned array equivalent to single-cell reference (both engines)")
+	}
+	res, err := ao.RunArray(tape, eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("; partitioned array of %d cells: %d cycles, %d flops, %.1f MFLOPS\n",
+		cells, res.Cycles, res.Flops, res.MFLOPS)
+	for i, cs := range res.CellStats {
+		fmt.Printf("; cell %d: II=%d, stalled %d cycles, input queue high-water %d\n",
+			i, cs.II, cs.StallCycles, cs.MaxInQueue)
+	}
+	for _, v := range res.Output {
+		fmt.Println(v)
+	}
+}
+
 // writeTrace dumps the collected spans as Chrome trace_event JSON.
 func writeTrace(t *softpipe.Tracer, path string) {
 	f, err := os.Create(path)
@@ -212,4 +269,3 @@ func writeTrace(t *softpipe.Tracer, path string) {
 	}
 	fmt.Fprintf(os.Stderr, "w2c: wrote trace to %s\n", path)
 }
-

@@ -13,6 +13,7 @@
 //	          [-cpuprofile f] [-memprofile f] [-benchjson f]
 //	          [-gap] [-gapset full|smoke] [-gapout f]
 //	          [-sweep] [-sweepset full|smoke] [-machines "a;b;..."] [-sweepout f]
+//	          [-array] [-cells "2,4"] [-arrayout f]
 //
 // With no selection flags, everything runs.  -parallel sizes the
 // compile/simulate worker pool (0 = GOMAXPROCS, 1 = sequential).
@@ -31,7 +32,11 @@
 // generator grid (or -machines), verified, and prints the per-machine
 // pipelining table comparing rotating register files against modulo
 // variable expansion; -sweepout also writes the BENCH_sweep.json
-// artifact (see EXPERIMENTS.md for the schema).
+// artifact (see EXPERIMENTS.md for the schema).  -array instead
+// auto-partitions the corpus (saxpy + the Livermore kernels) across the
+// cell array at each -cells width, proves every partition equivalent to
+// its single-cell reference, and prints the per-width speedup table;
+// -arrayout also writes the BENCH_array.json artifact.
 package main
 
 import (
@@ -44,6 +49,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -74,6 +80,9 @@ func main() {
 	gapSet := flag.String("gapset", "full", "with -gap: corpus to measure, full or smoke")
 	gapOut := flag.String("gapout", "", "with -gap: also write the BENCH_gap.json artifact to this file")
 	machineName := flag.String("machine", "warp", "target machine for the table/figure runs: warp, scalar, wideN (e.g. wide4), or gen:... (e.g. gen:fa2,fm2,mem2,rot)")
+	array := flag.Bool("array", false, "auto-partition the corpus across the cell array and print the per-width speedup table")
+	arrayCells := flag.String("cells", "2,4", "with -array: comma-separated array widths to measure")
+	arrayOut := flag.String("arrayout", "", "with -array: also write the BENCH_array.json artifact to this file")
 	sweep := flag.Bool("sweep", false, "compile the sweep corpus across a machine grid and print the per-machine table")
 	sweepSet := flag.String("sweepset", "full", "with -sweep: corpus to sweep, full or smoke")
 	sweepOut := flag.String("sweepout", "", "with -sweep: also write the BENCH_sweep.json artifact to this file")
@@ -104,6 +113,42 @@ func main() {
 	if *benchjson != "" {
 		if err := writeBenchJSON(m, *benchjson); err != nil {
 			log.Fatal(err)
+		}
+		return
+	}
+
+	if *array {
+		var widths []int
+		for _, f := range strings.Split(*arrayCells, ",") {
+			if f = strings.TrimSpace(f); f == "" {
+				continue
+			}
+			n, err := strconv.Atoi(f)
+			if err != nil {
+				log.Fatalf("-cells: bad width %q: %v", f, err)
+			}
+			widths = append(widths, n)
+		}
+		rep, err := bench.MeasureArray(m, bench.ArrayOpts{
+			Widths:  widths,
+			Workers: *parallel,
+			Verify:  true,
+			Engine:  eng,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatArrayReport(rep))
+		if *arrayOut != "" {
+			out, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, '\n')
+			if err := os.WriteFile(*arrayOut, out, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "warpbench: wrote %s\n", *arrayOut)
 		}
 		return
 	}

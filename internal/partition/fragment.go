@@ -1,0 +1,503 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"softpipe/internal/depgraph"
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+	"softpipe/internal/sim"
+)
+
+// intervalOps resolves one candidate stage covering clusters [i..j]: the
+// cut values entering and leaving it (including pass-through forwards),
+// and the body op positions it executes — stage ops plus the replicable
+// integer closure they need.
+func (pl *planner) intervalOps(i, j int, cuts []*cutValue) (ins, outs []*cutValue, included []int) {
+	for _, cv := range cuts {
+		if cv.prodStage < i && cv.lastConsum >= i {
+			ins = append(ins, cv)
+		}
+		if cv.prodStage <= j && cv.lastConsum > j {
+			outs = append(outs, cv)
+		}
+	}
+	inSet := map[int]bool{}
+	needed := map[ir.VReg]bool{}
+	for ci := i; ci <= j; ci++ {
+		for _, pos := range pl.clusters[ci] {
+			inSet[pos] = true
+			for _, r := range pl.sh.body[pos].Src {
+				needed[r] = true
+			}
+		}
+	}
+	pl.replClosure(needed, inSet)
+	included = make([]int, 0, len(inSet))
+	for pos := range inSet {
+		included = append(included, pos)
+	}
+	sort.Ints(included)
+	return ins, outs, included
+}
+
+// replClosure grows inSet with every replicable body op (transitively)
+// defining a needed register, updating needed with their sources.
+func (pl *planner) replClosure(needed map[ir.VReg]bool, inSet map[int]bool) {
+	for changed := true; changed; {
+		changed = false
+		for pos, o := range pl.sh.body {
+			if !pl.repl[pos] || inSet[pos] || o.Dst == ir.NoReg || !needed[o.Dst] {
+				continue
+			}
+			inSet[pos] = true
+			for _, r := range o.Src {
+				if !needed[r] {
+					needed[r] = true
+				}
+			}
+			changed = true
+		}
+	}
+}
+
+// stageCost estimates the MII of the fragment a stage would compile to on
+// its machine: the real dependence graph of its body ops plus the queue
+// receives/sends the cut inserts, analyzed with the machine's resource
+// table (so queue-port pressure and the Recv latency participate in the
+// balance, not just the float work).
+func (pl *planner) stageCost(i, j, s int, cuts []*cutValue) (int, error) {
+	ins, outs, included := pl.intervalOps(i, j, cuts)
+	m := pl.machines[s]
+	ops := make([]*ir.Op, 0, len(ins)+len(included)+len(outs))
+	id := 1 << 20 // synthetic queue ops; IDs only matter for diagnostics
+	for _, cv := range ins {
+		ops = append(ops, &ir.Op{ID: id, Class: machine.ClassRecv, Dst: cv.reg})
+		id++
+	}
+	for _, pos := range included {
+		ops = append(ops, pl.sh.body[pos])
+	}
+	for _, cv := range outs {
+		ops = append(ops, &ir.Op{ID: id, Class: machine.ClassSend, Dst: ir.NoReg, Src: []ir.VReg{cv.reg}})
+		id++
+	}
+	nodes := make([]*depgraph.Node, len(ops))
+	for k, o := range ops {
+		n, err := depgraph.NodeFromOp(m, o)
+		if err != nil {
+			return 0, fmt.Errorf("partition: stage %d on %s: %w", s, m.Name, err)
+		}
+		nodes[k] = n
+	}
+	g := depgraph.BuildIndep(nodes, pl.sh.loop.ID, pl.sh.loop.Independent)
+	an, err := depgraph.Analyze(g, m)
+	if err != nil {
+		return 0, fmt.Errorf("partition: stage %d on %s: %w", s, m.Name, err)
+	}
+	return an.MII, nil
+}
+
+// bestSplit balances the stages: dynamic programming over contiguous
+// splits of the topologically ordered clusters, minimizing the maximum
+// per-stage MII (the array throughput bound), subject to the pinning
+// constraints (host receives on cell 0, host sends on the last cell) and
+// the queue capacity (a cut wider than the 512-word channel cannot even
+// hold one iteration's values).
+func (pl *planner) bestSplit(cuts []*cutValue) (ends []int, estMII []int, err error) {
+	C, N := len(pl.clusters), len(pl.machines)
+	if C < N {
+		return nil, nil, fmt.Errorf("partition: program decomposes into only %d pipeline stage(s); cannot fill %d cells", C, N)
+	}
+	const inf = math.MaxInt / 2
+	type key struct{ i, j, s int }
+	memo := map[key]int{}
+	var firstErr error
+	cost := func(i, j, s int) int {
+		k := key{i, j, s}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		v, cerr := pl.stageCost(i, j, s, cuts)
+		if cerr != nil {
+			if firstErr == nil {
+				firstErr = cerr
+			}
+			v = inf
+		}
+		memo[k] = v
+		return v
+	}
+	// boundaryOK: the channel entering cluster b fits one iteration's
+	// values in the 512-word queue.
+	boundaryOK := func(b int) bool { return channelWidth(cuts, b) <= sim.QueueCapacity }
+
+	dp := make([][]int, N)
+	choice := make([][]int, N)
+	for s := range dp {
+		dp[s] = make([]int, C)
+		choice[s] = make([]int, C)
+		for j := range dp[s] {
+			dp[s][j] = inf
+			choice[s][j] = -1
+		}
+	}
+	for j := 0; j <= C-N; j++ {
+		if pl.recvCluster >= 0 && j < pl.recvCluster {
+			continue // host receives must land on cell 0
+		}
+		if pl.sendCluster >= 0 && N > 1 && j >= pl.sendCluster {
+			continue // host sends must land on the last cell
+		}
+		dp[0][j] = cost(0, j, 0)
+	}
+	for s := 1; s < N; s++ {
+		for j := s; j < C; j++ {
+			if s < N-1 {
+				if j > C-1-(N-1-s) {
+					continue // not enough clusters left for later stages
+				}
+				if pl.sendCluster >= 0 && j >= pl.sendCluster {
+					continue
+				}
+			} else if j != C-1 {
+				continue
+			}
+			for i := s; i <= j; i++ {
+				if dp[s-1][i-1] >= inf || !boundaryOK(i) {
+					continue
+				}
+				c := cost(i, j, s)
+				v := dp[s-1][i-1]
+				if c > v {
+					v = c
+				}
+				if v < dp[s][j] {
+					dp[s][j] = v
+					choice[s][j] = i
+				}
+			}
+		}
+	}
+	if dp[N-1][C-1] >= inf {
+		if firstErr != nil {
+			return nil, nil, firstErr
+		}
+		return nil, nil, fmt.Errorf("partition: no feasible %d-cell split (pinning or queue-capacity constraints unsatisfiable)", N)
+	}
+	ends = make([]int, N)
+	ends[N-1] = C - 1
+	for s := N - 1; s > 0; s-- {
+		ends[s-1] = choice[s][ends[s]] - 1
+	}
+	estMII = make([]int, N)
+	start := 0
+	for s := 0; s < N; s++ {
+		estMII[s] = memo[key{start, ends[s], s}]
+		start = ends[s] + 1
+	}
+	return ends, estMII, nil
+}
+
+// stageCut is a cut value re-keyed from cluster indices to the stage
+// indices of a chosen split.
+type stageCut struct {
+	cv         *cutValue
+	prod, last int
+}
+
+// emit materializes the chosen split as per-cell programs.
+func (pl *planner) emit(ends []int, estMII []int, cuts []*cutValue) (*Plan, error) {
+	N := len(pl.machines)
+	stageOfCluster := make([]int, len(pl.clusters))
+	s := 0
+	for ci := range pl.clusters {
+		if ci > ends[s] {
+			s++
+		}
+		stageOfCluster[ci] = s
+	}
+	// Re-key the cuts from cluster indices to stage indices; cuts that
+	// collapsed into one stage vanish.
+	var live []*stageCut
+	for _, cv := range cuts {
+		sc := &stageCut{cv: cv, prod: stageOfCluster[cv.prodStage], last: stageOfCluster[cv.lastConsum]}
+		if sc.prod != sc.last {
+			live = append(live, sc)
+		}
+	}
+
+	// Post-loop tail ops run on the single cell that computes every stage
+	// value they read.
+	tailStage := N - 1
+	tailStages := map[int]bool{}
+	for _, o := range pl.sh.tail {
+		for _, r := range o.Src {
+			for _, w := range pl.stageWriters(r) {
+				tailStages[stageOfCluster[pl.clusterOf[w]]] = true
+			}
+		}
+	}
+	if len(tailStages) > 1 {
+		return nil, fmt.Errorf("partition: post-loop code reads values from %d different stages", len(tailStages))
+	}
+	for st := range tailStages {
+		tailStage = st
+	}
+
+	// Scalar results live where their final value is computed.
+	tailWrites := map[ir.VReg]bool{}
+	for _, o := range pl.sh.tail {
+		if o.Dst != ir.NoReg {
+			tailWrites[o.Dst] = true
+		}
+	}
+	resultOwner := map[string]int{}
+	resultNeeds := make([]map[ir.VReg]bool, N)
+	for i := range resultNeeds {
+		resultNeeds[i] = map[ir.VReg]bool{}
+	}
+	for _, res := range pl.p.Results {
+		owner := 0
+		switch {
+		case tailWrites[res.Reg]:
+			owner = tailStage
+		default:
+			if sw := pl.stageWriters(res.Reg); len(sw) > 0 {
+				owner = stageOfCluster[pl.clusterOf[sw[len(sw)-1]]]
+			}
+		}
+		resultOwner[res.Name] = owner
+		resultNeeds[owner][res.Reg] = true
+	}
+
+	plan := &Plan{
+		Machines:    pl.machines,
+		ArrayOwner:  map[string]int{},
+		ResultOwner: resultOwner,
+		EstMII:      estMII,
+		Stages:      make([][]int, N),
+	}
+	start := 0
+	for s := 0; s < N; s++ {
+		frag, stagePos, err := pl.emitStage(s, start, ends[s], live, tailStage, resultNeeds[s], resultOwner)
+		if err != nil {
+			return nil, err
+		}
+		plan.Fragments = append(plan.Fragments, frag)
+		for _, pos := range stagePos {
+			plan.Stages[s] = append(plan.Stages[s], pl.sh.body[pos].ID)
+		}
+		start = ends[s] + 1
+	}
+	for s := 0; s < N-1; s++ {
+		w := 0
+		for _, sc := range live {
+			if sc.prod <= s && sc.last > s {
+				w++
+			}
+		}
+		plan.CutWidths = append(plan.CutWidths, w)
+	}
+
+	// Array ownership: the storing cell owns a stored array; a read-only
+	// array is owned by its lowest replica; untouched arrays ride on cell
+	// 0 so the verifier always finds an owner copy.
+	for _, a := range pl.p.Arrays {
+		owner := -1
+		for i, o := range pl.sh.body {
+			if o.Class == machine.ClassStore && o.Mem != nil && o.Mem.Array == a.Name {
+				owner = stageOfCluster[pl.clusterOf[i]]
+				break
+			}
+		}
+		if owner < 0 {
+			for s := 0; s < N; s++ {
+				if plan.Fragments[s].Array(a.Name) != nil {
+					owner = s
+					break
+				}
+			}
+		}
+		if owner < 0 {
+			owner = 0
+			ad := plan.Fragments[0].AddArray(a.Name, a.Kind, a.Size)
+			ad.InitF = append([]float64(nil), a.InitF...)
+			ad.InitI = append([]int64(nil), a.InitI...)
+		}
+		plan.ArrayOwner[a.Name] = owner
+	}
+	return plan, nil
+}
+
+// emitStage builds the program for one cell: replicated setup, the loop
+// with receives at the top and sends at the bottom of each iteration, the
+// tail when this cell owns it, and the cell's scalar results.  It returns
+// the fragment and the body positions of its stage-assigned ops.
+func (pl *planner) emitStage(s, ci0, ci1 int, live []*stageCut, tailStage int, extraNeeds map[ir.VReg]bool, resultOwner map[string]int) (*ir.Program, []int, error) {
+	sh := pl.sh
+	var ins, outs []*stageCut
+	for _, sc := range live {
+		if sc.prod < s && sc.last >= s {
+			ins = append(ins, sc)
+		}
+		if sc.prod <= s && sc.last > s {
+			outs = append(outs, sc)
+		}
+	}
+
+	inSet := map[int]bool{}
+	needed := map[ir.VReg]bool{}
+	var stagePos []int
+	for ci := ci0; ci <= ci1; ci++ {
+		for _, pos := range pl.clusters[ci] {
+			inSet[pos] = true
+			stagePos = append(stagePos, pos)
+			for _, r := range sh.body[pos].Src {
+				needed[r] = true
+			}
+		}
+	}
+	sort.Ints(stagePos)
+	if s == tailStage {
+		for _, o := range sh.tail {
+			for _, r := range o.Src {
+				needed[r] = true
+			}
+		}
+	}
+	for r := range extraNeeds {
+		needed[r] = true
+	}
+	if sh.loop.CountReg != ir.NoReg {
+		needed[sh.loop.CountReg] = true
+	}
+	pl.replClosure(needed, inSet)
+
+	// Setup closure, backwards: defs precede uses, so one reverse pass
+	// pulls in exactly the setup slice this cell needs.
+	inclSetup := make([]bool, len(sh.setup))
+	for k := len(sh.setup) - 1; k >= 0; k-- {
+		o := sh.setup[k]
+		if o.Dst != ir.NoReg && needed[o.Dst] {
+			inclSetup[k] = true
+			for _, r := range o.Src {
+				needed[r] = true
+			}
+		}
+	}
+
+	f := ir.NewProgram(fmt.Sprintf("%s.cell%d", pl.p.Name, s))
+	regMap := map[ir.VReg]ir.VReg{}
+	mapReg := func(r ir.VReg) ir.VReg {
+		if nr, ok := regMap[r]; ok {
+			return nr
+		}
+		nr := f.NewReg(pl.p.Kind(r))
+		regMap[r] = nr
+		return nr
+	}
+	cloneOp := func(o *ir.Op) *ir.Op {
+		c := f.NewOp(o.Class)
+		if o.Dst != ir.NoReg {
+			c.Dst = mapReg(o.Dst)
+		}
+		for _, r := range o.Src {
+			c.Src = append(c.Src, mapReg(r))
+		}
+		c.FImm, c.IImm = o.FImm, o.IImm
+		if o.Mem != nil {
+			mm := &ir.MemRef{Array: o.Mem.Array, Disp: o.Mem.Disp}
+			if o.Mem.Affine != nil {
+				aff := o.Mem.Affine.Clone()
+				if len(aff.Inv) > 0 {
+					inv := make(map[ir.VReg]int64, len(aff.Inv))
+					for r, coef := range aff.Inv {
+						inv[mapReg(r)] = coef
+					}
+					aff.Inv = inv
+				}
+				mm.Affine = aff
+			}
+			c.Mem = mm
+		}
+		if o.Mem != nil {
+			pl.copyArray(f, o.Mem.Array)
+		}
+		return c
+	}
+
+	for k, o := range sh.setup {
+		if inclSetup[k] {
+			f.Body.Stmts = append(f.Body.Stmts, &ir.OpStmt{Op: cloneOp(o)})
+		}
+	}
+
+	// Preserve the source loop ID so the cloned affine address forms
+	// (keyed by loop ID) stay meaningful inside the fragment.
+	for {
+		if f.NewLoopID() == sh.loop.ID {
+			break
+		}
+	}
+	nl := &ir.LoopStmt{
+		ID:          sh.loop.ID,
+		CountImm:    sh.loop.CountImm,
+		CountReg:    ir.NoReg,
+		NoPipeline:  sh.loop.NoPipeline,
+		Independent: sh.loop.Independent,
+		ForceUnroll: sh.loop.ForceUnroll,
+		Body:        &ir.Block{},
+	}
+	if sh.loop.CountReg != ir.NoReg {
+		nl.CountReg = mapReg(sh.loop.CountReg)
+	}
+	for _, sc := range ins {
+		recv := f.NewOp(machine.ClassRecv)
+		recv.Dst = mapReg(sc.cv.reg)
+		nl.Body.Stmts = append(nl.Body.Stmts, &ir.OpStmt{Op: recv})
+	}
+	for pos := range sh.body {
+		if inSet[pos] {
+			nl.Body.Stmts = append(nl.Body.Stmts, &ir.OpStmt{Op: cloneOp(sh.body[pos])})
+		}
+	}
+	for _, sc := range outs {
+		send := f.NewOp(machine.ClassSend)
+		send.Src = []ir.VReg{mapReg(sc.cv.reg)}
+		nl.Body.Stmts = append(nl.Body.Stmts, &ir.OpStmt{Op: send})
+	}
+	f.Body.Stmts = append(f.Body.Stmts, nl)
+
+	if s == tailStage {
+		for _, o := range sh.tail {
+			f.Body.Stmts = append(f.Body.Stmts, &ir.OpStmt{Op: cloneOp(o)})
+		}
+	}
+	for _, res := range pl.p.Results {
+		if resultOwner[res.Name] == s {
+			f.Results = append(f.Results, ir.ScalarResult{Name: res.Name, Reg: mapReg(res.Reg)})
+		}
+	}
+	if err := f.Validate(pl.machines[s]); err != nil {
+		return nil, nil, fmt.Errorf("partition: fragment for cell %d invalid: %w", s, err)
+	}
+	return f, stagePos, nil
+}
+
+// copyArray replicates a source array declaration (with initial contents)
+// into a fragment, once.
+func (pl *planner) copyArray(f *ir.Program, name string) {
+	if f.Array(name) != nil {
+		return
+	}
+	a := pl.p.Array(name)
+	if a == nil {
+		return
+	}
+	ad := f.AddArray(a.Name, a.Kind, a.Size)
+	ad.InitF = append([]float64(nil), a.InitF...)
+	ad.InitI = append([]int64(nil), a.InitI...)
+}

@@ -1,0 +1,610 @@
+// Package partition splits one W2 loop nest across the cells of a linear
+// Warp array.  Following the producer/consumer stage decomposition Lam
+// describes for the array level (§1: cells chained through bounded
+// queues) the planner cuts the innermost-loop dependence graph into N
+// forward stages, duplicates cheap integer address/counter arithmetic
+// into every cell that needs it, and wires the cut values through queue
+// Send/Receive pairs — so each fragment is an ordinary single-cell
+// program the existing software pipeliner compiles independently,
+// possibly for heterogeneous machines.
+//
+// Cuts only ever cross forward: every register value travelling between
+// stages flows from a lower-numbered cell to a higher-numbered one
+// within the same iteration, which is what makes the array deadlock-free
+// by construction (a send can stall on a full queue, but the consumer
+// downstream needs nothing from upstream to drain it).
+//
+// The stage balance objective is the array's throughput: the array runs
+// at the II of its slowest cell, so the planner minimizes the maximum
+// per-stage MII (resource and recurrence bounds from internal/depgraph,
+// including the queue-port cost of the inserted sends/receives) over all
+// contiguous splits of the stage clusters.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"softpipe/internal/depgraph"
+	"softpipe/internal/ir"
+	"softpipe/internal/machine"
+)
+
+// Plan is the result of partitioning: one fragment program per cell plus
+// the ownership maps the verifier needs to reassemble the observable
+// state of the array against the single-cell reference.
+type Plan struct {
+	// Fragments are the per-cell programs in array order (cell 0 sees the
+	// host input, the last cell produces the host output).
+	Fragments []*ir.Program
+	// Machines are the targets the fragments were planned against,
+	// parallel to Fragments.
+	Machines []*machine.Machine
+	// ArrayOwner maps each source array to the cell whose copy holds its
+	// final contents (the only cell storing to it; read-only arrays are
+	// replicated and owned by the lowest cell holding a copy).
+	ArrayOwner map[string]int
+	// ResultOwner maps each source scalar result to the cell that
+	// computes it.
+	ResultOwner map[string]int
+	// CutWidths[i] is the number of values crossing the channel from
+	// cell i to cell i+1 per iteration (len = cells-1).
+	CutWidths []int
+	// EstMII[i] is the planner's MII estimate for fragment i (resource +
+	// recurrence bound including inserted queue operations); the achieved
+	// II comes from actually compiling the fragment.
+	EstMII []int
+	// Stages[i] lists the source body operation IDs assigned to cell i
+	// (replicated integer ops appear in every cell that needs them and
+	// are not listed).
+	Stages [][]int
+}
+
+// Cells reports the array width of the plan.
+func (p *Plan) Cells() int { return len(p.Fragments) }
+
+// replicableClass reports op classes cheap enough to duplicate into any
+// cell that needs their value: pure integer/address arithmetic (loop
+// counters, strength-reduced pointers).  Everything else — float ops,
+// memory, queue ops, int values derived from floats — is assigned to
+// exactly one stage.
+func replicableClass(c machine.Class) bool {
+	switch c {
+	case machine.ClassIConst, machine.ClassIAdd, machine.ClassISub,
+		machine.ClassIMul, machine.ClassIMov, machine.ClassAdrAdd,
+		machine.ClassIShr, machine.ClassIAnd, machine.ClassICmp:
+		return true
+	}
+	return false
+}
+
+// shape is the program form the partitioner accepts: straight-line setup,
+// one innermost loop with a straight-line body, straight-line tail.
+type shape struct {
+	setup []*ir.Op
+	loop  *ir.LoopStmt
+	body  []*ir.Op
+	tail  []*ir.Op
+}
+
+func analyzeShape(p *ir.Program) (*shape, error) {
+	sh := &shape{}
+	for _, st := range p.Body.Stmts {
+		switch st := st.(type) {
+		case *ir.OpStmt:
+			if sh.loop == nil {
+				sh.setup = append(sh.setup, st.Op)
+			} else {
+				sh.tail = append(sh.tail, st.Op)
+			}
+		case *ir.LoopStmt:
+			if sh.loop != nil {
+				return nil, fmt.Errorf("partition: program has more than one top-level loop")
+			}
+			sh.loop = st
+		case *ir.IfStmt:
+			return nil, fmt.Errorf("partition: top-level conditionals are not supported")
+		}
+	}
+	if sh.loop == nil {
+		return nil, fmt.Errorf("partition: program has no loop to partition")
+	}
+	body, ok := sh.loop.Body.Ops()
+	if !ok {
+		return nil, fmt.Errorf("partition: loop body contains control flow (conditionals or nested loops)")
+	}
+	sh.body = body
+	for _, o := range sh.setup {
+		switch o.Class {
+		case machine.ClassRecv, machine.ClassSend:
+			return nil, fmt.Errorf("partition: queue operation outside the loop is not supported")
+		case machine.ClassStore:
+			return nil, fmt.Errorf("partition: store outside the loop is not supported")
+		}
+	}
+	for _, o := range sh.tail {
+		switch o.Class {
+		case machine.ClassRecv, machine.ClassSend:
+			return nil, fmt.Errorf("partition: queue operation outside the loop is not supported")
+		case machine.ClassStore:
+			return nil, fmt.Errorf("partition: store outside the loop is not supported")
+		}
+	}
+	return sh, nil
+}
+
+// cutValue is one register value crossing a stage boundary: produced by
+// the last body write in prodCluster, consumed by later clusters.
+type cutValue struct {
+	reg        ir.VReg
+	prodPos    int // position of the last body write (canonical order key)
+	prodStage  int
+	lastConsum int // highest stage consuming the value
+}
+
+// planner carries the working state of one Partition call.
+type planner struct {
+	p        *ir.Program
+	machines []*machine.Machine
+	sh       *shape
+	nodes    []*depgraph.Node
+	g        *depgraph.Graph
+
+	repl    []bool // body op index -> replicable
+	writers map[ir.VReg][]int
+
+	uf        []int // union-find over body op indices (stage ops only)
+	clusters  [][]int
+	clusterOf []int // body op index -> cluster index in topo order, -1 for replicable
+
+	recvCluster int // cluster holding the program's own Recv ops, -1 if none
+	sendCluster int // cluster holding the program's own Send ops, -1 if none
+}
+
+// Partition splits p across len(machines) cells.  machines[0] hosts the
+// first stage (fed by the host input), the last machine the final stage
+// (producing the host output).  A single machine yields the trivial
+// one-cell plan.
+func Partition(p *ir.Program, machines []*machine.Machine) (*Plan, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("partition: need at least one machine")
+	}
+	if len(machines) == 1 {
+		return trivialPlan(p, machines[0])
+	}
+	sh, err := analyzeShape(p)
+	if err != nil {
+		return nil, err
+	}
+	pl := &planner{p: p, machines: machines, sh: sh}
+	if err := pl.buildGraph(); err != nil {
+		return nil, err
+	}
+	pl.classify()
+	if err := pl.cluster(); err != nil {
+		return nil, err
+	}
+	cuts := pl.cutCandidates()
+	split, estMII, err := pl.bestSplit(cuts)
+	if err != nil {
+		return nil, err
+	}
+	return pl.emit(split, estMII, cuts)
+}
+
+// trivialPlan wraps the whole program as a one-cell array.
+func trivialPlan(p *ir.Program, m *machine.Machine) (*Plan, error) {
+	plan := &Plan{
+		Fragments:   []*ir.Program{p.Clone()},
+		Machines:    []*machine.Machine{m},
+		ArrayOwner:  map[string]int{},
+		ResultOwner: map[string]int{},
+		EstMII:      []int{0},
+		Stages:      [][]int{nil},
+	}
+	for _, a := range p.Arrays {
+		plan.ArrayOwner[a.Name] = 0
+	}
+	for _, r := range p.Results {
+		plan.ResultOwner[r.Name] = 0
+	}
+	return plan, nil
+}
+
+func (pl *planner) buildGraph() error {
+	pl.nodes = make([]*depgraph.Node, len(pl.sh.body))
+	for i, o := range pl.sh.body {
+		n, err := depgraph.NodeFromOp(pl.machines[0], o)
+		if err != nil {
+			return fmt.Errorf("partition: %w", err)
+		}
+		n.Index = i
+		pl.nodes[i] = n
+	}
+	pl.g = depgraph.BuildIndep(pl.nodes, pl.sh.loop.ID, pl.sh.loop.Independent)
+	pl.writers = map[ir.VReg][]int{}
+	for i, o := range pl.sh.body {
+		if o.Dst != ir.NoReg {
+			pl.writers[o.Dst] = append(pl.writers[o.Dst], i)
+		}
+	}
+	return nil
+}
+
+// classify marks the replicable integer ops: integer arithmetic whose
+// inputs come only from other replicable ops (or from the replicated
+// setup), and whose destination register is not also written by a
+// stage-assigned op.  Fixpoint demotion keeps the set closed.
+func (pl *planner) classify() {
+	body := pl.sh.body
+	pl.repl = make([]bool, len(body))
+	for i, o := range body {
+		pl.repl[i] = replicableClass(o.Class)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, o := range body {
+			if !pl.repl[i] {
+				continue
+			}
+			bad := false
+			for _, r := range o.Src {
+				for _, w := range pl.writers[r] {
+					if !pl.repl[w] {
+						bad = true
+					}
+				}
+			}
+			if o.Dst != ir.NoReg {
+				for _, w := range pl.writers[o.Dst] {
+					if !pl.repl[w] {
+						bad = true
+					}
+				}
+			}
+			if bad {
+				pl.repl[i] = false
+				changed = true
+			}
+		}
+	}
+}
+
+func (pl *planner) find(i int) int {
+	for pl.uf[i] != i {
+		pl.uf[i] = pl.uf[pl.uf[i]]
+		i = pl.uf[i]
+	}
+	return i
+}
+
+func (pl *planner) union(a, b int) bool {
+	ra, rb := pl.find(a), pl.find(b)
+	if ra == rb {
+		return false
+	}
+	pl.uf[ra] = rb
+	return true
+}
+
+// clusterAdj contracts the body dependence graph over the current
+// union-find roots: one deduplicated edge per ordered root pair, from
+// the omega=0 dependences between stage ops in different clusters.
+func (pl *planner) clusterAdj(stage func(int) bool) map[int][]int {
+	seen := map[[2]int]bool{}
+	adj := map[int][]int{}
+	for _, e := range pl.g.Edges {
+		if e.Omega != 0 || !stage(e.From) || !stage(e.To) {
+			continue
+		}
+		rf, rt := pl.find(e.From), pl.find(e.To)
+		if rf == rt || seen[[2]int{rf, rt}] {
+			continue
+		}
+		seen[[2]int{rf, rt}] = true
+		adj[rf] = append(adj[rf], rt)
+	}
+	return adj
+}
+
+// mergeClusterCycles unions every strongly connected component of the
+// contracted cluster graph (Tarjan).  Components are unique, so one
+// pass leaves the cluster graph acyclic.
+func (pl *planner) mergeClusterCycles(stage func(int) bool) {
+	rootSet := map[int]bool{}
+	for i := range pl.sh.body {
+		if stage(i) {
+			rootSet[pl.find(i)] = true
+		}
+	}
+	adj := pl.clusterAdj(stage)
+	index := map[int]int{}
+	low := map[int]int{}
+	onStack := map[int]bool{}
+	var stack []int
+	next := 0
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			for _, w := range comp[1:] {
+				pl.union(comp[0], w)
+			}
+		}
+	}
+	for r := range rootSet {
+		if _, ok := index[r]; !ok {
+			strong(r)
+		}
+	}
+}
+
+// cluster groups the stage-assigned ops into indivisible clusters and
+// orders them so every omega=0 flow edge points forward:
+//
+//   - recurrences: every dependence edge with omega>0 between stage ops
+//     stays within one cluster (cuts cannot carry values backward in
+//     iteration space);
+//   - memory ownership: all accesses to an array that is stored anywhere
+//     stay on one cell (there is one authoritative copy);
+//   - the program's own Recv ops form one cluster (pinned to cell 0,
+//     which holds the host channel), Sends likewise to the last cell;
+//   - register discipline: a value crossing a cut is the producer's
+//     end-of-iteration value, so a consumer reading a register before its
+//     last write — or any non-float value — must live with the writer.
+func (pl *planner) cluster() error {
+	body := pl.sh.body
+	pl.uf = make([]int, len(body))
+	for i := range pl.uf {
+		pl.uf[i] = i
+	}
+	stage := func(i int) bool { return !pl.repl[i] }
+
+	// Recurrences: omega>0 flow edges (a value crossing iterations) and
+	// omega>0 memory edges (Reg == NoReg; same array touched across
+	// iterations) between stage ops.  Register anti/output edges with
+	// omega>0 are naming artifacts a cut dissolves — the consumer cell
+	// keeps its own copy of the register, so the producer overwriting
+	// its copy next iteration constrains nothing.
+	for _, e := range pl.g.Edges {
+		if e.Omega > 0 && stage(e.From) && stage(e.To) &&
+			(e.Kind == depgraph.DepFlow || e.Reg == ir.NoReg) {
+			pl.union(e.From, e.To)
+		}
+	}
+	// One cluster per queue direction.
+	firstRecv, firstSend := -1, -1
+	for i, o := range body {
+		switch o.Class {
+		case machine.ClassRecv:
+			if firstRecv < 0 {
+				firstRecv = i
+			}
+			pl.union(firstRecv, i)
+		case machine.ClassSend:
+			if firstSend < 0 {
+				firstSend = i
+			}
+			pl.union(firstSend, i)
+		}
+	}
+	// Stored-array ownership.
+	touches := map[string][]int{}
+	stored := map[string]bool{}
+	for i, o := range body {
+		if o.Mem != nil {
+			touches[o.Mem.Array] = append(touches[o.Mem.Array], i)
+			if o.Class == machine.ClassStore {
+				stored[o.Mem.Array] = true
+			}
+		}
+	}
+	for name := range stored {
+		ops := touches[name]
+		for _, i := range ops[1:] {
+			pl.union(ops[0], i)
+		}
+	}
+	// Register discipline + forward orderability, to fixpoint: merging
+	// can introduce new violations of either rule.
+	for {
+		changed := false
+		for r, ws := range pl.writers {
+			var sw []int // stage writers
+			for _, w := range ws {
+				if stage(w) {
+					sw = append(sw, w)
+				}
+			}
+			if len(sw) == 0 {
+				continue
+			}
+			for _, w := range sw[1:] {
+				if pl.union(sw[0], w) {
+					changed = true
+				}
+			}
+			lastW := sw[len(sw)-1]
+			isFloat := pl.p.Kind(r) == ir.KindFloat
+			for i, o := range body {
+				if !stage(i) || pl.find(i) == pl.find(sw[0]) {
+					continue
+				}
+				reads := false
+				for _, s := range o.Src {
+					if s == r {
+						reads = true
+					}
+				}
+				if !reads {
+					continue
+				}
+				// Cross-cluster read: legal only as a forward cut of the
+				// end-of-iteration float value.
+				if !isFloat || i < lastW {
+					if pl.union(i, sw[0]) {
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Cluster-level cycles: a cut can only separate two clusters when
+	// every dependence between them points one way, so contract the
+	// clusters and union each strongly connected component of the
+	// contracted graph (e.g. the load and store of an owned array
+	// sandwiching a compute chain that reads the load and feeds the
+	// store).
+	pl.mergeClusterCycles(stage)
+
+	// Materialize clusters in topological order of the (now acyclic)
+	// cluster graph, breaking ties by first op position so the order is
+	// deterministic and as close to program order as the deps allow.
+	byRoot := map[int][]int{}
+	for i := range body {
+		if !stage(i) {
+			continue
+		}
+		byRoot[pl.find(i)] = append(byRoot[pl.find(i)], i)
+	}
+	if len(byRoot) == 0 {
+		return fmt.Errorf("partition: loop body has no partitionable operations")
+	}
+	adj := pl.clusterAdj(stage)
+	indeg := map[int]int{}
+	for r := range byRoot {
+		indeg[r] = 0
+	}
+	for _, outs := range adj {
+		for _, t := range outs {
+			indeg[t]++
+		}
+	}
+	var roots []int
+	done := map[int]bool{}
+	for len(roots) < len(byRoot) {
+		best := -1
+		for r := range byRoot {
+			if done[r] || indeg[r] != 0 {
+				continue
+			}
+			if best < 0 || byRoot[r][0] < byRoot[best][0] {
+				best = r
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("partition: internal error: cluster graph is cyclic")
+		}
+		done[best] = true
+		roots = append(roots, best)
+		for _, t := range adj[best] {
+			indeg[t]--
+		}
+	}
+	pl.clusterOf = make([]int, len(body))
+	for i := range pl.clusterOf {
+		pl.clusterOf[i] = -1
+	}
+	pl.recvCluster, pl.sendCluster = -1, -1
+	for ci, r := range roots {
+		ops := byRoot[r]
+		sort.Ints(ops)
+		pl.clusters = append(pl.clusters, ops)
+		for _, i := range ops {
+			pl.clusterOf[i] = ci
+		}
+		if firstRecv >= 0 && pl.find(firstRecv) == pl.find(r) {
+			pl.recvCluster = ci
+		}
+		if firstSend >= 0 && pl.find(firstSend) == pl.find(r) {
+			pl.sendCluster = ci
+		}
+	}
+	return nil
+}
+
+// cutCandidates enumerates the register values that may cross stage
+// boundaries: float registers written by one cluster and read by later
+// clusters (after the last write, guaranteed by the cluster pass).
+// prodStage/lastConsum are filled in per split; here they hold cluster
+// indices.
+func (pl *planner) cutCandidates() []*cutValue {
+	body := pl.sh.body
+	seen := map[ir.VReg]*cutValue{}
+	var cuts []*cutValue
+	for i, o := range body {
+		if pl.clusterOf[i] < 0 {
+			continue
+		}
+		for _, r := range o.Src {
+			sw := pl.stageWriters(r)
+			if len(sw) == 0 {
+				continue
+			}
+			prodCl := pl.clusterOf[sw[len(sw)-1]]
+			if prodCl == pl.clusterOf[i] {
+				continue
+			}
+			cv := seen[r]
+			if cv == nil {
+				cv = &cutValue{reg: r, prodPos: sw[len(sw)-1], prodStage: prodCl, lastConsum: pl.clusterOf[i]}
+				seen[r] = cv
+				cuts = append(cuts, cv)
+			}
+			if pl.clusterOf[i] > cv.lastConsum {
+				cv.lastConsum = pl.clusterOf[i]
+			}
+		}
+	}
+	sort.Slice(cuts, func(a, b int) bool { return cuts[a].prodPos < cuts[b].prodPos })
+	return cuts
+}
+
+func (pl *planner) stageWriters(r ir.VReg) []int {
+	var sw []int
+	for _, w := range pl.writers[r] {
+		if !pl.repl[w] {
+			sw = append(sw, w)
+		}
+	}
+	return sw
+}
+
+// channelWidth counts the values crossing the boundary before cluster b
+// (producer cluster < b, last consumer cluster >= b).
+func channelWidth(cuts []*cutValue, b int) int {
+	n := 0
+	for _, c := range cuts {
+		if c.prodStage < b && c.lastConsum >= b {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,307 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"softpipe/internal/codegen"
+	"softpipe/internal/ir"
+	"softpipe/internal/lang"
+	"softpipe/internal/machine"
+	"softpipe/internal/sim"
+	"softpipe/internal/verify"
+	"softpipe/internal/vliw"
+	"softpipe/internal/workloads"
+)
+
+// fill presets a float array deterministically (mirrors the Livermore
+// harness's initialization).
+func fill(p *ir.Program, name string, lo, hi float64) {
+	a := p.Array(name)
+	a.InitF = make([]float64, a.Size)
+	state := uint64(12345)
+	for i := range a.InitF {
+		state = state*6364136223846793005 + 1442695040888963407
+		frac := float64(state>>11) / float64(1<<53)
+		a.InitF[i] = lo + (hi-lo)*frac
+	}
+}
+
+func buildSaxpy(t *testing.T) *ir.Program {
+	t.Helper()
+	p, err := lang.Compile(`program saxpy;
+const n = 200;
+var x, y: array [0..199] of real;
+    a: real;
+    i: int;
+begin
+  a := 3.0;
+  for i := 0 to n-1 do
+    y[i] := y[i] + a * x[i];
+end.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(p, "x", -1, 1)
+	fill(p, "y", 0, 2)
+	return p
+}
+
+func warps(n int) []*machine.Machine {
+	ms := make([]*machine.Machine, n)
+	for i := range ms {
+		ms[i] = machine.Warp()
+	}
+	return ms
+}
+
+// chainInterp runs the fragments back to back through the IR interpreter,
+// feeding each cell's Output into the next cell's Input, and returns the
+// per-cell states plus the final host output.
+func chainInterp(t *testing.T, plan *Plan, input []float64) ([]*ir.State, []float64) {
+	t.Helper()
+	states := make([]*ir.State, len(plan.Fragments))
+	tape := input
+	for i, f := range plan.Fragments {
+		itp := ir.NewInterp(f)
+		itp.Input = tape
+		st, err := itp.Run()
+		if err != nil {
+			t.Fatalf("cell %d interp: %v", i, err)
+		}
+		states[i] = st
+		tape = itp.Output
+	}
+	return states, tape
+}
+
+// checkAgainstReference compares the merged per-cell states against the
+// single-cell reference run of the source program.
+func checkAgainstReference(t *testing.T, src *ir.Program, plan *Plan, states []*ir.State, out, refOut []float64) {
+	t.Helper()
+	ref, err := ir.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range ref.FloatArrays {
+		owner := plan.ArrayOwner[name]
+		got := states[owner].FloatArrays[name]
+		if len(got) != len(want) {
+			t.Fatalf("array %q: owner cell %d has %d words, want %d", name, owner, len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("array %q[%d]: cell %d has %v, reference %v", name, i, owner, got[i], want[i])
+			}
+		}
+	}
+	for name, want := range ref.Scalars {
+		owner := plan.ResultOwner[name]
+		got, ok := states[owner].Scalars[name]
+		if !ok {
+			t.Fatalf("result %q missing on owner cell %d", name, owner)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("result %q: cell %d has %v, reference %v", name, owner, got, want)
+		}
+	}
+	if len(out) != len(refOut) {
+		t.Fatalf("host output: %d words, reference %d", len(out), len(refOut))
+	}
+	for i := range out {
+		if math.Float64bits(out[i]) != math.Float64bits(refOut[i]) {
+			t.Fatalf("host output[%d]: %v, reference %v", i, out[i], refOut[i])
+		}
+	}
+}
+
+// compileAndRunArray compiles each fragment and runs the simulated array,
+// returning per-cell states, host output, and the array stats.
+func compileAndRunArray(t *testing.T, plan *Plan, input []float64) ([]*ir.State, []float64, sim.Stats) {
+	t.Helper()
+	cells := make([]sim.Cell, len(plan.Fragments))
+	for i, f := range plan.Fragments {
+		obj, _, err := codegen.Compile(f, plan.Machines[i], codegen.Options{})
+		if err != nil {
+			t.Fatalf("cell %d compile: %v", i, err)
+		}
+		cells[i] = sim.New(obj, plan.Machines[i])
+	}
+	arr := sim.NewArrayCells(cells, input)
+	out, _, err := arr.Run()
+	if err != nil {
+		t.Fatalf("array run: %v", err)
+	}
+	states := make([]*ir.State, len(cells))
+	for i, c := range cells {
+		states[i] = c.State()
+	}
+	return states, out, arr.Stats()
+}
+
+func TestPartitionSaxpyTwoCells(t *testing.T) {
+	p := buildSaxpy(t)
+	plan, err := Partition(p, warps(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cells() != 2 {
+		t.Fatalf("got %d cells", plan.Cells())
+	}
+	refItp := ir.NewInterp(p)
+	if _, err := refItp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	states, out := chainInterp(t, plan, nil)
+	checkAgainstReference(t, p, plan, states, out, refItp.Output)
+
+	simStates, simOut, _ := compileAndRunArray(t, plan, nil)
+	checkAgainstReference(t, p, plan, simStates, simOut, refItp.Output)
+}
+
+func TestPartitionLivermoreWidths(t *testing.T) {
+	for _, k := range workloads.Livermore() {
+		for _, n := range []int{2, 4} {
+			p, err := k.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := Partition(p, warps(n))
+			if err != nil {
+				// Multi-loop / conditional kernels are out of scope.
+				t.Logf("k%d @%d: %v", k.ID, n, err)
+				continue
+			}
+			refItp := ir.NewInterp(p)
+			if _, err := refItp.Run(); err != nil {
+				t.Fatal(err)
+			}
+			states, out := chainInterp(t, plan, nil)
+			checkAgainstReference(t, p, plan, states, out, refItp.Output)
+			simStates, simOut, _ := compileAndRunArray(t, plan, nil)
+			checkAgainstReference(t, p, plan, simStates, simOut, refItp.Output)
+		}
+	}
+}
+
+// TestPartitionSpeedup is the ISSUE acceptance criterion: a two-cell
+// partition of a Livermore kernel must beat the single cell by >= 1.4x
+// in wall-clock cycles (steady-state throughput gain 1.5x, minus skew).
+func TestPartitionSpeedup(t *testing.T) {
+	var best float64
+	for _, k := range workloads.Livermore() {
+		p, err := k.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := Partition(p, warps(2))
+		if err != nil {
+			continue
+		}
+		obj, _, err := codegen.Compile(p, machine.Warp(), codegen.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, single, err := sim.Run(obj, machine.Warp())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, arrStats := compileAndRunArray(t, plan, nil)
+		if arrStats.Cycles == 0 {
+			continue
+		}
+		sp := float64(single.Cycles) / float64(arrStats.Cycles)
+		t.Logf("k%d: single %d cycles, 2-cell array %d cycles (%.2fx)", k.ID, single.Cycles, arrStats.Cycles, sp)
+		if sp > best {
+			best = sp
+		}
+	}
+	if best < 1.4 {
+		t.Fatalf("best 2-cell speedup %.2fx, want >= 1.4x on at least one kernel", best)
+	}
+}
+
+// TestPartitionVerifyArray runs the extended chained-provenance
+// equivalence check over every partitionable Livermore kernel plus
+// saxpy: per-cell object correctness, owner-cell dataflow, and host
+// output, all against the single-cell reference.
+func TestPartitionVerifyArray(t *testing.T) {
+	progs := []*ir.Program{buildSaxpy(t)}
+	for _, k := range workloads.Livermore() {
+		p, err := k.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	verified := 0
+	for _, p := range progs {
+		plan, err := Partition(p, warps(2))
+		if err != nil {
+			continue
+		}
+		objs := make([]*vliw.Program, plan.Cells())
+		for i, f := range plan.Fragments {
+			obj, _, err := codegen.Compile(f, plan.Machines[i], codegen.Options{})
+			if err != nil {
+				t.Fatalf("%s cell %d compile: %v", p.Name, i, err)
+			}
+			objs[i] = obj
+		}
+		ap := verify.ArrayPlan{Fragments: plan.Fragments, ArrayOwner: plan.ArrayOwner, ResultOwner: plan.ResultOwner}
+		if err := verify.Array(p, ap, objs, plan.Machines, verify.Options{}); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		verified++
+
+		// Negative path: objects that don't realize their fragments
+		// (here: cells swapped) must be caught.
+		swapped := []*vliw.Program{objs[1], objs[0]}
+		if err := verify.Array(p, ap, swapped, plan.Machines, verify.Options{}); err == nil {
+			t.Fatalf("%s: swapped cell objects not detected", p.Name)
+		}
+	}
+	if verified < 5 {
+		t.Fatalf("only %d programs verified; expected the bulk of the corpus", verified)
+	}
+}
+
+func TestPartitionRejectsUnsupportedShapes(t *testing.T) {
+	multi, err := lang.Compile(`program two;
+const n = 8;
+var a: array [0..7] of real; i: int;
+begin
+  for i := 0 to n-1 do a[i] := a[i] + 1.0;
+  for i := 0 to n-1 do a[i] := a[i] * 2.0;
+end.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Partition(multi, warps(2)); err == nil {
+		t.Fatal("expected error for two top-level loops")
+	}
+}
+
+func TestPartitionSingleCellIsClone(t *testing.T) {
+	p := buildSaxpy(t)
+	plan, err := Partition(p, warps(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ir.Run(plan.Fragments[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ir.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range ref.FloatArrays {
+		got := st.FloatArrays[name]
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("array %q[%d] differs", name, i)
+			}
+		}
+	}
+}

@@ -322,7 +322,6 @@ func copyCost(p *Plan, kind func(ir.VReg) ir.Kind) (cf, ci int) {
 	return
 }
 
-
 func planWith(nodes []*depgraph.Node, full *depgraph.Graph, expanded map[ir.VReg]bool, m *machine.Machine, opts Options) (*Plan, error) {
 	g := full.Filter(expanded)
 

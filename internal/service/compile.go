@@ -206,7 +206,28 @@ func validateArtifact(_ cache.Key, data []byte) error {
 		return fmt.Errorf("undecodable artifact: %w", err)
 	}
 	if a.Binary == nil {
-		return errors.New("artifact has no binary")
+		// Partitioned compiles cache an arrayArtifact under the same
+		// store; it carries per-cell binaries instead of one.
+		var aa arrayArtifact
+		if err := json.Unmarshal(data, &aa); err != nil || len(aa.Binaries) == 0 {
+			return errors.New("artifact has no binary")
+		}
+		m, _, err := resolveMachine(aa.MachineName)
+		if err != nil {
+			return err
+		}
+		if fp := m.Fingerprint(); fp != aa.MachineFP {
+			return fmt.Errorf("machine %q fingerprint changed (%s != %s)", aa.MachineName, fp, aa.MachineFP)
+		}
+		for i, bin := range aa.Binaries {
+			if bin == nil {
+				return fmt.Errorf("array artifact cell %d has no binary", i)
+			}
+			if err := verify.Static(bin, m); err != nil {
+				return fmt.Errorf("array artifact cell %d: %w", i, err)
+			}
+		}
+		return nil
 	}
 	m, _, err := resolveMachine(a.MachineName)
 	if err != nil {

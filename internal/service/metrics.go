@@ -113,6 +113,15 @@ type Metrics struct {
 		Bytes       int64   `json:"bytes"`
 		Entries     int64   `json:"entries"`
 	} `json:"cache"`
+	// Array aggregates partitioned /run traffic: runs served, cells
+	// simulated, total stall cycles, and the worst input-queue
+	// high-water mark any cell has reached.
+	Array struct {
+		Runs        int64 `json:"runs"`
+		Cells       int64 `json:"cells"`
+		StallCycles int64 `json:"stall_cycles"`
+		MaxInQueue  int64 `json:"max_in_queue"`
+	} `json:"array"`
 	// Fabric is present only on fleet members: per-peer breaker state
 	// and health, forward/hedge/fallback counters.
 	Fabric        *fabric.Stats `json:"fabric,omitempty"`
@@ -151,6 +160,10 @@ func (s *Server) metrics() Metrics {
 	m.Cache.RemoteHits = cs.RemoteHits
 	m.Cache.Bytes = cs.Bytes
 	m.Cache.Entries = cs.Entries
+	m.Array.Runs = s.arrRuns.Load()
+	m.Array.Cells = s.arrCells.Load()
+	m.Array.StallCycles = s.arrStalls.Load()
+	m.Array.MaxInQueue = s.arrMaxQueue.Load()
 	m.Fabric = s.FabricStats()
 	m.FallbackLocal = s.fallbacks.Load()
 	m.Latency.Compile = s.latCompile.summary()
@@ -162,4 +175,20 @@ func (s *Server) metrics() Metrics {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, http.StatusOK, s.metrics())
+}
+
+// noteArrayRun folds one partitioned run's per-cell stats into the
+// /metrics aggregates.
+func (s *Server) noteArrayRun(cells []CellRunStats) {
+	s.arrRuns.Add(1)
+	s.arrCells.Add(int64(len(cells)))
+	for _, c := range cells {
+		s.arrStalls.Add(c.StallCycles)
+		for {
+			cur := s.arrMaxQueue.Load()
+			if int64(c.MaxInQueue) <= cur || s.arrMaxQueue.CompareAndSwap(cur, int64(c.MaxInQueue)) {
+				break
+			}
+		}
+	}
 }

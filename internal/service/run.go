@@ -9,10 +9,12 @@ import (
 	"net/http"
 	"time"
 
+	"softpipe"
 	"softpipe/internal/cache"
 	"softpipe/internal/ir"
 	"softpipe/internal/sim"
 	"softpipe/internal/sim/compiled"
+	"softpipe/internal/vliw"
 )
 
 // RunRequest is the body of POST /run.  Provide either Source (compiled
@@ -27,6 +29,12 @@ type RunRequest struct {
 	// many cells, with Input preloaded on the first cell's channel.
 	Cells int       `json:"cells,omitempty"`
 	Input []float64 `json:"input,omitempty"`
+	// Partition, with Cells > 1, auto-partitions the program across the
+	// cells (one pipeline-stage fragment per cell wired by queue cuts,
+	// see internal/partition) instead of replicating it.  Requires
+	// Source: a cached single-cell artifact cannot be re-cut.  Per-cell
+	// II and stall statistics land in RunResponse.CellStats.
+	Partition bool `json:"partition,omitempty"`
 	// Engine selects the simulator implementation: "" or "interp" for
 	// the reference interpreter, "compiled" for the closure-specializing
 	// engine (bit-identical observable state, ~2× faster on pipelined
@@ -119,6 +127,22 @@ type LaneResponse struct {
 	Error   string               `json:"error,omitempty"`
 }
 
+// CellRunStats is one cell's row in a partitioned array run: the
+// scheduled initiation interval of its fragment plus the runtime
+// counters showing whether the partition is balanced.
+type CellRunStats struct {
+	Cell int `json:"cell"`
+	// II is the fragment's scheduled initiation interval; the slowest
+	// cell paces the whole array.
+	II int `json:"ii"`
+	// EstMII is the planner's pre-schedule balance estimate.
+	EstMII int `json:"est_mii,omitempty"`
+	// StallCycles counts global cycles the cell spent blocked on a queue
+	// operation; MaxInQueue is the input queue's high-water occupancy.
+	StallCycles int64 `json:"stall_cycles"`
+	MaxInQueue  int   `json:"max_in_queue"`
+}
+
 // RunResponse is the body of a successful POST /run.
 type RunResponse struct {
 	Key    string  `json:"key"`
@@ -136,7 +160,22 @@ type RunResponse struct {
 	// load harness asserts on).  Cycles/Flops above are lane totals.
 	Lanes           []LaneResponse `json:"lanes,omitempty"`
 	BatchRunsPerSec float64        `json:"batch_runs_per_sec,omitempty"`
-	ElapsedMS       float64        `json:"elapsed_ms"`
+	// Partitioned runs: per-cell schedule and stall statistics, plus the
+	// values-per-iteration width of each inter-cell queue cut.
+	CellStats []CellRunStats `json:"cell_stats,omitempty"`
+	CutWidths []int          `json:"cut_widths,omitempty"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
+// canonEngine validates and canonicalizes a request's engine name.
+func canonEngine(name string) (string, error) {
+	switch name {
+	case "", "interp":
+		return "interp", nil
+	case "compiled":
+		return "compiled", nil
+	}
+	return "", fmt.Errorf("unknown engine %q (want interp or compiled)", name)
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -148,6 +187,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancel()
+
+	if req.Partition {
+		s.handleRunPartitioned(ctx, w, &req, t0)
+		return
+	}
 
 	key, data, hit, err := s.artifactFor(ctx, &req)
 	if err != nil {
@@ -165,13 +209,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	eng := req.Engine
-	switch eng {
-	case "", "interp":
-		eng = "interp"
-	case "compiled":
-	default:
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown engine %q (want interp or compiled)", req.Engine))
+	eng, err := canonEngine(req.Engine)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	lanes := req.Batch
@@ -317,6 +357,151 @@ func (s *Server) artifactFor(ctx context.Context, req *RunRequest) (cache.Key, [
 		return key, nil, false, &requestError{http.StatusBadRequest, errors.New("run request needs source or key")}
 	}
 	return s.compileCached(ctx, req.Source, req.Machine, req.Options, nil)
+}
+
+// arrayArtifact is the cached value of a partitioned compile: one
+// binary per cell plus the plan facts /run reports back.  It is keyed
+// alongside single-cell artifacts (same canonical source + machine
+// fingerprint + options string) with the cell count appended, so
+// requests differing only in width never share an artifact.
+type arrayArtifact struct {
+	MachineName string          `json:"machine"`
+	MachineFP   string          `json:"machine_fp"`
+	Binaries    []*vliw.Program `json:"binaries"`
+	CellII      []int           `json:"cell_ii"`
+	EstMII      []int           `json:"est_mii"`
+	CutWidths   []int           `json:"cut_widths,omitempty"`
+	Warnings    []string        `json:"capacity_warnings,omitempty"`
+}
+
+// partitionCached canonicalizes, keys (with the cell count), and
+// partition-compiles through the cache.  Partitioned fills always
+// compile locally: the fabric's forward path reproduces single-cell
+// artifacts from source and would cache the wrong shape for this key.
+func (s *Server) partitionCached(ctx context.Context, src, machineName string, opts CompileOptions, cells int) (key cache.Key, data []byte, hit bool, err error) {
+	canon, err := canonicalSource(src)
+	if err != nil {
+		return key, nil, false, &requestError{http.StatusUnprocessableEntity, err}
+	}
+	m, mname, err := resolveMachine(machineName)
+	if err != nil {
+		return key, nil, false, &requestError{http.StatusBadRequest, err}
+	}
+	if err := opts.validate(); err != nil {
+		return key, nil, false, &requestError{http.StatusBadRequest, err}
+	}
+	key = cache.KeyOf(canon, m.Fingerprint(), fmt.Sprintf("%s;cells=%d", opts.optionsKey(), cells))
+	data, hit, err = s.cache.GetOrFill(ctx, key, func() ([]byte, bool, error) {
+		if s.compileHook != nil {
+			s.compileHook()
+		}
+		ao, err := softpipe.CompileSourcePartitioned(canon, softpipe.Machines(m, cells), opts.lower(ctx))
+		if err != nil {
+			return nil, false, err
+		}
+		a := arrayArtifact{
+			MachineName: mname,
+			MachineFP:   m.Fingerprint(),
+			CellII:      ao.CellII(),
+			EstMII:      ao.Plan.EstMII,
+			CutWidths:   ao.Plan.CutWidths,
+			Warnings:    ao.CapacityWarnings,
+		}
+		for _, c := range ao.Cells {
+			a.Binaries = append(a.Binaries, c.Binary)
+		}
+		out, err := json.Marshal(a)
+		return out, true, err
+	})
+	if err != nil {
+		return key, nil, false, classifyCompileErr(err)
+	}
+	return key, data, hit, nil
+}
+
+// handleRunPartitioned is POST /run with partition=true: compile the
+// source as an auto-partitioned array (through the cache), run it on
+// the selected engine, and report per-cell II/stall/occupancy stats.
+func (s *Server) handleRunPartitioned(ctx context.Context, w http.ResponseWriter, req *RunRequest, t0 time.Time) {
+	if req.Cells < 2 {
+		s.fail(w, http.StatusBadRequest, errors.New("partition needs cells >= 2"))
+		return
+	}
+	if req.Batch > 0 || len(req.BatchInputs) > 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("partition and batch modes are exclusive"))
+		return
+	}
+	if req.Source == "" {
+		s.fail(w, http.StatusBadRequest, errors.New("partitioned runs need source (a single-cell artifact key cannot be re-cut)"))
+		return
+	}
+	eng, err := canonEngine(req.Engine)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	key, data, hit, err := s.partitionCached(ctx, req.Source, req.Machine, req.Options, req.Cells)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	var a arrayArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		s.fail(w, http.StatusInternalServerError, fmt.Errorf("corrupt cached artifact: %w", err))
+		return
+	}
+	m, _, err := resolveMachine(a.MachineName)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	cells := make([]sim.Cell, len(a.Binaries))
+	for i, bin := range a.Binaries {
+		if eng == "compiled" {
+			cp, err := compiled.Build(bin, m)
+			if err != nil {
+				s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("cell %d: %w", i, err))
+				return
+			}
+			cells[i] = compiled.NewCell(cp)
+		} else {
+			cells[i] = sim.New(bin, m)
+		}
+	}
+	arr := sim.NewArrayCells(cells, req.Input)
+	arr.Ctx = ctx
+	out, last, err := arr.Run()
+	if err != nil {
+		s.writeRequestError(w, classifyRunErr(err))
+		return
+	}
+	st := arr.Stats()
+	resp := RunResponse{
+		Key:       key.String(),
+		Cached:    hit,
+		Engine:    eng,
+		Cycles:    st.Cycles,
+		Flops:     st.Flops,
+		MFLOPS:    st.MFLOPS(m, 1),
+		Output:    toJSONFloats(out),
+		CutWidths: a.CutWidths,
+	}
+	if last != nil {
+		resp.Scalars = toJSONScalars(last.Scalars)
+	}
+	for i, cm := range arr.Metrics() {
+		cs := CellRunStats{Cell: i, StallCycles: cm.StallCycles, MaxInQueue: cm.MaxInQueue}
+		if i < len(a.CellII) {
+			cs.II = a.CellII[i]
+		}
+		if i < len(a.EstMII) {
+			cs.EstMII = a.EstMII[i]
+		}
+		resp.CellStats = append(resp.CellStats, cs)
+	}
+	s.noteArrayRun(resp.CellStats)
+	resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1e3
+	s.reply(w, http.StatusOK, resp)
 }
 
 // classifyRunErr maps simulator failures: deadline → 504, deadlock or

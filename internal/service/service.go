@@ -93,6 +93,12 @@ type Server struct {
 	panics      atomic.Int64
 	fallbacks   atomic.Int64 // local compiles of keys another node owns
 
+	// Partitioned-array /run aggregates (see noteArrayRun).
+	arrRuns     atomic.Int64
+	arrCells    atomic.Int64
+	arrStalls   atomic.Int64
+	arrMaxQueue atomic.Int64
+
 	// ridPrefix + ridSeq generate request IDs for requests that arrive
 	// without one; retrySeq + retryOffset drive the jittered Retry-After
 	// hints (see retryAfterMS).

@@ -22,13 +22,37 @@ type Array struct {
 	Cells []Cell
 	// MaxCycles bounds the run; 0 picks a generous default.
 	MaxCycles int64
+	// HostQueueBudget bounds the unbounded host collection queue: a
+	// partition bug that sends forever would otherwise grow it without
+	// limit (one word per cycle for up to MaxCycles cycles) long before
+	// the cycle bound fires.  0 derives a budget from MaxCycles.
+	HostQueueBudget int
 	// Ctx, when non-nil, is polled every few thousand global cycles; a
 	// canceled or deadlined context aborts Run with ctx.Err() wrapped.
 	Ctx context.Context
 
-	queues []*Queue
-	cycles int64
+	queues  []*Queue
+	cycles  int64
+	metrics []CellMetrics
 }
+
+// CellMetrics is one cell's observability counters from an array run:
+// how long it sat blocked on a queue, and how deep its input channel
+// ever got.  A well-balanced partition shows near-zero StallCycles
+// outside the setup skew (Lam §4.1: "these programs never stall") and
+// shallow queues; a slow cell shows up as upstream stalls and a full
+// input queue.
+type CellMetrics struct {
+	// StallCycles counts global cycles the cell spent blocked on a
+	// queue operation (receive on empty, send on full).
+	StallCycles int64
+	// MaxInQueue is the high-water occupancy of the cell's input queue.
+	MaxInQueue int
+}
+
+// Metrics returns the per-cell counters accumulated by Run, parallel
+// to Cells.
+func (a *Array) Metrics() []CellMetrics { return a.metrics }
 
 // QueueCapacity matches the Warp cell's 512-word channel queues.
 const QueueCapacity = 512
@@ -62,6 +86,7 @@ func NewArrayCells(cells []Cell, input []float64) *Array {
 		c.SetQueues(a.queues[i], a.queues[i+1])
 		a.Cells = append(a.Cells, c)
 	}
+	a.metrics = make([]CellMetrics, len(cells))
 	return a
 }
 
@@ -89,6 +114,17 @@ func (a *Array) Run() ([]float64, *ir.State, error) {
 	if max == 0 {
 		max = 200_000_000
 	}
+	// The collection queue receives at most one word per global cycle,
+	// so max cycles of runaway sending is also its worst-case footprint;
+	// budget a fraction of that, floored so legitimate output fits.
+	budget := a.HostQueueBudget
+	if budget == 0 {
+		budget = int(max / 16)
+		if budget < 1<<16 {
+			budget = 1 << 16
+		}
+	}
+	hostQ := a.queues[len(a.Cells)]
 	for a.cycles = 0; ; a.cycles++ {
 		if a.cycles >= max {
 			return nil, nil, fmt.Errorf("sim: array exceeded %d cycles", max)
@@ -97,6 +133,10 @@ func (a *Array) Run() ([]float64, *ir.State, error) {
 			if err := a.Ctx.Err(); err != nil {
 				return nil, nil, fmt.Errorf("sim: array run aborted at cycle %d: %w", a.cycles, err)
 			}
+		}
+		if hostQ.Len() > budget {
+			return nil, nil, fmt.Errorf("sim: host collection queue exceeded its %d-word budget at cycle %d (runaway producer): %s",
+				budget, a.cycles, a.describeStalls())
 		}
 		allHalted := true
 		progress := false
@@ -109,8 +149,15 @@ func (a *Array) Run() ([]float64, *ir.State, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("cell %d: %w", ci, err)
 			}
-			if !stalled {
+			if stalled {
+				a.metrics[ci].StallCycles++
+			} else {
 				progress = true
+			}
+		}
+		for ci := range a.Cells {
+			if n := a.queues[ci].Len(); n > a.metrics[ci].MaxInQueue {
+				a.metrics[ci].MaxInQueue = n
 			}
 		}
 		if allHalted {

@@ -43,6 +43,10 @@ type refExec struct {
 	memT map[string][]termID
 
 	input []float64
+	// inT, when non-nil, carries a caller-supplied provenance term per
+	// input word (an upstream cell's output terms when verifying a
+	// partitioned array); nil means fresh input leaves.
+	inT   []termID
 	inPos int
 	outV  []float64
 	outT  []termID
@@ -52,6 +56,12 @@ type refExec struct {
 }
 
 func runRef(p *ir.Program, itn *interner, input []float64, maxSteps int64) (*refResult, error) {
+	return runRefTape(p, itn, input, nil, maxSteps)
+}
+
+// runRefTape is runRef with an explicit provenance term per input word;
+// a nil inT mints fresh input leaves.
+func runRefTape(p *ir.Program, itn *interner, input []float64, inT []termID, maxSteps int64) (*refResult, error) {
 	n := p.NumRegs()
 	r := &refExec{
 		p:        p,
@@ -64,6 +74,7 @@ func runRef(p *ir.Program, itn *interner, input []float64, maxSteps int64) (*ref
 		memI:     map[string][]int64{},
 		memT:     map[string][]termID{},
 		input:    input,
+		inT:      inT,
 		maxSteps: maxSteps,
 	}
 	zf, zi := itn.zero(true), itn.zero(false)
@@ -194,7 +205,11 @@ func (r *refExec) op(o *ir.Op) error {
 		if r.inPos >= len(r.input) {
 			return fmt.Errorf("reference: receive beyond end of input (op %d)", o.ID)
 		}
-		setF(r.input[r.inPos], itn.input(r.inPos))
+		t := itn.input(r.inPos)
+		if r.inT != nil {
+			t = r.inT[r.inPos]
+		}
+		setF(r.input[r.inPos], t)
 		r.inPos++
 	case machine.ClassSend:
 		r.outV = append(r.outV, r.fv[o.Src[0]])

@@ -74,6 +74,9 @@ type shadowExec struct {
 	wbStampI []int64
 
 	input []float64
+	// inT, when non-nil, carries a caller-supplied provenance term per
+	// input word (chained array verification); nil mints input leaves.
+	inT   []termID
 	inPos int
 	outV  []float64
 	outT  []termID
@@ -84,6 +87,12 @@ type shadowExec struct {
 }
 
 func runShadow(p *vliw.Program, m *machine.Machine, itn *interner, input []float64, maxCycles int64) (*shadowResult, error) {
+	return runShadowTape(p, m, itn, input, nil, maxCycles)
+}
+
+// runShadowTape is runShadow with an explicit provenance term per input
+// word; a nil inT mints fresh input leaves.
+func runShadowTape(p *vliw.Program, m *machine.Machine, itn *interner, input []float64, inT []termID, maxCycles int64) (*shadowResult, error) {
 	maxLat := 1
 	for c := machine.Class(0); c < machine.Class(machine.NumClasses()); c++ {
 		if d := m.Desc(c); d != nil && d.Latency > maxLat {
@@ -103,6 +112,7 @@ func runShadow(p *vliw.Program, m *machine.Machine, itn *interner, input []float
 		wbStampF: make([]int64, p.NumFRegs),
 		wbStampI: make([]int64, p.NumIRegs),
 		input:    input,
+		inT:      inT,
 	}
 	zf, zi := itn.zero(true), itn.zero(false)
 	for i := range s.ft {
@@ -312,7 +322,11 @@ func (s *shadowExec) issue(pc int, t int64) (next int, halted bool, err error) {
 			if s.inPos >= len(s.input) {
 				return 0, false, fmt.Errorf("shadow: @%d: receive beyond end of input tape", pc)
 			}
-			err = wf(s.input[s.inPos], itn.input(s.inPos))
+			tm := itn.input(s.inPos)
+			if s.inT != nil {
+				tm = s.inT[s.inPos]
+			}
+			err = wf(s.input[s.inPos], tm)
 			s.inPos++
 		case machine.ClassSend:
 			var a float64

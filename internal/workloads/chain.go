@@ -1,0 +1,83 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softpipe/internal/ir"
+)
+
+// RandomChainProgram generates a deterministic random program shaped
+// for the array partitioner (internal/partition): one top-level loop
+// whose body is a multi-statement producer/consumer chain — each stage
+// loads its own input array and folds the previous stage's value in
+// through a short arithmetic chain, with the final stage storing the
+// result and optionally accumulating into a scalar.  Values flow
+// between stages through registers only (never through a stored
+// array), so the dependence graph decomposes into the forward-only
+// clusters a queue cut can separate.  Like RandomProgram, the same
+// seed always yields the same program and every generated program is
+// valid, in-bounds, and interpreter-executable; the two generators use
+// disjoint shape families so the pinned RandomProgram corpus is
+// untouched.
+func RandomChainProgram(seed int64) *ir.Program {
+	rng := rand.New(rand.NewSource(seed*0x9e3779b9 + 0x5eed))
+	b := ir.NewBuilder(fmt.Sprintf("chain%d", seed))
+	const size = 160
+
+	stages := 2 + rng.Intn(3) // 2..4 producer/consumer stages
+	ins := make([]string, stages)
+	for s := range ins {
+		name := fmt.Sprintf("in%d", s)
+		arr := b.Array(name, ir.KindFloat, size)
+		for i := 0; i < size; i++ {
+			arr.InitF = append(arr.InitF, float64((i*(17+3*s)+int(seed&63))%89)/89.0-0.3)
+		}
+		ins[s] = name
+	}
+	out := b.Array("out", ir.KindFloat, size)
+	for i := 0; i < size; i++ {
+		out.InitF = append(out.InitF, 0)
+	}
+
+	consts := []ir.VReg{b.FConst(0.5), b.FConst(1.75), b.FConst(-0.25)}
+	trips := []int64{8, 33, 64}
+	trip := trips[rng.Intn(len(trips))]
+	acc := b.FMov(consts[0])
+
+	b.ForN(trip, func(l *ir.LoopCtx) {
+		carry := consts[rng.Intn(len(consts))]
+		for s := 0; s < stages; s++ {
+			off := int64(rng.Intn(4))
+			p := l.Pointer(off, 1)
+			x := b.Load(ins[s], p, ir.Aff(l.ID, 1, off))
+			v := b.FMul(x, consts[rng.Intn(len(consts))])
+			n := 1 + rng.Intn(3)
+			for i := 0; i < n; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					v = b.FAdd(v, carry)
+				case 1:
+					v = b.FSub(carry, v)
+				default:
+					v = b.FMul(v, x)
+				}
+			}
+			carry = b.FAdd(v, carry)
+		}
+		st := l.Pointer(0, 1)
+		b.Store("out", st, carry, ir.Aff(l.ID, 1, 0))
+		if rng.Intn(2) == 0 {
+			b.FAddTo(acc, acc, carry)
+		}
+	})
+	b.Result("acc", acc)
+	return b.P
+}
+
+// ChainCorpusSeeds lists the seeds of the checked-in partition fuzz
+// corpus (testdata/fuzz/FuzzPartitionDifferential/seed-*).  Like
+// CorpusSeeds it must stay in sync with the testdata directory.
+func ChainCorpusSeeds() []int64 {
+	return []int64{0, 1, 2, 3, 4, 5, 6, 7}
+}

@@ -377,6 +377,9 @@ type ArrayResult struct {
 	// MFLOPS is the whole-array rate (total flops over the array wall
 	// clock at the machine's frequency).
 	MFLOPS float64
+	// CellStats carries per-cell II/stall/occupancy rows for partitioned
+	// runs (nil for homogeneous RunArray).
+	CellStats []ArrayCellStats
 }
 
 // RunArray chains the compiled cells into a linear Warp array — cell i's
